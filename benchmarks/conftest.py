@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables/figures and saves
+the rendered table under ``benchmarks/results/`` so the numbers quoted
+in EXPERIMENTS.md can be re-derived from a run.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_result():
+    """Callable fixture: save_result(name, text) -> path."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> pathlib.Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _save

@@ -1,0 +1,35 @@
+"""Section 4 back-end claim: 12-hour RTL-to-layout turnaround with the
+partitioned GALS flow, enabling dozens of daily iterations during the
+march to tapeout.
+"""
+
+from repro.flow import FlowRuntimeModel, inventory_partitions
+from repro.flow import testchip_inventory as chip_inventory
+
+
+def test_bench_backend_turnaround(benchmark, save_result):
+    model = FlowRuntimeModel()
+    parts = inventory_partitions(chip_inventory())
+
+    def run():
+        return (model.turnaround(parts, gals=True, parallel=True),
+                model.turnaround(parts, gals=False, parallel=True),
+                model.flat_hours(parts))
+
+    gals, sync, flat = benchmark.pedantic(run, rounds=1, iterations=1)
+    chip_runs_per_day = gals.unique_partitions * gals.daily_iterations
+    save_result(
+        "backend_turnaround",
+        gals.to_text()
+        + f"\nsynchronous hierarchical flow: {sync.total_hours:.1f} h"
+        + f"\nflat (non-hierarchical) flow:  {flat:.1f} h"
+        + f"\npartition runs per day across the farm: "
+          f"{chip_runs_per_day:.0f}",
+    )
+    # The paper's 12-hour turnaround, within modelling tolerance.
+    assert gals.total_hours <= 16.0
+    assert gals.daily_iterations >= 1.5
+    # GALS beats synchronous hierarchical; both crush the flat flow.
+    assert gals.total_hours < sync.total_hours
+    assert flat > 3 * sync.total_hours
+    assert flat > 10 * gals.total_hours

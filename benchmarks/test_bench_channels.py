@@ -1,0 +1,117 @@
+"""Table 1 / Figure 2 micro-benchmarks: throughput of every channel
+kind in both the fast (sim-accurate) and signal-level models, plus the
+wormhole vs store-and-forward router ablation (Table 2).
+"""
+
+import pytest
+
+from repro.connections import (
+    Buffer,
+    BufferSignal,
+    Bypass,
+    BypassSignal,
+    Combinational,
+    CombinationalSignal,
+    In,
+    Out,
+    Pipeline,
+    PipelineSignal,
+    stream_consumer,
+    stream_producer,
+)
+from repro.kernel import Simulator
+from repro.noc import Mesh
+
+N_MSGS = 300
+
+
+def fast_stream(factory):
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=10)
+    chan = factory(sim, clk)
+    out, inp = Out(chan), In(chan)
+    received = []
+
+    def producer():
+        for i in range(N_MSGS):
+            yield from out.push(i)
+
+    def consumer():
+        for _ in range(N_MSGS):
+            received.append((yield from inp.pop()))
+
+    sim.add_thread(producer(), clk, name="p")
+    sim.add_thread(consumer(), clk, name="c")
+    sim.run(until=N_MSGS * 200)
+    assert received == list(range(N_MSGS))
+
+
+def signal_stream(cls, **kw):
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=10)
+    chan = cls(sim, clk, name="ch", **kw)
+    sink = []
+    done = {}
+    sim.add_thread(stream_producer(chan.enq, range(N_MSGS)), clk, name="p")
+    sim.add_thread(stream_consumer(chan.deq, sink, count=N_MSGS, done=done),
+                   clk, name="c")
+    sim.run(until=N_MSGS * 200)
+    assert sink == list(range(N_MSGS))
+
+
+@pytest.mark.parametrize("factory", [Combinational, Bypass, Pipeline, Buffer],
+                         ids=lambda f: f.__name__)
+def test_bench_fast_channel(benchmark, factory):
+    benchmark.pedantic(lambda: fast_stream(factory), rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("cls,kw", [
+    (CombinationalSignal, {}),
+    (BypassSignal, {"capacity": 1}),
+    (PipelineSignal, {"capacity": 1}),
+    (BufferSignal, {"capacity": 2}),
+], ids=lambda x: getattr(x, "__name__", ""))
+def test_bench_signal_channel(benchmark, cls, kw):
+    if cls is CombinationalSignal:
+        benchmark.pedantic(
+            lambda: signal_stream_comb(), rounds=3, iterations=1)
+    else:
+        benchmark.pedantic(lambda: signal_stream(cls, **kw), rounds=3,
+                           iterations=1)
+
+
+def signal_stream_comb():
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=10)
+    chan = CombinationalSignal(sim, clk)
+    sink = []
+    sim.add_thread(stream_producer(chan.enq, range(N_MSGS)), clk, name="p")
+    sim.add_thread(stream_consumer(chan.deq, sink, count=N_MSGS), clk,
+                   name="c")
+    sim.run(until=N_MSGS * 200)
+    assert sink == list(range(N_MSGS))
+
+
+def mesh_drain_time(router: str) -> int:
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=10)
+    mesh = Mesh(sim, clk, width=4, height=4, router=router)
+    for src in range(16):
+        mesh.ni(src).send((src + 5) % 16, [f"m{src}f{j}" for j in range(6)])
+    while (sum(ni.messages_received for ni in mesh.nis) < 16
+           and sim.now < 5_000_000):
+        sim.run(max_steps=100)
+    assert sum(ni.messages_received for ni in mesh.nis) == 16
+    return max(ni.last_arrival_time or 0 for ni in mesh.nis)
+
+
+def test_bench_router_ablation(benchmark, save_result):
+    """Wormhole routing beats store-and-forward on drain latency."""
+    whvc = benchmark.pedantic(lambda: mesh_drain_time("whvc"),
+                              rounds=1, iterations=1)
+    sf = mesh_drain_time("sf")
+    save_result("router_ablation",
+                f"4x4 mesh, 16 six-flit packets, drain time (ticks)\n"
+                f"  WHVC wormhole     : {whvc}\n"
+                f"  store-and-forward : {sf}")
+    assert whvc < sf

@@ -1,0 +1,36 @@
+"""Section 2.4 case study: src-loop vs dst-loop crossbar QoR.
+
+Paper result: 25 % area penalty for the src-loop coding of a 32-lane
+32-bit crossbar, with significantly longer HLS compile times and worse
+scaling to larger N.
+"""
+
+from repro.experiments import (
+    crossbar_clock_sweep,
+    crossbar_qor_sweep,
+    format_qor_table,
+)
+
+
+def test_bench_crossbar_lane_sweep(benchmark, save_result):
+    points = benchmark.pedantic(
+        lambda: crossbar_qor_sweep(lanes=(8, 16, 32, 64)),
+        rounds=1, iterations=1)
+    save_result("crossbar_qor_lanes", format_qor_table(points))
+    paper_config = next(p for p in points if p.lanes == 32)
+    assert 0.15 <= paper_config.area_penalty <= 0.45  # paper: 25 %
+    assert paper_config.compile_ratio > 1.5
+    # Penalty grows with N (scalability claim).
+    assert points[-1].area_penalty > points[0].area_penalty
+
+
+def test_bench_crossbar_clock_ablation(benchmark, save_result):
+    """Ablation: the penalty decomposes into priority logic (always)
+    plus pipeline registers/control (only under tight clocks)."""
+    points = benchmark.pedantic(crossbar_clock_sweep, rounds=1, iterations=1)
+    save_result("crossbar_qor_clock", format_qor_table(points))
+    tight = points[0]
+    relaxed = points[-1]
+    assert tight.area_penalty > relaxed.area_penalty
+    assert relaxed.area_penalty > 0.10  # comparators never go away
+    assert tight.src_latency > relaxed.src_latency

@@ -1,0 +1,42 @@
+"""Figure 6: SystemC-performance-model speedup vs elapsed-cycle error
+on six SoC-level tests.
+
+Paper result: 20-30x wall-clock speedup with < 3 % cycle error.  Each
+test runs the full prototype SoC twice — fast mode (the performance
+model) and rtl mode (signal-level links + per-unit netlist activity) —
+with bit-exact output checks in both.
+"""
+
+import pytest
+
+from repro.experiments import format_figure6, run_fig6_test
+from repro.experiments.fig6_soc import fig6_workloads_small
+
+_POINTS = []
+
+
+@pytest.mark.parametrize("workload", fig6_workloads_small(),
+                         ids=lambda w: w.name)
+def test_bench_fig6_workload(benchmark, workload):
+    """One SoC-level test, fast vs RTL."""
+    point = benchmark.pedantic(lambda: run_fig6_test(workload),
+                               rounds=1, iterations=1)
+    _POINTS.append(point)
+    # Shape assertions per point; headline band checked in aggregate.
+    assert point.speedup > 8
+    assert point.cycle_error < 0.05
+
+
+def test_bench_fig6_aggregate(benchmark, save_result):
+    """Aggregate the six points into the Figure 6 table."""
+    assert len(_POINTS) == 6, "run the per-workload benches first"
+    table = benchmark.pedantic(lambda: format_figure6(_POINTS),
+                               rounds=1, iterations=1)
+    save_result("fig6_perf_accuracy", table)
+    speedups = [p.speedup for p in _POINTS]
+    errors = [p.cycle_error for p in _POINTS]
+    # Paper band: 20-30x speedup, < 3 % error.  Allow scale effects at
+    # the reduced workload sizes used here.
+    assert max(errors) < 0.05
+    assert sum(speedups) / len(speedups) > 12
+    assert max(speedups) > 18

@@ -1,0 +1,90 @@
+"""Section 3.1: GALS area overhead (< 3 % for typical partition sizes)
+and the pausible-FIFO latency advantage over brute-force synchronizers.
+"""
+
+from repro.connections import Buffer, In, Out
+from repro.experiments import (
+    format_overhead_table,
+    partition_size_sweep,
+)
+from repro.experiments import testchip_overhead as overhead_report
+from repro.gals import BruteForceSyncFIFO, PausibleBisyncFIFO
+from repro.kernel import Simulator
+
+
+def test_bench_gals_area_overhead(benchmark, save_result):
+    def run():
+        return partition_size_sweep(), overhead_report()
+
+    points, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("gals_overhead", format_overhead_table(points, report))
+    # The paper's claim, at the testchip's partition inventory.
+    assert report.chip_overhead_fraction < 0.03
+    # Typical (~1M-gate) partitions are individually under 3 %.
+    typical = [p for p in points if p.logic_gates >= 1e6]
+    assert all(p.fraction < 0.03 for p in typical)
+    # The crossover exists: tiny partitions pay more than 3 %.
+    assert points[0].fraction > 0.03
+    # And the synchronous alternative pays margin GALS does not.
+    assert report.sync_frequency_penalty > 0.03
+
+
+def _mean_crossing_latency(fifo_cls, *, tx_period=90, rx_period=130, n=80):
+    sim = Simulator()
+    tx = sim.add_clock("tx", period=tx_period)
+    rx = sim.add_clock("rx", period=rx_period)
+    fifo = fifo_cls(sim, tx, rx)
+    in_ch = Buffer(sim, tx, capacity=2, name="i")
+    out_ch = Buffer(sim, rx, capacity=2, name="o")
+    fifo.in_port.bind(in_ch)
+    fifo.out_port.bind(out_ch)
+    src, dst = Out(in_ch), In(out_ch)
+    latencies = []
+
+    def producer():
+        for i in range(n):
+            yield from src.push((i, sim.now))
+            yield 8  # sparse traffic isolates latency from throughput
+
+    def consumer():
+        for _ in range(n):
+            _, sent = yield from dst.pop()
+            latencies.append(sim.now - sent)
+
+    sim.add_thread(producer(), tx, name="p")
+    sim.add_thread(consumer(), rx, name="c")
+    sim.run(until=n * 20_000)
+    return sum(latencies) / len(latencies)
+
+
+def test_bench_pausible_fifo_latency(benchmark, save_result):
+    """Figure 4's motivation: low-latency error-free crossings."""
+    pausible = benchmark.pedantic(
+        lambda: _mean_crossing_latency(PausibleBisyncFIFO),
+        rounds=1, iterations=1)
+    brute = _mean_crossing_latency(BruteForceSyncFIFO)
+    save_result(
+        "pausible_fifo_latency",
+        "Mean CDC latency, sparse traffic (ticks)\n"
+        f"  pausible bisync FIFO : {pausible:8.1f}\n"
+        f"  2-flop synchronizer  : {brute:8.1f}\n"
+        f"  advantage            : {100 * (1 - pausible / brute):6.1f} %",
+    )
+    assert pausible < brute * 0.8  # at least ~20 % lower latency
+
+
+def test_bench_adaptive_clocking_margin(benchmark, save_result):
+    """Section 3.1: adaptive local clocks avoid static supply-noise
+    margin; throughput gain equals the margin avoided."""
+    from repro.experiments import (
+        adaptive_clocking_experiment,
+        format_adaptive_clocking,
+    )
+
+    result = benchmark.pedantic(adaptive_clocking_experiment,
+                                rounds=1, iterations=1)
+    save_result("adaptive_clocking", format_adaptive_clocking(result))
+    # Adaptive beats the statically-margined clock...
+    assert result.throughput_gain > 0.02
+    # ...because its mean stretch is well under the worst-case margin.
+    assert result.mean_adaptive_stretch < result.static_margin

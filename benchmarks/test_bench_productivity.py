@@ -1,0 +1,30 @@
+"""Section 4 productivity claim: 2K-20K NAND2-equivalent gates per
+engineer-day on unique unit-level designs with OOHLS, significantly
+higher than an RTL baseline.
+"""
+
+from repro.flow import (
+    OOHLS_METHODOLOGY,
+    RTL_METHODOLOGY,
+    inventory_efforts,
+    productivity_report,
+)
+from repro.flow import testchip_inventory as chip_inventory
+
+
+def test_bench_productivity(benchmark, save_result):
+    efforts = inventory_efforts(chip_inventory())
+
+    def run():
+        return (productivity_report(efforts, OOHLS_METHODOLOGY),
+                productivity_report(efforts, RTL_METHODOLOGY))
+
+    oohls, rtl = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("productivity",
+                oohls.to_text() + "\n\n" + rtl.to_text())
+    # Every unique OOHLS unit lands inside the paper's 2K-20K band.
+    for name, gates_per_day in oohls.per_unit:
+        assert 2_000 <= gates_per_day <= 20_000, name
+    assert 2_000 <= oohls.overall_productivity <= 20_000
+    # "Significantly higher than a baseline RTL-based methodology."
+    assert oohls.overall_productivity > 5 * rtl.overall_productivity

@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make ``repro`` importable from the source tree.
+
+Lets ``pytest tests/`` and ``pytest benchmarks/`` run straight from a
+checkout even when the package has not been pip-installed (e.g. offline
+environments where pip's isolated build cannot fetch setuptools/wheel —
+use ``python setup.py develop`` there, or rely on this hook).
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Fine-grained GALS clocking (Figure 4) in action.
+
+Two clock domains with different frequencies and supply noise exchange
+data through a pausible bisynchronous FIFO; the receiver's clock is
+paused whenever a write lands inside a metastability window.  The same
+traffic through a brute-force 2-flop synchronizer FIFO shows the latency
+the pausible design saves, and the overhead tables quantify the area
+cost (paper: < 3 % for typical partitions).
+
+Run:  python examples/gals_clocking.py
+"""
+
+from repro.connections import Buffer, In, Out
+from repro.experiments import (
+    format_overhead_table,
+    partition_size_sweep,
+    testchip_overhead,
+)
+from repro.gals import (
+    BruteForceSyncFIFO,
+    LocalClockGenerator,
+    PausibleBisyncFIFO,
+    SupplyNoise,
+)
+from repro.kernel import Simulator
+
+
+def crossing_latency(fifo_cls, n=100):
+    """Mean per-message crossing latency under sparse traffic.
+
+    Messages are timestamped at injection; the consumer records
+    arrival.  Sparse spacing isolates *latency* (the pausible design's
+    advantage) from throughput, which both FIFOs sustain equally.
+    """
+    sim = Simulator()
+    tx_gen = LocalClockGenerator(sim, "tx", nominal_period=909,
+                                 noise=SupplyNoise(amplitude=0.05, seed=1))
+    rx_gen = LocalClockGenerator(sim, "rx", nominal_period=1043,
+                                 noise=SupplyNoise(amplitude=0.05, seed=2))
+    fifo = fifo_cls(sim, tx_gen.clock, rx_gen.clock)
+    in_ch = Buffer(sim, tx_gen.clock, capacity=2, name="in")
+    out_ch = Buffer(sim, rx_gen.clock, capacity=2, name="out")
+    fifo.in_port.bind(in_ch)
+    fifo.out_port.bind(out_ch)
+    src, dst = Out(in_ch), In(out_ch)
+    latencies = []
+
+    def producer():
+        for i in range(n):
+            yield from src.push((i, sim.now))
+            yield 8  # sparse traffic: one message every ~8 tx cycles
+
+    def consumer():
+        for i in range(n):
+            idx, sent_at = yield from dst.pop()
+            assert idx == i, "CDC corrupted data!"
+            latencies.append(sim.now - sent_at)
+
+    sim.add_thread(producer(), tx_gen.clock, name="p")
+    sim.add_thread(consumer(), rx_gen.clock, name="c")
+    sim.run(until=n * 50_000)
+    return sum(latencies) / len(latencies), fifo, rx_gen
+
+
+def main() -> None:
+    lat_pausible, pbf, rx = crossing_latency(PausibleBisyncFIFO)
+    lat_brute, _, _ = crossing_latency(BruteForceSyncFIFO)
+    print("per-message latency across a noisy 1.10 GHz -> 0.96 GHz crossing:")
+    print(f"  pausible bisync FIFO:  {lat_pausible / 1000:6.2f} ns mean "
+          f"({rx.clock.paused_edges} receiver-clock pauses, "
+          f"{pbf.metastability_risks} metastability risks)")
+    print(f"  2-flop synchronizer:   {lat_brute / 1000:6.2f} ns mean")
+    print(f"  pausible advantage:    {100 * (1 - lat_pausible / lat_brute):.0f}% "
+          f"lower crossing latency\n")
+
+    print(format_overhead_table(partition_size_sweep(), testchip_overhead()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""NoC routers: wormhole-with-VCs vs store-and-forward.
+
+Builds 4x4 meshes with both router types from MatchLib (Table 2),
+drives random traffic, and compares delivered latency — the wormhole
+router pipelines flits across hops while the SF router waits for whole
+packets, which is why the prototype SoC uses WHVCRouter.
+
+Run:  python examples/noc_traffic.py
+"""
+
+import random
+
+from repro.kernel import Simulator
+from repro.noc import Mesh
+
+
+def run_traffic(router: str, n_messages: int = 60, flits_per_msg: int = 6,
+                seed: int = 11):
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=909)
+    mesh = Mesh(sim, clk, width=4, height=4, router=router)
+    rng = random.Random(seed)
+    sent = []
+    for i in range(n_messages):
+        src = rng.randrange(16)
+        dest = rng.randrange(16)
+        payloads = [f"m{i}f{j}" for j in range(flits_per_msg)]
+        mesh.ni(src).send(dest, payloads)
+        sent.append(tuple(payloads))
+
+    sim.run(until=30_000_000)
+    delivered = sum(ni.messages_received for ni in mesh.nis)
+    last_arrival = max(ni.last_arrival_time or 0 for ni in mesh.nis)
+    got = {tuple(p) for ni in mesh.nis for _, p in ni.received}
+    assert got == set(sent), "payload corruption!"
+    return delivered, last_arrival, mesh
+
+
+def channel_over_noc_demo() -> None:
+    """Section 2.3's polymorphism claim: the same producer/consumer code
+    over a direct channel and over the mesh."""
+    from repro.connections import Buffer, In, Out
+    from repro.noc import NocChannel, NocChannelDemux
+
+    def run(channel_of):
+        sim = Simulator()
+        clk = sim.add_clock("clk", period=909)
+        chan = channel_of(sim, clk)
+        out, inp = Out(chan), In(chan)
+        received = []
+        done = {}
+
+        def producer():
+            for i in range(20):
+                yield from out.push(i)
+
+        def consumer():
+            for _ in range(20):
+                received.append((yield from inp.pop()))
+            done["time"] = sim.now
+
+        sim.add_thread(producer(), clk, name="p")
+        sim.add_thread(consumer(), clk, name="c")
+        sim.run(until=2_000_000)
+        return received, done["time"]
+
+    def direct(sim, clk):
+        return Buffer(sim, clk, capacity=4)
+
+    def over_mesh(sim, clk):
+        mesh = Mesh(sim, clk, width=3, height=3)
+        return NocChannel(sim, mesh, chan_id=1,
+                          src_demux=NocChannelDemux(mesh.ni(0)),
+                          dst_demux=NocChannelDemux(mesh.ni(8)))
+
+    got_direct, t_direct = run(direct)
+    got_noc, t_noc = run(over_mesh)
+    assert got_direct == got_noc == list(range(20))
+    print(f"\nsame producer/consumer code: direct channel {t_direct / 1000:.1f} ns,"
+          f" across the 3x3 mesh {t_noc / 1000:.1f} ns — identical data.")
+
+
+def main() -> None:
+    for router in ("whvc", "sf"):
+        delivered, finish, mesh = run_traffic(router)
+        flits = getattr(mesh, "total_flits_forwarded", 0)
+        print(f"{router:5s} router: {delivered} messages delivered, "
+              f"all traffic drained at {finish / 1000:.1f} ns"
+              + (f", {flits} router flit-hops" if flits else ""))
+    print("\nwormhole switching pipelines flits across hops; "
+          "store-and-forward pays packet length at every hop.")
+    channel_over_noc_demo()
+
+
+if __name__ == "__main__":
+    main()

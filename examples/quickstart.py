@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: Connections LI channels and a MatchLib component.
+
+Builds the smallest interesting system — two producers feeding an
+arbitrated crossbar through latency-insensitive channels, with random
+stall injection on one output — and shows the central LI guarantee:
+timing perturbations never change the data.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.connections import Buffer, In, Out
+from repro.kernel import Simulator
+from repro.matchlib import ArbitratedCrossbarModule
+
+
+def main() -> None:
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=909)  # 1.1 GHz at 1 tick = 1 ps
+
+    # A 2x2 arbitrated crossbar with LI channels on every port.
+    xbar = ArbitratedCrossbarModule(sim, clk, 2, 2)
+    in_chans = [Buffer(sim, clk, capacity=4, name=f"in{i}") for i in range(2)]
+    out_chans = [Buffer(sim, clk, capacity=4, name=f"out{o}") for o in range(2)]
+    for i in range(2):
+        xbar.ins[i].bind(in_chans[i])
+        xbar.outs[i].bind(out_chans[i])
+
+    # Verification hook (paper section 2.3): randomly withhold valid on
+    # output 0 — no design or testbench change required.
+    out_chans[0].set_stall(0.3, seed=7)
+
+    # Producers: port 0 sends to alternating outputs, port 1 to output 0.
+    def producer(port, pattern):
+        src = Out(in_chans[port])
+        for i, dst in enumerate(pattern):
+            yield from src.push((dst, f"p{port}m{i}"))
+
+    received = [[] for _ in range(2)]
+
+    def consumer(port):
+        dst = In(out_chans[port])
+        while True:
+            ok, msg = dst.pop_nb()
+            if ok:
+                received[port].append(msg)
+            yield
+
+    sim.add_thread(producer(0, [0, 1] * 10), clk, name="p0")
+    sim.add_thread(producer(1, [0] * 10), clk, name="p1")
+    sim.add_thread(consumer(0), clk, name="c0")
+    sim.add_thread(consumer(1), clk, name="c1")
+    sim.run(until=2_000_000)
+
+    print(f"crossbar transactions: {xbar.transactions}")
+    print(f"output 0 received {len(received[0])} messages "
+          f"(stalled {out_chans[0].stats.stall_cycles} cycles)")
+    print(f"output 1 received {len(received[1])} messages")
+    # LI correctness: everything arrives, in per-source order, despite stalls.
+    assert len(received[0]) == 20 and len(received[1]) == 10
+    p1_msgs = [m for _, m in received[0] if m.startswith("p1")]
+    assert p1_msgs == [f"p1m{i}" for i in range(10)]
+    print("OK: all messages delivered in order under stall injection")
+
+
+if __name__ == "__main__":
+    main()

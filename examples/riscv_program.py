@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""The RV32I controller core, standalone.
+
+Assembles a small program (iterative Fibonacci with a function call and
+a data-memory result table) and runs it on the interpreter that serves
+as the prototype SoC's global controller.
+
+Run:  python examples/riscv_program.py
+"""
+
+from repro.matchlib import MemArray
+from repro.soc import RiscvCore, assemble
+
+PROGRAM = """
+    # Compute fib(0..9) into data memory at byte address 0.
+    li  s0, 0          # table pointer
+    li  s1, 0          # n
+    li  s2, 10         # limit
+loop:
+    mv  a0, s1
+    jal ra, fib
+    sw  a0, 0(s0)
+    addi s0, s0, 4
+    addi s1, s1, 1
+    blt  s1, s2, loop
+    ebreak
+
+fib:                   # iterative fib(a0) -> a0
+    li  t0, 0          # fib(i)
+    li  t1, 1          # fib(i+1)
+    beqz a0, fib_done
+fib_loop:
+    add t2, t0, t1
+    mv  t0, t1
+    mv  t1, t2
+    addi a0, a0, -1
+    bnez a0, fib_loop
+fib_done:
+    mv  a0, t0
+    ret
+"""
+
+
+def main() -> None:
+    dmem = MemArray(64, width=32)
+    core = RiscvCore(imem=assemble(PROGRAM), dmem=dmem)
+    while not core.halted:
+        core.step()
+    fibs = dmem.dump(0, 10)
+    print(f"retired {core.instructions_retired} instructions")
+    print("fib(0..9) =", fibs)
+    assert fibs == [0, 1, 1, 2, 3, 5, 8, 13, 21, 34]
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

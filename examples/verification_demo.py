@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Verification with stall injection (paper section 4).
+
+Plants the classic latency-insensitivity bug — a forwarder that drops
+its in-flight message after repeated backpressure (a missing skid
+buffer) — and shows that directed testing with an always-ready consumer
+can never see it, while randomized stall campaigns expose it within a
+few trials, with no change to the design or the testbench.
+
+Run:  python examples/verification_demo.py
+"""
+
+from repro.experiments import format_campaign, stall_campaign
+
+
+def main() -> None:
+    probabilities = (0.0, 0.05, 0.1, 0.3, 0.5)
+    results = [stall_campaign(p, trials=10) for p in probabilities]
+    print(format_campaign(results))
+    print()
+    clean = stall_campaign(0.5, trials=10, bug=False)
+    print(f"clean design at stall p=0.5: {clean.detections}/10 flagged "
+          "(LI-correct designs are immune to timing perturbation)")
+    assert results[0].detections == 0
+    assert results[-1].detections == 10
+    assert clean.detections == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: keeps ``pip install -e .`` working offline
+(the environment has setuptools but no ``wheel`` package, so the PEP 660
+editable-wheel path is unavailable)."""
+
+from setuptools import setup
+
+setup()

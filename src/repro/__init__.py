@@ -1,0 +1,32 @@
+"""repro — a Python reproduction of the DAC 2018 paper
+"A Modular Digital VLSI Flow for High-Productivity SoC Design"
+(Khailany et al., NVIDIA / DARPA CRAFT).
+
+Subpackages
+-----------
+kernel       event-driven simulation kernel (SystemC analog)
+connections  latency-insensitive channels (the paper's Connections library)
+matchlib     the MatchLib hardware component library (Table 2)
+hls          a small high-level-synthesis engine (scheduling, area, timing)
+noc          network-on-chip routers and mesh topologies
+axi          AXI-style interconnect components
+gals         fine-grained GALS clocking and pausible bisynchronous FIFOs
+soc          the prototype machine-learning SoC (Figure 5)
+workloads    ML / computer-vision workloads run on the SoC
+flow         front-to-back flow orchestration, backend and productivity models
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "kernel",
+    "connections",
+    "matchlib",
+    "hls",
+    "noc",
+    "axi",
+    "gals",
+    "soc",
+    "workloads",
+    "flow",
+]

@@ -1,0 +1,26 @@
+"""AXI components (Table 2): master/slave interfaces and the
+interconnect fabric, all carried over LI channels.
+
+Quick use::
+
+    from repro.axi import AxiMaster, AxiMemorySlave, AxiInterconnect, AddressRange
+
+    fabric = AxiInterconnect(sim, clk)
+    fabric.connect_master(master := AxiMaster())
+    fabric.connect_slave(AxiMemorySlave(sim, clk, mem), AddressRange(0x1000, 256))
+    # inside a thread:  data = yield from master.read(0x1004)
+"""
+
+from .bridge import AxiNocInitiator, AxiNocTarget
+from .interconnect import AddressRange, AxiInterconnect
+from .master import AxiError, AxiMaster
+from .slave import AxiMemorySlave, AxiRegisterSlave
+from .types import AxiAR, AxiAW, AxiB, AxiR, AxiResp, AxiW
+
+__all__ = [
+    "AxiResp", "AxiAW", "AxiW", "AxiB", "AxiAR", "AxiR",
+    "AxiMaster", "AxiError",
+    "AxiMemorySlave", "AxiRegisterSlave",
+    "AxiInterconnect", "AddressRange",
+    "AxiNocInitiator", "AxiNocTarget",
+]

@@ -1,0 +1,158 @@
+"""AXI-over-NoC bridges (Table 2: "bridges for AXI interconnect").
+
+A pair of modules lets an AXI master at one mesh node talk to an AXI
+slave at another:
+
+* :class:`AxiNocInitiator` — sits where the master is: terminates the
+  master's five channels, packs each transaction into a NoC message,
+  and replays the remote response;
+* :class:`AxiNocTarget` — sits where the slave is: unpacks transaction
+  messages and drives the slave's channels as a local master.
+
+Message formats (tuples over the mesh's message layer):
+``("axi_w", txn_id, addr, [beats])`` / ``("axi_r", txn_id, addr, length)``
+answered by ``("axi_b", txn_id, resp)`` / ``("axi_rd", txn_id, resp,
+[beats])``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any, Dict, Generator, List
+
+from ..connections.ports import In, Out
+from ..noc.mesh import NetworkInterface
+from .types import AxiAR, AxiAW, AxiB, AxiR, AxiResp, AxiW
+
+__all__ = ["AxiNocInitiator", "AxiNocTarget"]
+
+
+class AxiNocInitiator:
+    """Slave-facing bridge: AXI channels in, NoC messages out.
+
+    Bind the local master's channels to ``aw``/``w``/``b``/``ar``/``r``
+    exactly as if this were the slave.
+    """
+
+    def __init__(self, sim, clock, ni: NetworkInterface, *, target_node: int,
+                 name: str = "axi_noc_init"):
+        self.name = name
+        self.ni = ni
+        self.target_node = target_node
+        self.aw: In = In(name=f"{name}.aw")
+        self.w: In = In(name=f"{name}.w")
+        self.b: Out = Out(name=f"{name}.b")
+        self.ar: In = In(name=f"{name}.ar")
+        self.r: Out = Out(name=f"{name}.r")
+        self._txn_ids = itertools.count()
+        self._responses: Dict[int, tuple] = {}
+        self.transactions = 0
+        ni.handler = self._on_message
+        sim.add_thread(self._run(), clock, name=name)
+
+    def _on_message(self, src: int, payloads: List[Any]) -> None:
+        kind, txn_id = payloads[0], payloads[1]
+        self._responses[txn_id] = tuple(payloads)
+
+    def _await(self, txn_id: int) -> Generator:
+        while txn_id not in self._responses:
+            yield
+        return self._responses.pop(txn_id)
+
+    def _run(self) -> Generator:
+        while True:
+            progressed = False
+            ok, aw = self.aw.pop_nb()
+            if ok:
+                yield from self._forward_write(aw)
+                progressed = True
+            ok, ar = self.ar.pop_nb()
+            if ok:
+                yield from self._forward_read(ar)
+                progressed = True
+            if not progressed:
+                yield
+
+    def _forward_write(self, aw: AxiAW) -> Generator:
+        beats = []
+        while True:
+            w: AxiW = yield from self.w.pop()
+            beats.append(w.data)
+            if w.last:
+                break
+        txn_id = next(self._txn_ids)
+        self.ni.send(self.target_node, ["axi_w", txn_id, aw.addr, beats])
+        rsp = yield from self._await(txn_id)
+        yield from self.b.push(AxiB(resp=AxiResp(rsp[2]), id_=aw.id_))
+        self.transactions += 1
+
+    def _forward_read(self, ar: AxiAR) -> Generator:
+        txn_id = next(self._txn_ids)
+        self.ni.send(self.target_node, ["axi_r", txn_id, ar.addr, ar.length])
+        rsp = yield from self._await(txn_id)
+        resp, beats = AxiResp(rsp[2]), rsp[3]
+        for i, data in enumerate(beats):
+            yield from self.r.push(AxiR(data=data, last=(i == len(beats) - 1),
+                                        resp=resp, id_=ar.id_))
+        self.transactions += 1
+
+
+class AxiNocTarget:
+    """Master-facing bridge: NoC messages in, AXI channels out.
+
+    Bind ``aw``/``w``/``b``/``ar``/``r`` to the local slave's channels
+    exactly as a master would.
+    """
+
+    def __init__(self, sim, clock, ni: NetworkInterface,
+                 *, name: str = "axi_noc_target"):
+        self.name = name
+        self.ni = ni
+        self.aw: Out = Out(name=f"{name}.aw")
+        self.w: Out = Out(name=f"{name}.w")
+        self.b: In = In(name=f"{name}.b")
+        self.ar: Out = Out(name=f"{name}.ar")
+        self.r: In = In(name=f"{name}.r")
+        self._requests: deque = deque()
+        self.transactions = 0
+        ni.handler = lambda src, p: self._requests.append((src, p))
+        sim.add_thread(self._run(), clock, name=name)
+
+    def _run(self) -> Generator:
+        while True:
+            if not self._requests:
+                yield
+                continue
+            src, msg = self._requests.popleft()
+            kind, txn_id = msg[0], msg[1]
+            if kind == "axi_w":
+                yield from self._do_write(src, txn_id, msg[2], msg[3])
+            elif kind == "axi_r":
+                yield from self._do_read(src, txn_id, msg[2], msg[3])
+            else:
+                raise ValueError(f"{self.name}: unknown bridge message "
+                                 f"{kind!r}")
+            self.transactions += 1
+
+    def _do_write(self, src: int, txn_id: int, addr: int,
+                  beats: List[Any]) -> Generator:
+        yield from self.aw.push(AxiAW(addr=addr, length=len(beats)))
+        for i, data in enumerate(beats):
+            yield from self.w.push(AxiW(data=data, last=(i == len(beats) - 1)))
+        rsp: AxiB = yield from self.b.pop()
+        self.ni.send(src, ["axi_b", txn_id, int(rsp.resp)])
+
+    def _do_read(self, src: int, txn_id: int, addr: int,
+                 length: int) -> Generator:
+        yield from self.ar.push(AxiAR(addr=addr, length=length))
+        beats = []
+        resp = AxiResp.OKAY
+        while True:
+            beat: AxiR = yield from self.r.pop()
+            beats.append(beat.data)
+            if beat.resp != AxiResp.OKAY:
+                resp = beat.resp
+            if beat.last:
+                break
+        self.ni.send(src, ["axi_rd", txn_id, int(resp), beats])

@@ -1,0 +1,80 @@
+"""AXI master interface helper.
+
+Owns the five channel endpoints on the master side and provides
+blocking ``read``/``write`` generators for use inside a module's thread
+— the way the RISC-V controller of the prototype SoC programs the
+accelerator's control registers over the AXI bus.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from ..connections.ports import In, Out
+from .types import AxiAR, AxiAW, AxiB, AxiR, AxiResp, AxiW
+
+__all__ = ["AxiMaster", "AxiError"]
+
+
+class AxiError(RuntimeError):
+    """Raised when a transaction returns a non-OKAY response."""
+
+
+class AxiMaster:
+    """Master-side port bundle with blocking transaction helpers."""
+
+    def __init__(self, *, name: str = "axim", id_: int = 0):
+        self.name = name
+        self.id_ = id_
+        self.aw: Out = Out(name=f"{name}.aw")
+        self.w: Out = Out(name=f"{name}.w")
+        self.b: In = In(name=f"{name}.b")
+        self.ar: Out = Out(name=f"{name}.ar")
+        self.r: In = In(name=f"{name}.r")
+        self.reads_done = 0
+        self.writes_done = 0
+
+    def write(self, addr: int, data: Any) -> Generator:
+        """Blocking single-beat write; raises :class:`AxiError` on error."""
+        result = yield from self.write_burst(addr, [data])
+        return result
+
+    def write_burst(self, addr: int, beats: List[Any]) -> Generator:
+        """Blocking burst write of ``beats`` consecutive words."""
+        if not beats:
+            raise ValueError("burst needs at least one beat")
+        yield from self.aw.push(AxiAW(addr=addr, length=len(beats), id_=self.id_))
+        for i, data in enumerate(beats):
+            yield from self.w.push(AxiW(data=data, last=(i == len(beats) - 1),
+                                        id_=self.id_))
+        rsp: AxiB = yield from self.b.pop()
+        if rsp.resp != AxiResp.OKAY:
+            raise AxiError(f"{self.name}: write to {addr:#x} -> {rsp.resp.name}")
+        self.writes_done += 1
+        return rsp
+
+    def read(self, addr: int) -> Generator:
+        """Blocking single-beat read; returns the data word."""
+        beats = yield from self.read_burst(addr, 1)
+        return beats[0]
+
+    def read_burst(self, addr: int, length: int) -> Generator:
+        """Blocking burst read; returns the list of data beats."""
+        if length < 1:
+            raise ValueError("burst length must be >= 1")
+        yield from self.ar.push(AxiAR(addr=addr, length=length, id_=self.id_))
+        beats: List[Any] = []
+        while True:
+            beat: AxiR = yield from self.r.pop()
+            if beat.resp != AxiResp.OKAY:
+                raise AxiError(f"{self.name}: read at {addr:#x} -> {beat.resp.name}")
+            beats.append(beat.data)
+            if beat.last:
+                break
+        if len(beats) != length:
+            raise AxiError(
+                f"{self.name}: read burst returned {len(beats)} beats, "
+                f"expected {length}"
+            )
+        self.reads_done += 1
+        return beats

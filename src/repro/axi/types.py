@@ -1,0 +1,76 @@
+"""AXI channel message types.
+
+A five-channel AXI-style interface (Table 2's "AXI Components"): write
+address (AW), write data (W), write response (B), read address (AR),
+read data (R).  Each channel is carried over an LI channel, which is
+exactly how the paper implements AXI on top of Connections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Any
+
+__all__ = ["AxiResp", "AxiAW", "AxiW", "AxiB", "AxiAR", "AxiR"]
+
+
+class AxiResp(IntEnum):
+    """Response codes (subset of the AXI spec)."""
+
+    OKAY = 0
+    SLVERR = 2
+    DECERR = 3
+
+
+@dataclass(frozen=True)
+class AxiAW:
+    """Write-address beat: start address and burst length (beats)."""
+
+    addr: int
+    length: int = 1
+    id_: int = 0
+
+    def __post_init__(self):
+        if self.length < 1:
+            raise ValueError("burst length must be >= 1")
+
+
+@dataclass(frozen=True)
+class AxiW:
+    """Write-data beat."""
+
+    data: Any
+    last: bool = True
+    id_: int = 0
+
+
+@dataclass(frozen=True)
+class AxiB:
+    """Write response."""
+
+    resp: AxiResp = AxiResp.OKAY
+    id_: int = 0
+
+
+@dataclass(frozen=True)
+class AxiAR:
+    """Read-address beat: start address and burst length (beats)."""
+
+    addr: int
+    length: int = 1
+    id_: int = 0
+
+    def __post_init__(self):
+        if self.length < 1:
+            raise ValueError("burst length must be >= 1")
+
+
+@dataclass(frozen=True)
+class AxiR:
+    """Read-data beat."""
+
+    data: Any
+    last: bool = True
+    resp: AxiResp = AxiResp.OKAY
+    id_: int = 0

@@ -1,0 +1,161 @@
+"""Command-line interface: regenerate any of the paper's results.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig3 [--ports 2,4,8,16] [--txns 60]
+    python -m repro fig6
+    python -m repro crossbar-qor
+    python -m repro hls-qor
+    python -m repro gals
+    python -m repro adaptive-clocking
+    python -m repro stalls
+    python -m repro backend
+    python -m repro productivity
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def _cmd_fig3(args) -> str:
+    from .experiments import figure3, format_figure3
+
+    ports = tuple(int(p) for p in args.ports.split(","))
+    return format_figure3(figure3(ports=ports, txns_per_port=args.txns))
+
+
+def _cmd_fig6(args) -> str:
+    from .experiments import figure6, format_figure6
+
+    return format_figure6(figure6())
+
+
+def _cmd_crossbar_qor(args) -> str:
+    from .experiments import (
+        crossbar_clock_sweep,
+        crossbar_qor_sweep,
+        format_qor_table,
+    )
+
+    return (format_qor_table(crossbar_qor_sweep()) + "\n\n"
+            + format_qor_table(crossbar_clock_sweep()))
+
+
+def _cmd_hls_qor(args) -> str:
+    from .experiments import (
+        bad_constraint_ablation,
+        format_qor_results,
+        hls_vs_hand_qor,
+    )
+
+    return (format_qor_results(hls_vs_hand_qor(),
+                               title="HLS vs hand RTL (paper: ±10 %)")
+            + "\n\n"
+            + format_qor_results(bad_constraint_ablation(),
+                                 title="...with bad constraints (ablation)"))
+
+
+def _cmd_gals(args) -> str:
+    from .experiments import (
+        format_overhead_table,
+        partition_size_sweep,
+        testchip_overhead,
+    )
+
+    return format_overhead_table(partition_size_sweep(), testchip_overhead())
+
+
+def _cmd_adaptive(args) -> str:
+    from .experiments import (
+        adaptive_clocking_experiment,
+        format_adaptive_clocking,
+    )
+
+    return format_adaptive_clocking(adaptive_clocking_experiment())
+
+
+def _cmd_stalls(args) -> str:
+    from .experiments import format_campaign, stall_campaign
+
+    results = [stall_campaign(p, trials=10) for p in (0.0, 0.1, 0.3, 0.5)]
+    return format_campaign(results)
+
+
+def _cmd_backend(args) -> str:
+    from .flow import FlowRuntimeModel, inventory_partitions
+    from .flow import testchip_inventory as chip_inventory
+
+    model = FlowRuntimeModel()
+    parts = inventory_partitions(chip_inventory())
+    gals = model.turnaround(parts, gals=True)
+    sync = model.turnaround(parts, gals=False)
+    return (gals.to_text()
+            + f"\nsynchronous hierarchical flow: {sync.total_hours:.1f} h"
+            + f"\nflat flow: {model.flat_hours(parts):.1f} h")
+
+
+def _cmd_productivity(args) -> str:
+    from .flow import (
+        OOHLS_METHODOLOGY,
+        RTL_METHODOLOGY,
+        inventory_efforts,
+        productivity_report,
+    )
+    from .flow import testchip_inventory as chip_inventory
+
+    efforts = inventory_efforts(chip_inventory())
+    return (productivity_report(efforts, OOHLS_METHODOLOGY).to_text()
+            + "\n\n"
+            + productivity_report(efforts, RTL_METHODOLOGY).to_text())
+
+
+_COMMANDS = {
+    "fig3": (_cmd_fig3, "Figure 3: crossbar modelling accuracy"),
+    "fig6": (_cmd_fig6, "Figure 6: SoC speedup vs cycle error (slow!)"),
+    "crossbar-qor": (_cmd_crossbar_qor, "2.4: src- vs dst-loop crossbar"),
+    "hls-qor": (_cmd_hls_qor, "2.2: HLS vs hand RTL"),
+    "gals": (_cmd_gals, "3.1: GALS area overhead"),
+    "adaptive-clocking": (_cmd_adaptive, "3.1: adaptive clock margin"),
+    "stalls": (_cmd_stalls, "4: stall-injection bug hunting"),
+    "backend": (_cmd_backend, "4: RTL-to-layout turnaround"),
+    "productivity": (_cmd_productivity, "4: gates per engineer-day"),
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate results from the DAC'18 modular VLSI flow "
+                    "paper reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    for name, (_, help_text) in _COMMANDS.items():
+        p = sub.add_parser(name, help=help_text)
+        if name == "fig3":
+            p.add_argument("--ports", default="2,4,8,16",
+                           help="comma-separated port counts")
+            p.add_argument("--txns", type=int, default=60,
+                           help="transactions per port")
+    args = parser.parse_args(argv)
+
+    if args.command in (None, "list"):
+        lines = ["available experiments:"]
+        for name, (_, help_text) in _COMMANDS.items():
+            lines.append(f"  {name:20s} {help_text}")
+        print("\n".join(lines))
+        return 0
+
+    fn, _ = _COMMANDS[args.command]
+    print(fn(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Packetizer / DePacketizer channel endpoints (Table 1, Figure 2e).
+
+A Packetizer converts each message into a sequence of flits suitable for
+transport over a network; a DePacketizer reassembles them.  Together they
+let the same producer/consumer pair communicate over a NoC instead of a
+dedicated channel without any change to the producer or consumer code —
+the LI-design property the paper leans on (section 2.3).
+
+The flit format here is deliberately minimal: ``Flit(seq, last, payload,
+dest)``.  The NoC routers in :mod:`repro.noc` transport these flits and
+add their own wormhole framing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from .ports import In, Out
+
+__all__ = ["Flit", "Packetizer", "DePacketizer", "int_serializer", "int_deserializer"]
+
+
+@dataclass(frozen=True)
+class Flit:
+    """One network flit carrying a fragment of a message."""
+
+    seq: int
+    last: bool
+    payload: Any
+    dest: int = 0
+
+
+def int_serializer(width: int, flit_width: int) -> Callable[[int], list[int]]:
+    """Build a serializer slicing a ``width``-bit int into flit payloads.
+
+    Mirrors MatchLib's Serializer: N-bit packets to M cycles of (N/M)-bit
+    payloads, least-significant flit first.
+    """
+    if width <= 0 or flit_width <= 0:
+        raise ValueError("widths must be positive")
+    count = -(-width // flit_width)  # ceil division
+    mask = (1 << flit_width) - 1
+
+    def serialize(msg: int) -> list[int]:
+        return [(msg >> (i * flit_width)) & mask for i in range(count)]
+
+    return serialize
+
+
+def int_deserializer(width: int, flit_width: int) -> Callable[[list[int]], int]:
+    """Build the inverse of :func:`int_serializer`."""
+    if width <= 0 or flit_width <= 0:
+        raise ValueError("widths must be positive")
+    mask = (1 << width) - 1
+
+    def deserialize(payloads: list[int]) -> int:
+        value = 0
+        for i, p in enumerate(payloads):
+            value |= p << (i * flit_width)
+        return value & mask
+
+    return deserialize
+
+
+class Packetizer:
+    """Module converting messages to flit streams.
+
+    Ports: ``msg_in`` (messages), ``flit_out`` (flits).  One flit leaves
+    per cycle — serialization of an M-flit message takes M cycles, as in
+    MatchLib's Serializer.
+    """
+
+    def __init__(self, sim, clock, *, serialize: Callable[[Any], list[Any]],
+                 dest_of: Callable[[Any], int] = lambda msg: 0,
+                 name: str = "packetizer"):
+        self.name = name
+        self.serialize = serialize
+        self.dest_of = dest_of
+        self.msg_in: In = In(name=f"{name}.msg_in")
+        self.flit_out: Out = Out(name=f"{name}.flit_out")
+        self.messages_sent = 0
+        sim.add_thread(self._run(), clock, name=name)
+
+    def _run(self) -> Generator:
+        while True:
+            msg = yield from self.msg_in.pop()
+            payloads = self.serialize(msg)
+            dest = self.dest_of(msg)
+            total = len(payloads)
+            for seq, payload in enumerate(payloads):
+                flit = Flit(seq=seq, last=(seq == total - 1),
+                            payload=payload, dest=dest)
+                yield from self.flit_out.push(flit)
+                yield  # one flit per cycle
+            self.messages_sent += 1
+
+
+class DePacketizer:
+    """Module reassembling flit streams into messages.
+
+    Ports: ``flit_in`` (flits), ``msg_out`` (messages).
+    """
+
+    def __init__(self, sim, clock, *, deserialize: Callable[[list[Any]], Any],
+                 name: str = "depacketizer"):
+        self.name = name
+        self.deserialize = deserialize
+        self.flit_in: In = In(name=f"{name}.flit_in")
+        self.msg_out: Out = Out(name=f"{name}.msg_out")
+        self.messages_received = 0
+        sim.add_thread(self._run(), clock, name=name)
+
+    def _run(self) -> Generator:
+        payloads: list[Any] = []
+        while True:
+            flit = yield from self.flit_in.pop()
+            payloads.append(flit.payload)
+            if flit.last:
+                msg = self.deserialize(payloads)
+                payloads = []
+                yield from self.msg_out.push(msg)
+                self.messages_received += 1

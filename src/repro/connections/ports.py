@@ -1,0 +1,113 @@
+"""Connections ports: the unified ``In``/``Out`` terminal objects.
+
+Reproduces Table 1 of the paper: components declare polymorphic ``In[T]``
+and ``Out[T]`` ports and are later bound to any channel kind, which is
+what lets one component implementation be reused behind a combinational
+wire, a FIFO, or a network (section 2.3).
+
+API mapping to the paper:
+
+===============  ======================
+paper            this library
+===============  ======================
+``Pop()``        ``yield from port.pop()``
+``PopNB()``      ``port.pop_nb()``
+``Push()``       ``yield from port.push(msg)``
+``PushNB()``     ``port.push_nb(msg)``
+===============  ======================
+
+Blocking operations are generators: they retry once per clock cycle until
+they succeed, so they must be invoked with ``yield from`` inside a
+clocked thread.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Generic, Optional, TypeVar
+
+from .channel import FastChannel
+
+__all__ = ["In", "Out", "PortError"]
+
+T = TypeVar("T")
+
+
+class PortError(RuntimeError):
+    """Raised on illegal port use (unbound, double-bound, ...)."""
+
+
+class _Port(Generic[T]):
+    """Common endpoint machinery: late binding to a channel."""
+
+    __slots__ = ("name", "_channel")
+
+    def __init__(self, channel: Optional[FastChannel] = None, *, name: str = "port"):
+        self.name = name
+        self._channel: Optional[FastChannel] = None
+        if channel is not None:
+            self.bind(channel)
+
+    def bind(self, channel: FastChannel) -> None:
+        """Bind this terminal to a channel (any kind — ports are polymorphic)."""
+        if self._channel is not None:
+            raise PortError(f"port {self.name!r} is already bound")
+        self._channel = channel
+
+    @property
+    def channel(self) -> FastChannel:
+        if self._channel is None:
+            raise PortError(f"port {self.name!r} is not bound to a channel")
+        return self._channel
+
+    @property
+    def bound(self) -> bool:
+        return self._channel is not None
+
+
+class Out(_Port[T]):
+    """Producer-side terminal (``Out<T>`` in the paper)."""
+
+    def push_nb(self, msg: T) -> bool:
+        """Non-blocking push; True if the channel accepted the message."""
+        return self.channel.do_push(msg)
+
+    def push(self, msg: T) -> Generator:
+        """Blocking push: retries every cycle until the channel accepts."""
+        channel = self.channel
+        while not channel.do_push(msg):
+            yield
+
+    def can_push(self) -> bool:
+        """Would ``push_nb`` succeed this cycle (``Full()`` inverse)?"""
+        return self.channel.can_push()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Out({self.name!r})"
+
+
+class In(_Port[T]):
+    """Consumer-side terminal (``In<T>`` in the paper)."""
+
+    def pop_nb(self) -> tuple[bool, Optional[T]]:
+        """Non-blocking pop; returns ``(ok, msg)``."""
+        return self.channel.do_pop()
+
+    def pop(self) -> Generator:
+        """Blocking pop: retries every cycle; returns the message."""
+        channel = self.channel
+        while True:
+            ok, msg = channel.do_pop()
+            if ok:
+                return msg
+            yield
+
+    def peek_nb(self) -> tuple[bool, Optional[T]]:
+        """Inspect the head message without consuming it."""
+        return self.channel.peek()
+
+    def can_pop(self) -> bool:
+        """Would ``pop_nb`` succeed this cycle (``Empty()`` inverse)?"""
+        return self.channel.can_pop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"In({self.name!r})"

@@ -1,0 +1,84 @@
+"""Signal-accurate port routines (the paper's *flawed* baseline model).
+
+Reproduces the code snippet in section 2.3 of the paper: every
+non-blocking push/pop performs its delayed valid/ready operations inside
+the *calling thread*::
+
+    valid.write(True)   # set valid bit
+    msg.write(bits)     # write data bits
+    yield               # one cycle delay
+    valid.write(False)  # clear valid bit
+    success = ready.read()
+
+Because the ``wait`` lives in the main thread, a module that touches P
+ports per iteration pays ~P cycles per iteration where the HLS-scheduled
+RTL would overlap them all in one cycle.  This is the source of the
+growing elapsed-cycles error in Figure 3, and is exactly the defect the
+sim-accurate model (:mod:`repro.connections.sim_accurate` and the fast
+channels in :mod:`repro.connections.channel`) eliminates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .signal_channel import SignalInterface
+
+__all__ = ["SignalAccurateOut", "SignalAccurateIn"]
+
+
+class SignalAccurateOut:
+    """Producer port doing delayed valid handling in the main thread."""
+
+    __slots__ = ("iface", "name")
+
+    def __init__(self, iface: SignalInterface, *, name: str = "sa_out"):
+        self.iface = iface
+        self.name = name
+
+    def push_nb(self, msg: Any) -> Generator:
+        """Non-blocking push; costs one cycle in the calling thread.
+
+        Use as ``ok = yield from port.push_nb(msg)``.
+        """
+        self.iface.valid.write(1)
+        self.iface.msg.write(msg)
+        yield  # one cycle delay (the delayed operation)
+        self.iface.valid.write(0)
+        return bool(self.iface.ready.read())
+
+    def push(self, msg: Any) -> Generator:
+        """Blocking push: retries (one cycle each) until accepted."""
+        while True:
+            ok = yield from self.push_nb(msg)
+            if ok:
+                return
+
+
+class SignalAccurateIn:
+    """Consumer port doing delayed ready handling in the main thread."""
+
+    __slots__ = ("iface", "name")
+
+    def __init__(self, iface: SignalInterface, *, name: str = "sa_in"):
+        self.iface = iface
+        self.name = name
+
+    def pop_nb(self) -> Generator:
+        """Non-blocking pop; costs one cycle in the calling thread.
+
+        Use as ``ok, msg = yield from port.pop_nb()``.
+        """
+        self.iface.ready.write(1)
+        yield  # one cycle delay (the delayed operation)
+        self.iface.ready.write(0)
+        if self.iface.valid.read():
+            return True, self.iface.msg.read()
+        return False, None
+
+    def pop(self) -> Generator:
+        """Blocking pop: retries (one cycle each) until a message arrives."""
+        while True:
+            ok, msg = yield from self.pop_nb()
+            if ok:
+                return msg

@@ -1,0 +1,316 @@
+"""Signal-level LI channel implementations (the "RTL" reference models).
+
+These models implement the valid/ready/msg handshake with real
+:class:`~repro.kernel.signal.Signal` objects and SystemC evaluate/update
+semantics.  They serve as the reproduction's stand-in for HLS-generated
+RTL simulated in a Verilog simulator: every handshake is evaluated at
+signal granularity cycle by cycle, which is both the cycle-count reference
+(Figures 3 and 6) and deliberately the slow path.
+
+Handshake discipline
+--------------------
+A transfer fires in cycle *k* when ``valid`` and ``ready`` are both high
+during cycle *k* (i.e. as committed by the end of timestep *k*'s deltas
+and therefore as read by every process at edge *k+1*).  Occupancy-derived
+outputs (``ready`` of a Buffer, ``valid`` of a Pipeline) are *registered*:
+they reflect the occupancy after the previous edge.  The combinational
+"cut-through" paths that define Bypass and Pipeline channels (Figure 2)
+are driven by combinational methods, so within a cycle:
+
+* Bypass: ``deq.valid = occ > 0 or enq.valid`` (valid cuts through,
+  ready path is cut),
+* Pipeline: ``enq.ready = occ < cap or deq.ready`` (ready cuts through,
+  valid path is cut),
+* Buffer: both paths cut (fully registered FIFO),
+* Combinational: producer and consumer share one interface (pure wires).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from ..kernel import BitSignal, Signal
+
+__all__ = [
+    "SignalInterface",
+    "CombinationalSignal",
+    "BufferSignal",
+    "BypassSignal",
+    "PipelineSignal",
+    "stream_producer",
+    "stream_consumer",
+]
+
+
+class SignalInterface:
+    """One valid/ready/msg handshake interface (a Connections port's wires)."""
+
+    __slots__ = ("valid", "ready", "msg", "name")
+
+    def __init__(self, sim, name: str = "iface", *, valid_init: int = 0,
+                 ready_init: int = 0):
+        self.name = name
+        self.valid = BitSignal(sim, valid_init, name=f"{name}.valid")
+        self.ready = BitSignal(sim, ready_init, name=f"{name}.ready")
+        self.msg = Signal(sim, None, name=f"{name}.msg")
+
+    def fired(self) -> bool:
+        """True if a transfer completed last cycle (read at a posedge)."""
+        return bool(self.valid.read() and self.ready.read())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"SignalInterface({self.name!r}, v={self.valid.read()}, "
+                f"r={self.ready.read()})")
+
+
+class CombinationalSignal:
+    """Combinational channel: the two endpoints are the same wires."""
+
+    def __init__(self, sim, clock, *, name: str = "comb"):
+        self.name = name
+        self.enq = SignalInterface(sim, name=f"{name}.io")
+        self.deq = self.enq  # pure wires: producer and consumer share them
+
+
+class _QueuedSignalChannel:
+    """Shared machinery for Buffer/Bypass/Pipeline signal channels."""
+
+    kind = "queued"
+
+    def __init__(self, sim, clock, *, capacity: int, name: str):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.clock = clock
+        self.name = name
+        self.capacity = capacity
+        self.queue: deque = deque()
+        self.enq = SignalInterface(sim, name=f"{name}.enq")
+        self.deq = SignalInterface(sim, name=f"{name}.deq")
+        # Registered occupancy signal: drives combinational methods.
+        self.occ = Signal(sim, 0, name=f"{name}.occ")
+        self.head = Signal(sim, None, name=f"{name}.head")
+        # Stall state as a signal so combinational methods re-trigger on it.
+        self.stall_sig = Signal(sim, 0, name=f"{name}.stall")
+        self.transfers_in = 0
+        self.transfers_out = 0
+        self._stall_probability = 0.0
+        self._stall_rng = None
+        self._stalled = False
+        self._init_outputs()
+        clock.on_edge(self._edge)
+
+    # subclass hooks ----------------------------------------------------
+    def _init_outputs(self) -> None:
+        raise NotImplementedError
+
+    def _fire_conditions(self) -> tuple[bool, bool]:
+        """Return (fire_enq, fire_deq) from committed signal values."""
+        raise NotImplementedError
+
+    def _update_queue(self, fire_enq: bool, fire_deq: bool) -> None:
+        raise NotImplementedError
+
+    # engine ------------------------------------------------------------
+    def _edge(self, clock) -> None:
+        # NOTE: stall injection is applied only when driving ``deq.valid``
+        # (below / in subclasses), never here: the consumer judges a fire
+        # from the committed valid&ready wires, and the channel must agree
+        # with it or messages would be duplicated or lost.
+        fire_enq, fire_deq = self._fire_conditions()
+        self._update_queue(fire_enq, fire_deq)
+        if fire_enq:
+            self.transfers_in += 1
+        if fire_deq:
+            self.transfers_out += 1
+        if self._stall_probability > 0.0:
+            self._stalled = self._stall_rng.random() < self._stall_probability
+            self.stall_sig.write(1 if self._stalled else 0)
+        self.occ.write(len(self.queue))
+        self.head.write(self.queue[0] if self.queue else None)
+        self._drive_registered_outputs()
+
+    def _drive_registered_outputs(self) -> None:
+        raise NotImplementedError
+
+    def set_stall(self, probability: float, *, seed: int = 0) -> None:
+        """Randomly withhold ``deq.valid`` (verification stall injection)."""
+        import random as _random
+
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("stall probability must be in [0,1]")
+        self._stall_probability = probability
+        self._stall_rng = _random.Random(seed)
+        if probability == 0.0:
+            self._stalled = False
+            self.stall_sig.write(0)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.queue)
+
+
+class BufferSignal(_QueuedSignalChannel):
+    """Fully registered FIFO channel (Figure 2d)."""
+
+    kind = "Buffer"
+
+    def _init_outputs(self) -> None:
+        self.enq.ready.write(1)   # empty at reset
+        self.deq.valid.write(0)
+
+    def _fire_conditions(self) -> tuple[bool, bool]:
+        fire_enq = bool(self.enq.valid.read() and self.enq.ready.read())
+        fire_deq = bool(self.deq.valid.read() and self.deq.ready.read())
+        return fire_enq, fire_deq
+
+    def _update_queue(self, fire_enq: bool, fire_deq: bool) -> None:
+        if fire_deq:
+            self.queue.popleft()
+        if fire_enq:
+            self.queue.append(self.enq.msg.read())
+
+    def _drive_registered_outputs(self) -> None:
+        occ = len(self.queue)
+        self.enq.ready.write(1 if occ < self.capacity else 0)
+        self.deq.valid.write(1 if (occ > 0 and not self._stalled) else 0)
+        self.deq.msg.write(self.queue[0] if self.queue else None)
+
+
+class BypassSignal(_QueuedSignalChannel):
+    """Bypass channel: DEQ enabled when empty (Figure 2b).
+
+    ``deq.valid``/``deq.msg`` cut through combinationally from the
+    enqueue side when the internal buffer is empty.
+    """
+
+    kind = "Bypass"
+
+    def _init_outputs(self) -> None:
+        self.enq.ready.write(1)
+        # Combinational valid/msg cut-through.
+        sim = self.enq.valid.sim
+        sim.add_method(self._drive_deq, sensitive=[self.enq.valid, self.enq.msg,
+                                                   self.occ, self.head,
+                                                   self.stall_sig],
+                       name=f"{self.name}.bypass_valid")
+
+    def _drive_deq(self) -> None:
+        occ = self.occ.read()
+        if self.stall_sig.read():
+            self.deq.valid.write(0)
+            return
+        if occ > 0:
+            self.deq.valid.write(1)
+            self.deq.msg.write(self.head.read())
+        else:
+            self.deq.valid.write(self.enq.valid.read())
+            self.deq.msg.write(self.enq.msg.read())
+
+    def _fire_conditions(self) -> tuple[bool, bool]:
+        fire_enq = bool(self.enq.valid.read() and self.enq.ready.read())
+        fire_deq = bool(self.deq.valid.read() and self.deq.ready.read())
+        return fire_enq, fire_deq
+
+    def _update_queue(self, fire_enq: bool, fire_deq: bool) -> None:
+        if self.queue:
+            if fire_deq:
+                self.queue.popleft()
+            if fire_enq:
+                self.queue.append(self.enq.msg.read())
+        else:
+            # Empty: a simultaneous enq+deq passes straight through.
+            if fire_enq and not fire_deq:
+                self.queue.append(self.enq.msg.read())
+
+    def _drive_registered_outputs(self) -> None:
+        occ = len(self.queue)
+        self.enq.ready.write(1 if occ < self.capacity else 0)
+
+
+class PipelineSignal(_QueuedSignalChannel):
+    """Pipeline channel: ENQ enabled when full if dequeuing (Figure 2c).
+
+    ``enq.ready`` cuts through combinationally from ``deq.ready`` when the
+    buffer is full.
+    """
+
+    kind = "Pipeline"
+
+    def _init_outputs(self) -> None:
+        self.deq.valid.write(0)
+        sim = self.enq.valid.sim
+        sim.add_method(self._drive_ready, sensitive=[self.deq.ready, self.occ],
+                       name=f"{self.name}.pipeline_ready")
+
+    def _drive_ready(self) -> None:
+        occ = self.occ.read()
+        self.enq.ready.write(1 if (occ < self.capacity or self.deq.ready.read()) else 0)
+
+    def _fire_conditions(self) -> tuple[bool, bool]:
+        fire_enq = bool(self.enq.valid.read() and self.enq.ready.read())
+        fire_deq = bool(self.deq.valid.read() and self.deq.ready.read())
+        return fire_enq, fire_deq
+
+    def _update_queue(self, fire_enq: bool, fire_deq: bool) -> None:
+        if fire_deq:
+            self.queue.popleft()
+        if fire_enq:
+            if len(self.queue) >= self.capacity:
+                raise RuntimeError(
+                    f"pipeline channel {self.name!r} overflow — handshake bug"
+                )
+            self.queue.append(self.enq.msg.read())
+
+    def _drive_registered_outputs(self) -> None:
+        occ = len(self.queue)
+        self.deq.valid.write(1 if (occ > 0 and not self._stalled) else 0)
+        self.deq.msg.write(self.queue[0] if self.queue else None)
+
+
+# ----------------------------------------------------------------------
+# RTL-style testbench drivers
+# ----------------------------------------------------------------------
+def stream_producer(iface: SignalInterface, data):
+    """Clocked thread: streams ``data`` through a signal interface.
+
+    Holds ``valid`` high while messages remain (standard RTL driver).
+    """
+    items = list(data)
+    index = 0
+    if not items:
+        iface.valid.write(0)
+        return
+    iface.valid.write(1)
+    iface.msg.write(items[index])
+    while True:
+        yield
+        if iface.ready.read() and iface.valid.read():
+            index += 1
+            if index >= len(items):
+                iface.valid.write(0)
+                return
+            iface.msg.write(items[index])
+
+
+def stream_consumer(iface: SignalInterface, sink: list, count: Optional[int] = None,
+                    done: Optional[dict] = None):
+    """Clocked thread: drains a signal interface into ``sink``.
+
+    Holds ``ready`` high; records each fired message.  Stops after
+    ``count`` messages if given, else runs forever.  If ``done`` is
+    given, records the completion simulation time under ``"time"``.
+    """
+    iface.ready.write(1)
+    received = 0
+    while True:
+        yield
+        if iface.valid.read() and iface.ready.read():
+            sink.append(iface.msg.read())
+            received += 1
+            if count is not None and received >= count:
+                iface.ready.write(0)
+                if done is not None:
+                    done["time"] = iface.valid.sim.now
+                return

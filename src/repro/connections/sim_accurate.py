@@ -1,0 +1,112 @@
+"""Sim-accurate ports over signal-level channels via helper threads.
+
+This is the literal mechanism of the paper's sim-accurate model
+(section 2.3): the delayed valid/ready operations are *eliminated from
+the main thread of execution*.  A producer's ``push`` deposits into an
+output buffer and a TX helper thread transmits from all output buffers
+with valid data; a consumer's ``pop`` takes from an input buffer filled
+by an RX helper thread.  The module's main thread therefore observes the
+same elapsed cycles as HLS-generated RTL.
+
+These ports bind to :class:`~repro.connections.signal_channel.SignalInterface`
+wires, so they can talk to RTL-style models directly — the reproduction's
+analog of SystemC/RTL co-simulation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator, Optional
+
+from .signal_channel import SignalInterface
+
+__all__ = ["SimAccurateOut", "SimAccurateIn"]
+
+
+class SimAccurateOut:
+    """Producer port with a TX helper thread driving the wires."""
+
+    def __init__(self, sim, clock, iface: SignalInterface, *,
+                 buffer_depth: int = 2, name: str = "tx"):
+        if buffer_depth < 1:
+            raise ValueError("buffer_depth must be >= 1")
+        self.iface = iface
+        self.name = name
+        self.buffer_depth = buffer_depth
+        self._buf: deque = deque()
+        self._driving = False
+        sim.add_thread(self._tx_helper(), clock, name=f"{name}.tx_helper")
+
+    def _tx_helper(self) -> Generator:
+        """Helper thread: transmits buffered messages over valid/msg."""
+        while True:
+            # Check the outcome of last cycle's drive first.
+            if self._driving and self.iface.ready.read():
+                self._buf.popleft()
+            if self._buf:
+                self.iface.valid.write(1)
+                self.iface.msg.write(self._buf[0])
+                self._driving = True
+            else:
+                self.iface.valid.write(0)
+                self._driving = False
+            yield
+
+    # main-thread API: zero simulated cycles ---------------------------
+    def push_nb(self, msg: Any) -> bool:
+        """Non-blocking push into the output buffer; free in the main thread."""
+        if len(self._buf) >= self.buffer_depth:
+            return False
+        self._buf.append(msg)
+        return True
+
+    def push(self, msg: Any) -> Generator:
+        """Blocking push: waits only when the output buffer is full."""
+        while not self.push_nb(msg):
+            yield
+
+    def idle(self) -> bool:
+        """True once every buffered message has been transmitted."""
+        return not self._buf and not self._driving
+
+
+class SimAccurateIn:
+    """Consumer port with an RX helper thread receiving from the wires."""
+
+    def __init__(self, sim, clock, iface: SignalInterface, *,
+                 buffer_depth: int = 2, name: str = "rx"):
+        if buffer_depth < 1:
+            raise ValueError("buffer_depth must be >= 1")
+        self.iface = iface
+        self.name = name
+        self.buffer_depth = buffer_depth
+        self._buf: deque = deque()
+        self._ready_driven = False
+        sim.add_thread(self._rx_helper(), clock, name=f"{name}.rx_helper")
+
+    def _rx_helper(self) -> Generator:
+        """Helper thread: receives messages into the input buffer."""
+        while True:
+            if self._ready_driven and self.iface.valid.read():
+                self._buf.append(self.iface.msg.read())
+            if len(self._buf) < self.buffer_depth:
+                self.iface.ready.write(1)
+                self._ready_driven = True
+            else:
+                self.iface.ready.write(0)
+                self._ready_driven = False
+            yield
+
+    # main-thread API: zero simulated cycles ---------------------------
+    def pop_nb(self) -> tuple[bool, Optional[Any]]:
+        """Non-blocking pop from the input buffer; free in the main thread."""
+        if self._buf:
+            return True, self._buf.popleft()
+        return False, None
+
+    def pop(self) -> Generator:
+        """Blocking pop: waits only while the input buffer is empty."""
+        while True:
+            if self._buf:
+                return self._buf.popleft()
+            yield

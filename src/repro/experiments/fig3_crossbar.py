@@ -1,0 +1,165 @@
+"""Figure 3: SystemC modelling accuracy on an arbitrated crossbar.
+
+The paper measures cycles per transaction of an arbitrated crossbar with
+2/4/8/16 input/output ports under three models:
+
+* **RTL** — the reference (HLS-generated RTL in a Verilog simulator);
+  here the signal-level :class:`ArbitratedCrossbarRTL`,
+* **sim-accurate** — Connections' fast model; matches RTL throughput at
+  every port count,
+* **signal-accurate** — delayed valid/ready operations serialized in the
+  module's main thread; its error grows with the number of ports.
+
+Run :func:`figure3` to regenerate the whole figure's data, or
+:func:`run_crossbar_accuracy` for a single point.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from ..connections import Buffer, In, Out, stream_consumer, stream_producer
+from ..kernel import Simulator
+from ..matchlib import (
+    ArbitratedCrossbarModule,
+    ArbitratedCrossbarRTL,
+    ArbitratedCrossbarSA,
+)
+
+__all__ = ["Fig3Point", "run_crossbar_accuracy", "figure3", "MODELS"]
+
+MODELS = ("rtl", "sim-accurate", "signal-accurate")
+
+_PERIOD = 10  # ticks per cycle
+
+
+@dataclass(frozen=True)
+class Fig3Point:
+    """One data point of Figure 3."""
+
+    model: str
+    n_ports: int
+    transactions: int
+    elapsed_cycles: int
+    wall_seconds: float
+
+    @property
+    def cycles_per_transaction(self) -> float:
+        """Average cycles for each port to move one message."""
+        return self.elapsed_cycles * self.n_ports / self.transactions
+
+
+def _uniform_traffic(n_ports: int, per_port: int, seed: int) -> list[list[tuple]]:
+    rng = random.Random(seed)
+    return [
+        [(rng.randrange(n_ports), (port, i)) for i in range(per_port)]
+        for port in range(n_ports)
+    ]
+
+
+def run_crossbar_accuracy(model: str, n_ports: int, *, txns_per_port: int = 200,
+                          seed: int = 1) -> Fig3Point:
+    """Measure one (model, port-count) point of Figure 3."""
+    if model not in MODELS:
+        raise ValueError(f"model must be one of {MODELS}, got {model!r}")
+    traffic = _uniform_traffic(n_ports, txns_per_port, seed)
+    total = n_ports * txns_per_port
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=_PERIOD)
+    done: dict = {}
+
+    if model == "sim-accurate":
+        xbar = ArbitratedCrossbarModule(sim, clk, n_ports, n_ports)
+        in_chans = [Buffer(sim, clk, capacity=2, name=f"i{i}")
+                    for i in range(n_ports)]
+        out_chans = [Buffer(sim, clk, capacity=2, name=f"o{o}")
+                     for o in range(n_ports)]
+        for i in range(n_ports):
+            xbar.ins[i].bind(in_chans[i])
+            xbar.outs[i].bind(out_chans[i])
+
+        def producer(i):
+            src = Out(in_chans[i])
+            for m in traffic[i]:
+                yield from src.push(m)
+
+        counter = {"n": 0}
+
+        def consumer(o):
+            dst = In(out_chans[o])
+            while counter["n"] < total:
+                ok, _ = dst.pop_nb()
+                if ok:
+                    counter["n"] += 1
+                    if counter["n"] >= total:
+                        done["time"] = sim.now
+                yield
+
+        for i in range(n_ports):
+            sim.add_thread(producer(i), clk, name=f"p{i}")
+            sim.add_thread(consumer(i), clk, name=f"c{i}")
+    else:
+        cls = ArbitratedCrossbarRTL if model == "rtl" else ArbitratedCrossbarSA
+        xbar = cls(sim, clk, n_ports, n_ports)
+        counter = {"n": 0}
+        sinks: list[list] = [[] for _ in range(n_ports)]
+
+        def counting_consumer(o):
+            iface = xbar.deq[o]
+            iface.ready.write(1)
+            while True:
+                yield
+                if iface.valid.read() and iface.ready.read():
+                    sinks[o].append(iface.msg.read())
+                    counter["n"] += 1
+                    if counter["n"] >= total:
+                        done["time"] = sim.now
+
+        for i in range(n_ports):
+            sim.add_thread(stream_producer(xbar.enq[i], traffic[i]), clk,
+                           name=f"p{i}")
+            sim.add_thread(counting_consumer(i), clk, name=f"c{i}")
+
+    start = time.perf_counter()
+    # Generous cap: signal-accurate at 16 ports is very slow per txn.
+    sim.run(until=total * n_ports * 40 * _PERIOD)
+    wall = time.perf_counter() - start
+    if "time" not in done:
+        raise RuntimeError(
+            f"{model} crossbar with {n_ports} ports did not finish "
+            f"({counter['n']}/{total} transactions)"
+        )
+    return Fig3Point(
+        model=model,
+        n_ports=n_ports,
+        transactions=total,
+        elapsed_cycles=done["time"] // _PERIOD,
+        wall_seconds=wall,
+    )
+
+
+def figure3(ports=(2, 4, 8, 16), *, txns_per_port: int = 200,
+            seed: int = 1) -> list[Fig3Point]:
+    """Regenerate every series of Figure 3."""
+    return [
+        run_crossbar_accuracy(model, n, txns_per_port=txns_per_port, seed=seed)
+        for model in MODELS
+        for n in ports
+    ]
+
+
+def format_figure3(points: list[Fig3Point]) -> str:
+    """Render Figure 3's data as the table the paper plots."""
+    ports = sorted({p.n_ports for p in points})
+    by = {(p.model, p.n_ports): p for p in points}
+    lines = ["Figure 3: cycles per transaction, arbitrated crossbar",
+             f"{'ports':>6} " + " ".join(f"{m:>16}" for m in MODELS)]
+    for n in ports:
+        row = f"{n:>6} "
+        row += " ".join(
+            f"{by[(m, n)].cycles_per_transaction:>16.2f}" for m in MODELS
+        )
+        lines.append(row)
+    return "\n".join(lines)

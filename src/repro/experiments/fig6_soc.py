@@ -1,0 +1,106 @@
+"""Figure 6: performance-model accuracy on six SoC-level tests.
+
+The paper runs six SoC-level tests on both the SystemC performance model
+(sim-accurate Connections) and HLS-generated RTL in a Verilog simulator,
+reporting 20-30x wall-clock speedup at < 3 % elapsed-cycle error.
+
+Here each workload runs on the prototype SoC twice: ``mode="fast"``
+(the performance model) and ``mode="rtl"`` (signal-level links plus
+per-unit netlist activity).  Both runs produce bit-exact results — the
+checks inside :func:`~repro.workloads.soc_workloads.run_workload` assert
+it — so the comparison isolates modelling speed and timing fidelity.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..workloads.soc_workloads import (
+    SocWorkload,
+    conv2d_workload,
+    dot_product_workload,
+    kmeans_workload,
+    memcpy_workload,
+    reduction_workload,
+    run_workload,
+    vector_scale_workload,
+)
+
+__all__ = ["Fig6Point", "run_fig6_test", "figure6", "format_figure6",
+           "fig6_workloads_small"]
+
+
+@dataclass(frozen=True)
+class Fig6Point:
+    """One SoC-level test's fast-vs-RTL comparison."""
+
+    name: str
+    cycles_fast: int
+    cycles_rtl: int
+    wall_fast: float
+    wall_rtl: float
+
+    @property
+    def speedup(self) -> float:
+        """Wall-clock speedup of the performance model over RTL."""
+        return self.wall_rtl / self.wall_fast
+
+    @property
+    def cycle_error(self) -> float:
+        """Relative elapsed-cycles discrepancy (fast vs RTL reference)."""
+        return abs(self.cycles_fast - self.cycles_rtl) / self.cycles_rtl
+
+
+def fig6_workloads_small() -> List[SocWorkload]:
+    """Reduced-size variants of the six tests (tractable RTL runtimes)."""
+    return [
+        vector_scale_workload(n_pes=16, n_per_pe=32),
+        memcpy_workload(n_pes=16, n_per_pe=32),
+        reduction_workload(n_pes=16, n_per_pe=32),
+        dot_product_workload(n_pes=16, n_per_pe=24),
+        conv2d_workload(height=5, width=10),
+        kmeans_workload(n_points=16, dim=2, k=2, n_pes=4),
+    ]
+
+
+def run_fig6_test(workload: SocWorkload) -> Fig6Point:
+    """Run one workload in both modes and compare."""
+    start = time.perf_counter()
+    soc_fast = run_workload(workload, mode="fast")
+    wall_fast = time.perf_counter() - start
+
+    start = time.perf_counter()
+    soc_rtl = run_workload(workload, mode="rtl")
+    wall_rtl = time.perf_counter() - start
+
+    return Fig6Point(
+        name=workload.name,
+        cycles_fast=soc_fast.finish_time // soc_fast.CLOCK_PERIOD,
+        cycles_rtl=soc_rtl.finish_time // soc_rtl.CLOCK_PERIOD,
+        wall_fast=wall_fast,
+        wall_rtl=wall_rtl,
+    )
+
+
+def figure6(workloads: Optional[List[SocWorkload]] = None) -> List[Fig6Point]:
+    """Regenerate Figure 6's data (six points by default)."""
+    if workloads is None:
+        workloads = fig6_workloads_small()
+    return [run_fig6_test(w) for w in workloads]
+
+
+def format_figure6(points: List[Fig6Point]) -> str:
+    """Render the speedup-vs-error scatter as a table."""
+    lines = [
+        "Figure 6: SystemC performance model vs RTL, SoC-level tests",
+        f"{'test':>16} {'cycles(fast)':>12} {'cycles(rtl)':>12} "
+        f"{'error %':>8} {'speedup x':>10}",
+    ]
+    for p in points:
+        lines.append(
+            f"{p.name:>16} {p.cycles_fast:>12} {p.cycles_rtl:>12} "
+            f"{100 * p.cycle_error:>8.2f} {p.speedup:>10.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Section 3.1: GALS area overhead and the synchronous alternative.
+
+The paper: "Although we incur a small area penalty for local clock
+generators and pausible bisynchronous FIFOs, we estimate this overhead
+to be less than 3 % for typical partition sizes."
+
+Two experiments:
+
+* a partition-size sweep locating the crossover below which fine-grained
+  GALS stops being cheap,
+* the testchip's actual partition inventory (15 replicated PEs, two
+  global memories, RISC-V, I/O — section 4) with chip-level overhead,
+  against the synchronous baseline's clock-tree area and skew/OCV margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..gals.overhead import GalsOverheadModel, Partition, SynchronousBaseline
+
+__all__ = [
+    "OverheadPoint",
+    "partition_size_sweep",
+    "testchip_partitions",
+    "testchip_overhead",
+    "format_overhead_table",
+]
+
+
+@dataclass(frozen=True)
+class OverheadPoint:
+    logic_gates: float
+    overhead_gates: float
+
+    @property
+    def fraction(self) -> float:
+        return self.overhead_gates / self.logic_gates
+
+
+def partition_size_sweep(sizes: Sequence[float] = (
+        5e4, 1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6), *,
+        n_interfaces: int = 5, interface_width: int = 64,
+        model: GalsOverheadModel = GalsOverheadModel()) -> List[OverheadPoint]:
+    """GALS overhead fraction vs partition logic size."""
+    points = []
+    for gates in sizes:
+        p = Partition("sweep", logic_gates=gates, n_interfaces=n_interfaces,
+                      interface_width=interface_width)
+        points.append(OverheadPoint(gates, model.overhead_gates(p)))
+    return points
+
+
+def testchip_partitions() -> List[Partition]:
+    """The prototype SoC's partition inventory (section 4).
+
+    87M transistors ~= 22M NAND2-equivalent gates, split across the five
+    unique digital partition types: 15 replicated PEs, left/right global
+    memory, RISC-V, and I/O.
+    """
+    return (
+        [Partition(f"pe{i}", logic_gates=260_000, macro_gates=550_000,
+                   n_interfaces=5) for i in range(15)]
+        + [Partition("gmem_left", logic_gates=500_000, macro_gates=3_000_000,
+                     n_interfaces=6),
+           Partition("gmem_right", logic_gates=500_000, macro_gates=3_000_000,
+                     n_interfaces=6),
+           Partition("riscv", logic_gates=900_000, macro_gates=500_000,
+                     n_interfaces=3),
+           Partition("io", logic_gates=700_000, n_interfaces=4)]
+    )
+
+
+@dataclass(frozen=True)
+class TestchipOverheadReport:
+    chip_overhead_fraction: float
+    per_partition: List[tuple]
+    sync_clock_tree_gates: float
+    sync_skew_margin_ps: float
+    sync_frequency_penalty: float
+
+
+def testchip_overhead(*, clock_period_ps: float = 909.0,
+                      model: GalsOverheadModel = GalsOverheadModel(),
+                      baseline: SynchronousBaseline = SynchronousBaseline()
+                      ) -> TestchipOverheadReport:
+    """Chip-level GALS overhead vs what the synchronous design pays."""
+    partitions = testchip_partitions()
+    per_partition = [(p.name, model.overhead_fraction(p)) for p in partitions]
+    return TestchipOverheadReport(
+        chip_overhead_fraction=model.chip_overhead_fraction(partitions),
+        per_partition=per_partition,
+        sync_clock_tree_gates=baseline.clock_tree_gates(partitions),
+        sync_skew_margin_ps=baseline.skew_margin_ps(partitions),
+        sync_frequency_penalty=baseline.frequency_penalty(partitions,
+                                                          clock_period_ps),
+    )
+
+
+def format_overhead_table(points: List[OverheadPoint],
+                          report: TestchipOverheadReport) -> str:
+    lines = ["GALS overhead vs partition size (paper 3.1: <3% for typical sizes)",
+             f"{'logic gates':>14} {'overhead gates':>15} {'fraction %':>11}"]
+    for p in points:
+        lines.append(f"{p.logic_gates:>14,.0f} {p.overhead_gates:>15,.0f} "
+                     f"{100 * p.fraction:>11.2f}")
+    lines.append("")
+    lines.append(f"testchip chip-level GALS overhead: "
+                 f"{100 * report.chip_overhead_fraction:.2f} %")
+    lines.append(f"synchronous baseline instead pays: "
+                 f"{report.sync_clock_tree_gates:,.0f} clock-tree gates, "
+                 f"{report.sync_skew_margin_ps:.0f} ps skew margin "
+                 f"({100 * report.sync_frequency_penalty:.1f} % of the period)")
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Front-to-back flow orchestration: backend turnaround, productivity,
+and the chip inventory connecting the HLS engine to both (the
+project-level analyses of section 4).
+"""
+
+from .backend import FlowRuntimeModel, TurnaroundReport
+from .frontend import FlowReport, crossbar_testbench, run_frontend_flow
+from .inventory import (
+    UnitRecord,
+    inventory_efforts,
+    inventory_partitions,
+    testchip_inventory,
+)
+from .productivity import (
+    OOHLS_METHODOLOGY,
+    RTL_METHODOLOGY,
+    MethodologyModel,
+    ProductivityReport,
+    UnitEffort,
+    productivity_report,
+)
+
+__all__ = [
+    "FlowRuntimeModel", "TurnaroundReport",
+    "FlowReport", "run_frontend_flow", "crossbar_testbench",
+    "UnitEffort", "MethodologyModel", "ProductivityReport",
+    "OOHLS_METHODOLOGY", "RTL_METHODOLOGY", "productivity_report",
+    "UnitRecord", "testchip_inventory", "inventory_partitions",
+    "inventory_efforts",
+]

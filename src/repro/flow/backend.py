@@ -1,0 +1,132 @@
+"""Back-end (RTL-to-layout) flow-runtime model (sections 3 and 4).
+
+The paper: "With the small partition sizes and fine-grained GALS
+approach, we were able to implement a 12-hour RTL-to-layout turnaround
+time.  This enabled dozens of daily iterations during the
+march-to-tapeout phase."
+
+The model captures why partitioning + GALS gets there and a flat
+synchronous flow does not:
+
+* per-stage runtimes grow superlinearly with partition gate count
+  (place and route are the worst offenders),
+* replicated partitions are implemented once and stamped,
+* partitions run in parallel across a compute farm,
+* a synchronous hierarchical flow adds top-level clock-tree synthesis
+  and cross-partition timing-closure iterations that GALS eliminates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..gals.overhead import Partition
+
+__all__ = ["FlowRuntimeModel", "TurnaroundReport"]
+
+
+@dataclass(frozen=True)
+class FlowRuntimeModel:
+    """Tool-runtime coefficients (hours), calibrated to ~1M-gate blocks.
+
+    Stage runtime = ``coeff * (gates / 1e6) ** exponent`` hours.
+    """
+
+    stage_coeff_hours: Dict[str, float] = field(default_factory=lambda: {
+        "synthesis": 1.5,
+        "floorplan": 0.5,
+        "place": 2.5,
+        "cts": 1.0,
+        "route": 3.0,
+        "sta_signoff": 1.5,
+    })
+    stage_exponent: Dict[str, float] = field(default_factory=lambda: {
+        "synthesis": 1.1,
+        "floorplan": 1.0,
+        "place": 1.3,
+        "cts": 1.1,
+        "route": 1.4,
+        "sta_signoff": 1.2,
+    })
+    #: Synchronous hierarchical flows: top-level clock distribution and
+    #: cross-partition timing closure, in hours per closure iteration.
+    top_level_cts_hours: float = 6.0
+    cross_partition_closure_hours: float = 4.0
+    sync_closure_iterations: int = 3
+
+    def partition_hours(self, gates: float) -> float:
+        """RTL-to-layout hours for one partition, stages in sequence."""
+        if gates <= 0:
+            raise ValueError("gates must be positive")
+        total = 0.0
+        for stage, coeff in self.stage_coeff_hours.items():
+            total += coeff * (gates / 1e6) ** self.stage_exponent[stage]
+        return total
+
+    def turnaround(self, partitions: Sequence[Partition], *,
+                   gals: bool = True, parallel: bool = True
+                   ) -> "TurnaroundReport":
+        """Full-chip RTL-to-layout turnaround.
+
+        With ``parallel=True`` unique partitions run concurrently on the
+        farm (replicated partitions are stamped from one implementation);
+        the critical path is the slowest unique partition, plus the
+        top-level work the clocking style demands.
+        """
+        unique: Dict[str, float] = {}
+        for p in partitions:
+            # Strip replication indices: pe0..pe14 are one unique design.
+            key = p.name.rstrip("0123456789")
+            unique[key] = max(unique.get(key, 0.0), p.logic_gates)
+        per_unique = {name: self.partition_hours(g)
+                      for name, g in unique.items()}
+        if parallel:
+            partition_hours = max(per_unique.values())
+        else:
+            partition_hours = sum(per_unique.values())
+        top_hours = 0.0
+        if not gals:
+            top_hours = (self.top_level_cts_hours
+                         + self.cross_partition_closure_hours
+                         * self.sync_closure_iterations)
+        return TurnaroundReport(
+            unique_partitions=len(unique),
+            per_partition_hours=per_unique,
+            partition_hours=partition_hours,
+            top_level_hours=top_hours,
+        )
+
+    def flat_hours(self, partitions: Sequence[Partition]) -> float:
+        """The non-hierarchical alternative: one flat P&R of everything."""
+        total_gates = sum(p.logic_gates for p in partitions)
+        return self.partition_hours(total_gates)
+
+
+@dataclass(frozen=True)
+class TurnaroundReport:
+    unique_partitions: int
+    per_partition_hours: Dict[str, float]
+    partition_hours: float
+    top_level_hours: float
+
+    @property
+    def total_hours(self) -> float:
+        return self.partition_hours + self.top_level_hours
+
+    @property
+    def daily_iterations(self) -> float:
+        """How many full turnarounds fit in 24 hours."""
+        return 24.0 / self.total_hours
+
+    def to_text(self) -> str:
+        lines = [f"{self.unique_partitions} unique partitions; "
+                 f"turnaround {self.total_hours:.1f} h "
+                 f"({self.daily_iterations:.1f} iterations/day)"]
+        for name, hours in sorted(self.per_partition_hours.items()):
+            lines.append(f"  {name:>12}: {hours:5.1f} h")
+        if self.top_level_hours:
+            lines.append(f"  {'top-level':>12}: {self.top_level_hours:5.1f} h "
+                         f"(CTS + sync closure)")
+        return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""Front-end flow orchestration (Figure 1, end to end).
+
+Runs one design through the paper's C++-to-gates pipeline:
+
+1. **C++ simulation** — the fast (sim-accurate) functional model against
+   a testbench,
+2. **RTL cosim** — the same testbench over signal-level channels (the
+   verification step Figure 1 labels "RTL cosim"), with output equality
+   and elapsed-cycle comparison,
+3. **HLS compilation** — schedule the architecture's dataflow graph
+   under the clock constraint,
+4. **logic synthesis & analysis** — area, power, and generated Verilog,
+
+and returns the flow's "Results and Metrics": performance, power, area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..hls.area import AreaReport, estimate_area
+from ..hls.ir import DataflowGraph
+from ..hls.power import PowerReport, estimate_power
+from ..hls.rtl_gen import emit_verilog
+from ..hls.schedule import Schedule, schedule
+
+__all__ = ["FlowReport", "run_frontend_flow", "crossbar_testbench"]
+
+
+@dataclass(frozen=True)
+class FlowReport:
+    """Figure 1's "Results and Metrics" for one design."""
+
+    design: str
+    functional_ok: bool
+    cosim_ok: bool
+    cycles_fast: int
+    cycles_rtl: int
+    area: AreaReport
+    power: PowerReport
+    verilog: str
+    schedule: Schedule
+
+    @property
+    def cycle_error(self) -> float:
+        if self.cycles_rtl == 0:
+            return 0.0
+        return abs(self.cycles_fast - self.cycles_rtl) / self.cycles_rtl
+
+    def to_text(self) -> str:
+        return "\n".join([
+            f"design {self.design}:",
+            f"  functional sim : {'PASS' if self.functional_ok else 'FAIL'} "
+            f"({self.cycles_fast} cycles)",
+            f"  RTL cosim      : {'PASS' if self.cosim_ok else 'FAIL'} "
+            f"({self.cycles_rtl} cycles, "
+            f"{100 * self.cycle_error:.1f}% vs fast model)",
+            f"  area           : {self.area.total:,.0f} NAND2-eq, "
+            f"latency {self.area.latency}",
+            f"  power          : {self.power.total_mw:.3f} mW",
+            f"  verilog        : {len(self.verilog.splitlines())} lines",
+        ])
+
+
+def run_frontend_flow(
+    design: DataflowGraph,
+    *,
+    testbench: Callable[[str], tuple],
+    clock_period_ps: float = 909.0,
+    expected: Optional[object] = None,
+    activity: float = 0.2,
+) -> FlowReport:
+    """Run the full Figure 1 pipeline for one design.
+
+    ``testbench(mode)`` must run the design's architectural model with
+    channels of the given mode (``"fast"`` or ``"rtl"``) and return
+    ``(outputs, elapsed_cycles)``.  ``expected`` (if given) is the golden
+    output; otherwise the fast model's output is the reference.
+    """
+    fast_out, fast_cycles = testbench("fast")
+    golden = expected if expected is not None else fast_out
+    functional_ok = fast_out == golden
+
+    rtl_out, rtl_cycles = testbench("rtl")
+    cosim_ok = rtl_out == golden
+
+    sched = schedule(design, clock_period_ps=clock_period_ps)
+    area = estimate_area(sched)
+    power = estimate_power(sched, activity=activity, area=area)
+    verilog = emit_verilog(sched)
+
+    return FlowReport(
+        design=design.name,
+        functional_ok=functional_ok,
+        cosim_ok=cosim_ok,
+        cycles_fast=fast_cycles,
+        cycles_rtl=rtl_cycles,
+        area=area,
+        power=power,
+        verilog=verilog,
+        schedule=sched,
+    )
+
+
+def crossbar_testbench(n_ports: int = 4, txns_per_port: int = 40,
+                       seed: int = 5) -> Callable[[str], tuple]:
+    """Ready-made testbench for the arbitrated crossbar architecture.
+
+    Returns a callable suitable for :func:`run_frontend_flow`: it builds
+    the crossbar's architectural model over fast or RTL-cosim channels,
+    streams random traffic, and returns (sorted deliveries, cycles).
+    """
+    import random
+
+    from ..connections.channel import Buffer
+    from ..connections.ports import In, Out
+    from ..connections.rtl_adapter import RtlChannel
+    from ..kernel import Simulator
+    from ..matchlib.arbitrated_crossbar import ArbitratedCrossbarModule
+
+    rng = random.Random(seed)
+    traffic = [
+        [(rng.randrange(n_ports), (port, i)) for i in range(txns_per_port)]
+        for port in range(n_ports)
+    ]
+
+    def run(mode: str) -> tuple:
+        sim = Simulator()
+        clk = sim.add_clock("clk", period=10)
+        make = (Buffer if mode == "fast"
+                else lambda s, c, **kw: RtlChannel(s, c, capacity=4,
+                                                   name=kw.get("name", "ch")))
+        xbar = ArbitratedCrossbarModule(sim, clk, n_ports, n_ports)
+        in_chans = [make(sim, clk, name=f"i{i}") for i in range(n_ports)]
+        out_chans = [make(sim, clk, name=f"o{o}") for o in range(n_ports)]
+        for i in range(n_ports):
+            xbar.ins[i].bind(in_chans[i])
+            xbar.outs[i].bind(out_chans[i])
+        total = n_ports * txns_per_port
+        received = []
+        done = {}
+
+        def producer(i):
+            src = Out(in_chans[i])
+            for msg in traffic[i]:
+                yield from src.push(msg)
+
+        def consumer(o):
+            dst = In(out_chans[o])
+            while True:
+                ok, msg = dst.pop_nb()
+                if ok:
+                    received.append(msg)
+                    if len(received) >= total:
+                        done["time"] = sim.now
+                yield
+
+        for i in range(n_ports):
+            sim.add_thread(producer(i), clk, name=f"p{i}")
+            sim.add_thread(consumer(i), clk, name=f"c{i}")
+        sim.run(until=total * 4000)
+        if "time" not in done:
+            raise RuntimeError(f"crossbar testbench did not drain in {mode}")
+        return sorted(map(str, received)), done["time"] // 10
+
+    return run

@@ -1,0 +1,96 @@
+"""Chip inventory: ties the HLS engine to the backend/productivity models.
+
+The front-end flow (Figure 1) ends in per-unit area reports; the
+back-end and effort analyses consume them.  This module builds the
+prototype SoC's unit inventory with HLS-estimated areas for the
+datapath-like units and architectural estimates for the rest, producing
+the partition list and effort table used by the turnaround and
+productivity experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..gals.overhead import Partition
+from ..hls import estimate_area, schedule, vector_mac_design
+from ..hls.designs import crossbar_dst_loop_design
+from .productivity import UnitEffort
+
+__all__ = ["UnitRecord", "testchip_inventory", "inventory_partitions",
+           "inventory_efforts"]
+
+
+@dataclass(frozen=True)
+class UnitRecord:
+    """One unique unit-level design in the SoC.
+
+    ``gates`` is designed standard-cell logic; ``macro_gates`` is SRAM /
+    hard-macro area instantiated (not designed) by the unit.
+    """
+
+    name: str
+    gates: float
+    replicas: int
+    reuse_fraction: float
+    source: str  # "hls" if the area came from the HLS engine
+    macro_gates: float = 0.0
+
+
+def testchip_inventory(*, clock_period_ps: float = 909.0) -> List[UnitRecord]:
+    """The prototype SoC's unique units with estimated NAND2 areas.
+
+    Datapath-shaped units are pushed through the HLS engine; memory
+    macros and the Chisel-generated RISC-V use architectural estimates
+    (macro area is not HLS-visible, and the paper also treats the
+    RISC-V as external Verilog).
+    """
+    # PE datapath: 8-lane 16-bit MAC array, HLS-scheduled.
+    pe_datapath = estimate_area(
+        schedule(vector_mac_design(8, 16), clock_period_ps=clock_period_ps))
+    # Global-memory crossbar: 8x32 dst-loop crossbar, HLS-scheduled.
+    gmem_xbar = estimate_area(
+        schedule(crossbar_dst_loop_design(8, 32),
+                 clock_period_ps=clock_period_ps))
+
+    scratchpad_macro_gates = 550_000   # banked SRAM macros
+    pe_misc_logic = 240_000            # spad periphery, control, router if.
+    pe_logic = pe_datapath.total + pe_misc_logic
+
+    gmem_macro_gates = 3_000_000       # SRAM macro area, per partition
+    gmem_logic = gmem_xbar.total + 450_000  # arbitration + periphery
+
+    return [
+        UnitRecord("pe", pe_logic, replicas=15, reuse_fraction=0.7,
+                   source="hls", macro_gates=scratchpad_macro_gates),
+        UnitRecord("gmem", gmem_logic, replicas=2, reuse_fraction=0.8,
+                   source="hls", macro_gates=gmem_macro_gates),
+        UnitRecord("riscv", 900_000, replicas=1, reuse_fraction=0.95,
+                   source="external", macro_gates=500_000),
+        UnitRecord("noc_router", 90_000, replicas=20, reuse_fraction=0.9,
+                   source="hls"),
+        UnitRecord("io", 700_000, replicas=1, reuse_fraction=0.4,
+                   source="estimate"),
+    ]
+
+
+def inventory_partitions(inventory: List[UnitRecord]) -> List[Partition]:
+    """Physical partitions from the inventory (routers fold into hosts)."""
+    partitions: List[Partition] = []
+    for unit in inventory:
+        if unit.name == "noc_router":
+            continue  # routers are instantiated inside each partition
+        for i in range(unit.replicas):
+            suffix = str(i) if unit.replicas > 1 else ""
+            partitions.append(Partition(f"{unit.name}{suffix}",
+                                        logic_gates=unit.gates,
+                                        macro_gates=unit.macro_gates,
+                                        n_interfaces=5))
+    return partitions
+
+
+def inventory_efforts(inventory: List[UnitRecord]) -> List[UnitEffort]:
+    """Unique-unit effort records (replicas are free after the first)."""
+    return [UnitEffort(u.name, u.gates, u.reuse_fraction)
+            for u in inventory if u.source != "external"]

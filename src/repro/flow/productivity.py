@@ -1,0 +1,113 @@
+"""Design-productivity model (section 4).
+
+"We estimate that by leveraging OOHLS, we were able to achieve a
+productivity of between 2K-20K gates (NAND2 equivalents) per
+engineer-day on unique unit-level designs, estimated to be significantly
+higher than a baseline RTL-based design methodology."
+
+The model grounds that range: effort per unit is driven by how much new
+source a designer writes and verifies.  OOHLS raises productivity through
+(1) source compression — loosely-timed C++ describes a gate of hardware
+in far fewer lines than RTL — and (2) library reuse: MatchLib components
+and Connections channels arrive pre-verified, so only the integration
+code is new.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["UnitEffort", "MethodologyModel", "OOHLS_METHODOLOGY",
+           "RTL_METHODOLOGY", "ProductivityReport", "productivity_report"]
+
+
+@dataclass(frozen=True)
+class UnitEffort:
+    """One unique unit-level design."""
+
+    name: str
+    gates: float               # NAND2-equivalent size of the unit
+    reuse_fraction: float      # fraction implemented by library instantiation
+
+    def __post_init__(self):
+        if self.gates <= 0:
+            raise ValueError("gates must be positive")
+        if not 0.0 <= self.reuse_fraction <= 1.0:
+            raise ValueError("reuse_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class MethodologyModel:
+    """Source-density and effort coefficients of a design methodology."""
+
+    name: str
+    #: Gates of synthesized hardware per line of new source.
+    gates_per_line: float
+    #: New source lines written and debugged per engineer-day.
+    lines_per_day: float
+    #: Verification days per design day (testbench, debug, coverage).
+    verification_ratio: float
+    #: Residual integration cost for reused library code, as a fraction
+    #: of what writing it from scratch would have cost.
+    reuse_residual: float
+
+    def unit_days(self, unit: UnitEffort) -> float:
+        """Engineer-days to design + verify one unique unit."""
+        effective_gates = unit.gates * (
+            (1.0 - unit.reuse_fraction)
+            + unit.reuse_fraction * self.reuse_residual
+        )
+        lines = effective_gates / self.gates_per_line
+        design_days = lines / self.lines_per_day
+        return design_days * (1.0 + self.verification_ratio)
+
+    def productivity(self, unit: UnitEffort) -> float:
+        """Gates per engineer-day for one unit."""
+        return unit.gates / self.unit_days(unit)
+
+
+#: OOHLS: loosely-timed templated C++ elaborates to ~40 gates/line
+#: (lane replication, unrolled datapaths); MatchLib reuse costs ~15 % of
+#: from-scratch effort; stall injection and C++ testbenches hold
+#: verification near parity with design effort.
+OOHLS_METHODOLOGY = MethodologyModel(
+    name="OOHLS", gates_per_line=40.0, lines_per_day=120.0,
+    verification_ratio=1.0, reuse_residual=0.15,
+)
+
+#: Hand RTL: ~10 gates/line of Verilog with generate loops; verification
+#: dominates (the paper's "thousands of engineer-years" problem), and
+#: RTL-level IP reuse still costs substantial integration/verification.
+RTL_METHODOLOGY = MethodologyModel(
+    name="hand RTL", gates_per_line=10.0, lines_per_day=70.0,
+    verification_ratio=2.5, reuse_residual=0.6,
+)
+
+
+@dataclass(frozen=True)
+class ProductivityReport:
+    methodology: str
+    per_unit: List[tuple]  # (name, gates/day)
+    total_gates: float
+    total_days: float
+
+    @property
+    def overall_productivity(self) -> float:
+        return self.total_gates / self.total_days
+
+    def to_text(self) -> str:
+        lines = [f"{self.methodology}: "
+                 f"{self.overall_productivity:,.0f} gates/engineer-day overall"]
+        for name, p in self.per_unit:
+            lines.append(f"  {name:>16}: {p:>9,.0f} gates/day")
+        return "\n".join(lines)
+
+
+def productivity_report(units: Sequence[UnitEffort],
+                        model: MethodologyModel) -> ProductivityReport:
+    """Per-unit and aggregate productivity under one methodology."""
+    per_unit = [(u.name, model.productivity(u)) for u in units]
+    total_days = sum(model.unit_days(u) for u in units)
+    total_gates = sum(u.gates for u in units)
+    return ProductivityReport(model.name, per_unit, total_gates, total_days)

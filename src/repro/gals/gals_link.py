@@ -1,0 +1,65 @@
+"""GALS inter-partition link: a channel-protocol wrapper around the
+pausible bisynchronous FIFO.
+
+A :class:`GalsLink` is drop-in compatible with the fast-channel protocol
+(the same duck type :class:`~repro.connections.ports.In`/``Out`` bind
+to), so routers and units connect across clock-domain boundaries without
+any code change — the paper's "correct-by-construction top-level
+asynchronous interfaces" (section 3.1).  Internally: a small buffer in
+the transmit domain, the pausible FIFO crossing, and a small buffer in
+the receive domain.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..connections.channel import Buffer
+from .pausible_fifo import PausibleBisyncFIFO
+
+__all__ = ["GalsLink"]
+
+
+class GalsLink:
+    """Asynchronous link between two clock domains."""
+
+    def __init__(self, sim, tx_clock, rx_clock, *, capacity: int = 4,
+                 settle_ps: int = 50, pausible: bool = True,
+                 name: str = "galslink"):
+        self.name = name
+        self._tx_chan = Buffer(sim, tx_clock, capacity=2, name=f"{name}.tx")
+        self._rx_chan = Buffer(sim, rx_clock, capacity=2, name=f"{name}.rx")
+        self.fifo = PausibleBisyncFIFO(
+            sim, tx_clock, rx_clock, capacity=capacity, settle_ps=settle_ps,
+            pausible=pausible, name=f"{name}.pbf",
+        )
+        self.fifo.in_port.bind(self._tx_chan)
+        self.fifo.out_port.bind(self._rx_chan)
+
+    # FastChannel protocol --------------------------------------------
+    def can_push(self) -> bool:
+        return self._tx_chan.can_push()
+
+    def do_push(self, msg: Any) -> bool:
+        return self._tx_chan.do_push(msg)
+
+    def can_pop(self) -> bool:
+        return self._rx_chan.can_pop()
+
+    def do_pop(self) -> tuple[bool, Optional[Any]]:
+        return self._rx_chan.do_pop()
+
+    def peek(self) -> tuple[bool, Optional[Any]]:
+        return self._rx_chan.peek()
+
+    def set_stall(self, probability: float, *, seed: int = 0) -> None:
+        self._rx_chan.set_stall(probability, seed=seed)
+
+    @property
+    def occupancy(self) -> int:
+        return (self._tx_chan.occupancy + self.fifo.occupancy
+                + self._rx_chan.occupancy)
+
+    @property
+    def transfers(self) -> int:
+        return self.fifo.transfers

@@ -1,0 +1,127 @@
+"""GALS area-overhead and synchronous-baseline models (section 3.1).
+
+The paper claims the cost of fine-grained GALS — one local clock
+generator per partition plus a pausible bisynchronous FIFO per
+inter-partition interface — is **under 3 % of partition area for typical
+partition sizes**, while eliminating top-level clock distribution and
+cross-partition timing closure.  These models quantify both sides:
+
+* :class:`GalsOverheadModel` — NAND2-equivalent cost of the clock
+  generator and CDC FIFOs as a function of partition size and interface
+  count,
+* :class:`SynchronousBaseline` — what the global-clock alternative pays
+  instead: clock-tree buffers spanning the die and a static timing
+  margin for skew + on-chip variation across all corners.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["Partition", "GalsOverheadModel", "SynchronousBaseline"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One physical-design partition.
+
+    ``logic_gates`` is standard-cell area (what P&R has to place);
+    ``macro_gates`` is SRAM/hard-macro area in NAND2 equivalents (part of
+    the partition's footprint, but free for the P&R runtime model).
+    """
+
+    name: str
+    logic_gates: float          # NAND2-equivalent standard-cell area
+    n_interfaces: int = 4       # inter-partition LI interfaces
+    interface_width: int = 64   # bits per interface
+    macro_gates: float = 0.0    # SRAM / hard-macro area
+
+    def __post_init__(self):
+        if self.logic_gates <= 0:
+            raise ValueError("logic_gates must be positive")
+        if self.n_interfaces < 0 or self.interface_width < 1:
+            raise ValueError("bad interface parameters")
+        if self.macro_gates < 0:
+            raise ValueError("macro_gates must be >= 0")
+
+    @property
+    def total_gates(self) -> float:
+        return self.logic_gates + self.macro_gates
+
+
+@dataclass(frozen=True)
+class GalsOverheadModel:
+    """Area cost of per-partition GALS infrastructure.
+
+    Defaults are gate-level estimates: a ring-oscillator clock generator
+    with its control loop is a few thousand gates; a pausible bisync
+    FIFO costs its storage (2 x depth x width flops) plus pointer and
+    pause-control logic.
+    """
+
+    clockgen_gates: float = 4000.0
+    fifo_depth: int = 4
+    ff_gates: float = 6.0
+    fifo_control_gates: float = 150.0
+
+    def fifo_gates(self, width: int) -> float:
+        storage = self.fifo_depth * width * self.ff_gates
+        pointers = 4 * math.ceil(math.log2(max(self.fifo_depth, 2)) + 1) * self.ff_gates
+        return storage + pointers + self.fifo_control_gates
+
+    def overhead_gates(self, partition: Partition) -> float:
+        return (self.clockgen_gates
+                + partition.n_interfaces * self.fifo_gates(partition.interface_width))
+
+    def overhead_fraction(self, partition: Partition) -> float:
+        """GALS overhead as a fraction of total partition area."""
+        return self.overhead_gates(partition) / partition.total_gates
+
+    def chip_overhead_fraction(self, partitions: list[Partition]) -> float:
+        total_area = sum(p.total_gates for p in partitions)
+        total_overhead = sum(self.overhead_gates(p) for p in partitions)
+        return total_overhead / total_area
+
+
+@dataclass(frozen=True)
+class SynchronousBaseline:
+    """Cost model of the global-clock alternative.
+
+    * clock-tree buffers: a balanced H-tree over the die with a buffer
+      per sink region (~one per 50k gates of logic),
+    * timing margin: skew grows with die diagonal; OCV margin applies to
+      every cross-partition path at every corner.
+    """
+
+    buffer_gates: float = 25.0
+    gates_per_sink: float = 50_000.0
+    skew_ps_per_mm: float = 8.0
+    ocv_margin_fraction: float = 0.05
+    gate_density_per_mm2: float = 2.5e6  # 16 nm-class NAND2/mm^2
+
+    def clock_tree_gates(self, partitions: list[Partition]) -> float:
+        total_logic = sum(p.logic_gates for p in partitions)
+        sinks = max(1, math.ceil(total_logic / self.gates_per_sink))
+        # Balanced binary tree of buffers down to each sink.
+        return self.buffer_gates * (2 * sinks - 1)
+
+    def die_diagonal_mm(self, partitions: list[Partition]) -> float:
+        total_logic = sum(p.logic_gates for p in partitions)
+        area_mm2 = total_logic / self.gate_density_per_mm2
+        return math.sqrt(2 * area_mm2)
+
+    def skew_margin_ps(self, partitions: list[Partition]) -> float:
+        return self.skew_ps_per_mm * self.die_diagonal_mm(partitions)
+
+    def frequency_penalty(self, partitions: list[Partition],
+                          clock_period_ps: float) -> float:
+        """Fraction of the clock period burned on skew + OCV margin.
+
+        This is margin a fine-grained GALS design does not pay on
+        cross-partition paths (they are asynchronous), and pays less of
+        locally (adaptive clocks track local variation).
+        """
+        margin = (self.skew_margin_ps(partitions)
+                  + self.ocv_margin_fraction * clock_period_ps)
+        return margin / clock_period_ps

@@ -1,0 +1,45 @@
+"""A small high-level-synthesis engine.
+
+The reproduction's stand-in for Catapult HLS: design builders produce a
+fully-unrolled dataflow graph (:mod:`.ir`, :mod:`.designs`), the
+scheduler maps it to cycles under a clock-period and resource constraint
+(:mod:`.schedule`), and binding/area estimation (:mod:`.area`) yields a
+NAND2-equivalent report — enough machinery to reproduce the paper's QoR
+experiments (src-loop vs dst-loop crossbar, HLS vs hand RTL).
+
+Quick use::
+
+    from repro.hls import crossbar_dst_loop_design, schedule, estimate_area
+
+    g = crossbar_dst_loop_design(lanes=32, width=32)
+    report = estimate_area(schedule(g, clock_period_ps=909.0))
+    print(report.to_text())
+"""
+
+from .area import AreaReport, estimate_area
+from .power import PowerReport, estimate_power
+from .rtl_gen import emit_verilog
+from .designs import (
+    adder_tree_design,
+    alu_design,
+    crossbar_dst_loop_design,
+    crossbar_src_loop_design,
+    fir_design,
+    hand_rtl_area,
+    vector_mac_design,
+)
+from .ir import DataflowGraph, IRError, Op, OP_KINDS
+from .schedule import Schedule, schedule
+from .tech import DEFAULT_TECH, Tech
+
+__all__ = [
+    "DataflowGraph", "Op", "IRError", "OP_KINDS",
+    "Tech", "DEFAULT_TECH",
+    "Schedule", "schedule",
+    "AreaReport", "estimate_area",
+    "PowerReport", "estimate_power",
+    "emit_verilog",
+    "crossbar_dst_loop_design", "crossbar_src_loop_design",
+    "vector_mac_design", "fir_design", "adder_tree_design", "alu_design",
+    "hand_rtl_area",
+]

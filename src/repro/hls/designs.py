@@ -1,0 +1,184 @@
+"""Design builders: the HLS engine's "C++ frontend" after loop unrolling.
+
+Each builder returns a fully-unrolled :class:`DataflowGraph`.  The two
+crossbar codings reproduce the section 2.4 case study; the datapath
+builders (MAC, FIR, adder tree, ALU) support the ±10 % HLS-vs-hand-RTL
+QoR experiment, each with an analytic ``hand_rtl_area`` reference that
+models what a careful RTL designer would write (minimal spatial
+hardware, no HLS control/sharing overhead).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from .ir import DataflowGraph
+from .tech import DEFAULT_TECH, Tech
+
+__all__ = [
+    "crossbar_dst_loop_design",
+    "crossbar_src_loop_design",
+    "vector_mac_design",
+    "fir_design",
+    "adder_tree_design",
+    "alu_design",
+    "hand_rtl_area",
+]
+
+
+def _log2ceil(n: int) -> int:
+    return max(1, math.ceil(math.log2(max(n, 2))))
+
+
+def _mux_tree(g: DataflowGraph, prefix: str, leaves: list[str], sel: str,
+              width: int) -> str:
+    """Balanced 2:1 mux tree over ``leaves``; returns the root op name."""
+    level = 0
+    nodes = list(leaves)
+    while len(nodes) > 1:
+        nxt = []
+        for i in range(0, len(nodes) - 1, 2):
+            name = g.add(f"{prefix}_l{level}_m{i // 2}", "mux2", width,
+                         [sel, nodes[i], nodes[i + 1]])
+            nxt.append(name)
+        if len(nodes) % 2:
+            nxt.append(nodes[-1])
+        nodes = nxt
+        level += 1
+    return nodes[0]
+
+
+def crossbar_dst_loop_design(lanes: int, width: int) -> DataflowGraph:
+    """dst-loop crossbar: one balanced N:1 mux per output.
+
+    ``for dst: out[dst] = in[src[dst]]`` — each output has a clean select
+    signal and a log-depth mux tree; no priority logic.
+    """
+    g = DataflowGraph(f"xbar_dst_{lanes}x{width}")
+    sel_w = _log2ceil(lanes)
+    ins = [g.add(f"in{i}", "input", width) for i in range(lanes)]
+    for dst in range(lanes):
+        sel = g.add(f"sel{dst}", "input", sel_w)
+        root = _mux_tree(g, f"o{dst}", ins, sel, width)
+        g.add(f"out{dst}", "output", width, [root])
+    return g
+
+
+def crossbar_src_loop_design(lanes: int, width: int) -> DataflowGraph:
+    """src-loop crossbar: per-output priority-resolved mux chain.
+
+    ``for src: out[dst[src]] = in[src]`` — every output must compare all
+    N destination selects against its own index and resolve conflicts
+    with highest-src-wins priority: N comparators and an (N-1)-deep
+    priority mux chain per output.  The chain's linear delay forces the
+    scheduler to pipeline it for large N, adding registers and control —
+    the paper's measured ~25 % area penalty.
+    """
+    g = DataflowGraph(f"xbar_src_{lanes}x{width}")
+    sel_w = _log2ceil(lanes)
+    ins = [g.add(f"in{i}", "input", width) for i in range(lanes)]
+    dsts = [g.add(f"dst{i}", "input", sel_w) for i in range(lanes)]
+    zero = g.add("zero", "const", width)
+    for o in range(lanes):
+        const_o = g.add(f"c{o}", "const", sel_w)
+        # Priority chain, lowest src first so the highest src wins at the
+        # end of the chain: out = eq(N-1) ? in(N-1) : (... : default).
+        chain = zero
+        for s in range(lanes):
+            eq = g.add(f"o{o}_eq{s}", "eq", sel_w, [dsts[s], const_o])
+            chain = g.add(f"o{o}_m{s}", "mux2", width, [eq, ins[s], chain])
+        g.add(f"out{o}", "output", width, [chain])
+    return g
+
+
+def vector_mac_design(lanes: int, width: int) -> DataflowGraph:
+    """Elementwise multiply + balanced adder-tree reduction (a dot product)."""
+    g = DataflowGraph(f"vmac_{lanes}x{width}")
+    sel = None
+    prods = []
+    for i in range(lanes):
+        a = g.add(f"a{i}", "input", width)
+        b = g.add(f"b{i}", "input", width)
+        prods.append(g.add(f"p{i}", "mul", width, [a, b]))
+    nodes = prods
+    level = 0
+    while len(nodes) > 1:
+        nxt = []
+        for i in range(0, len(nodes) - 1, 2):
+            nxt.append(g.add(f"s{level}_{i // 2}", "add", width,
+                             [nodes[i], nodes[i + 1]]))
+        if len(nodes) % 2:
+            nxt.append(nodes[-1])
+        nodes = nxt
+        level += 1
+    g.add("out", "output", width, [nodes[0]])
+    return g
+
+
+def fir_design(taps: int, width: int) -> DataflowGraph:
+    """Direct-form FIR: taps multipliers + accumulation chain."""
+    g = DataflowGraph(f"fir_{taps}x{width}")
+    acc = None
+    for t in range(taps):
+        x = g.add(f"x{t}", "input", width)
+        c = g.add(f"c{t}", "const", width)
+        p = g.add(f"p{t}", "mul", width, [x, c])
+        acc = p if acc is None else g.add(f"acc{t}", "add", width, [acc, p])
+    g.add("out", "output", width, [acc])
+    return g
+
+
+def adder_tree_design(inputs: int, width: int) -> DataflowGraph:
+    """Balanced adder reduction tree."""
+    g = DataflowGraph(f"addtree_{inputs}x{width}")
+    nodes = [g.add(f"in{i}", "input", width) for i in range(inputs)]
+    level = 0
+    while len(nodes) > 1:
+        nxt = []
+        for i in range(0, len(nodes) - 1, 2):
+            nxt.append(g.add(f"a{level}_{i // 2}", "add", width,
+                             [nodes[i], nodes[i + 1]]))
+        if len(nodes) % 2:
+            nxt.append(nodes[-1])
+        nodes = nxt
+        level += 1
+    g.add("out", "output", width, [nodes[0]])
+    return g
+
+
+def alu_design(width: int) -> DataflowGraph:
+    """Small ALU: add/sub/and/or/xor behind a result mux tree."""
+    g = DataflowGraph(f"alu_{width}")
+    a = g.add("a", "input", width)
+    b = g.add("b", "input", width)
+    opsel = g.add("opsel", "input", 3)
+    results = [
+        g.add("r_add", "add", width, [a, b]),
+        g.add("r_sub", "sub", width, [a, b]),
+        g.add("r_and", "and", width, [a, b]),
+        g.add("r_or", "or", width, [a, b]),
+        g.add("r_xor", "xor", width, [a, b]),
+    ]
+    root = _mux_tree(g, "res", results, opsel, width)
+    g.add("out", "output", width, [root])
+    return g
+
+
+# ----------------------------------------------------------------------
+# hand-optimized RTL references
+# ----------------------------------------------------------------------
+def hand_rtl_area(design: DataflowGraph, *, tech: Tech = DEFAULT_TECH) -> float:
+    """Analytic area of a careful hand-written RTL implementation.
+
+    The hand design keeps exactly the functional hardware the algorithm
+    needs — spatial datapath, no sharing muxes, no HLS control FSM, and
+    registers only at the module boundary (which both HLS and hand
+    designs need equally, so they are excluded on both sides).
+    """
+    total = 0.0
+    for op in design.ops.values():
+        if op.kind in ("input", "const", "output"):
+            continue
+        total += tech.area(op)
+    return total

@@ -1,0 +1,120 @@
+"""Dataflow-graph IR for the HLS engine.
+
+The HLS flow of the paper (Catapult) compiles loosely-timed C++ into RTL
+via loop unrolling, scheduling, and binding.  This IR is the engine's
+internal representation: a DAG of primitive hardware operations produced
+by the design builders in :mod:`repro.hls.designs` (which play the role
+of the C++ frontend after full loop unrolling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["Op", "DataflowGraph", "IRError", "OP_KINDS"]
+
+#: Primitive operation kinds understood by the technology model.
+OP_KINDS = frozenset({
+    "input",      # module input (no area/delay)
+    "const",      # constant (no area/delay)
+    "output",     # module output marker
+    "add", "sub", # carry-lookahead adders
+    "mul",        # array multiplier
+    "mux2",       # 2:1 multiplexer (select is inputs[0])
+    "eq",         # equality comparator
+    "lt",         # magnitude comparator
+    "and", "or", "xor", "not",
+    "decode",     # binary -> one-hot decoder
+    "shift",      # barrel shifter
+    "reg",        # explicit register (rarely needed; scheduler adds its own)
+})
+
+
+class IRError(ValueError):
+    """Raised for malformed dataflow graphs."""
+
+
+@dataclass
+class Op:
+    """One primitive operation node."""
+
+    name: str
+    kind: str
+    width: int
+    inputs: List[str] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.kind not in OP_KINDS:
+            raise IRError(f"unknown op kind {self.kind!r}")
+        if self.width < 1:
+            raise IRError(f"op {self.name!r}: width must be >= 1")
+
+
+class DataflowGraph:
+    """A DAG of :class:`Op` nodes.
+
+    Build with :meth:`add`; the graph validates references and acyclicity
+    lazily via :meth:`topo_order`.
+    """
+
+    def __init__(self, name: str = "design"):
+        self.name = name
+        self.ops: Dict[str, Op] = {}
+        self._topo: Optional[List[str]] = None
+
+    def add(self, name: str, kind: str, width: int,
+            inputs: Iterable[str] = ()) -> str:
+        """Add an op; returns its name for chaining."""
+        if name in self.ops:
+            raise IRError(f"duplicate op name {name!r}")
+        self.ops[name] = Op(name, kind, width, list(inputs))
+        self._topo = None
+        return name
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    def topo_order(self) -> List[str]:
+        """Topological order; raises :class:`IRError` on cycles."""
+        if self._topo is not None:
+            return self._topo
+        indeg = {name: 0 for name in self.ops}
+        consumers: Dict[str, List[str]] = {name: [] for name in self.ops}
+        for op in self.ops.values():
+            for src in op.inputs:
+                if src not in self.ops:
+                    raise IRError(f"op {op.name!r} references unknown {src!r}")
+                indeg[op.name] += 1
+                consumers[src].append(op.name)
+        ready = [n for n, d in indeg.items() if d == 0]
+        order: List[str] = []
+        while ready:
+            n = ready.pop()
+            order.append(n)
+            for c in consumers[n]:
+                indeg[c] -= 1
+                if indeg[c] == 0:
+                    ready.append(c)
+        if len(order) != len(self.ops):
+            raise IRError(f"graph {self.name!r} contains a cycle")
+        self._topo = order
+        return order
+
+    def consumers(self) -> Dict[str, List[str]]:
+        """Map from op name to the names of ops that read it."""
+        out: Dict[str, List[str]] = {name: [] for name in self.ops}
+        for op in self.ops.values():
+            for src in op.inputs:
+                out[src].append(op.name)
+        return out
+
+    def count(self, kind: str) -> int:
+        """Number of ops of a given kind."""
+        return sum(1 for op in self.ops.values() if op.kind == kind)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DataflowGraph({self.name!r}, ops={len(self.ops)})"

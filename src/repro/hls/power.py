@@ -1,0 +1,94 @@
+"""Power analysis (the "Power Analysis" stage of Figure 1).
+
+A gate-level dynamic + leakage power model over scheduled designs:
+
+* dynamic energy per op per activation, scaled by width (and width² for
+  multipliers), from a 16 nm-class per-gate switching energy,
+* register/clock power for every flip-flop the binder allocated,
+* leakage proportional to total area,
+* an activity factor models how often the datapath actually toggles.
+
+Like the area model, absolute numbers are order-of-magnitude estimates;
+the experiments only consume *relative* comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .area import AreaReport, estimate_area
+from .schedule import Schedule
+from .tech import DEFAULT_TECH, Tech
+
+__all__ = ["PowerReport", "estimate_power"]
+
+#: Switching energy of one NAND2-equivalent gate at 0.8 V, 16 nm (femtojoule).
+_GATE_ENERGY_FJ = 0.08
+#: Clock-network energy per flip-flop bit per cycle (femtojoule).
+_CLOCK_ENERGY_PER_FF_FJ = 0.25
+#: Leakage per NAND2-equivalent gate (nanowatt).
+_LEAKAGE_PER_GATE_NW = 1.5
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Estimated power of a scheduled design at a given clock."""
+
+    design: str
+    clock_ghz: float
+    dynamic_mw: float
+    clock_mw: float
+    leakage_mw: float
+
+    @property
+    def total_mw(self) -> float:
+        return self.dynamic_mw + self.clock_mw + self.leakage_mw
+
+    def to_text(self) -> str:
+        return (f"{self.design}: {self.total_mw:.3f} mW @ "
+                f"{self.clock_ghz:.2f} GHz (dyn {self.dynamic_mw:.3f}, "
+                f"clk {self.clock_mw:.3f}, leak {self.leakage_mw:.3f})")
+
+
+def estimate_power(sched: Schedule, *, tech: Tech = DEFAULT_TECH,
+                   activity: float = 0.2,
+                   area: AreaReport | None = None) -> PowerReport:
+    """Estimate power for a scheduled design.
+
+    ``activity`` is the datapath toggle probability per cycle (0.2 is a
+    typical busy-datapath default).  Pass a precomputed ``area`` report
+    to avoid re-binding.
+    """
+    if not 0.0 <= activity <= 1.0:
+        raise ValueError("activity must be in [0, 1]")
+    if area is None:
+        area = estimate_area(sched, tech=tech)
+    clock_hz = 1e12 / sched.clock_period_ps
+
+    # Dynamic: every op executes once per `latency` cycles (non-pipelined
+    # iteration), switching capacitance proportional to its gate area.
+    ops_energy_fj = 0.0
+    for name in sched.cycle:
+        op = sched.graph.ops[name]
+        if op.kind in ("input", "const", "output"):
+            continue
+        ops_energy_fj += tech.area(op) * _GATE_ENERGY_FJ
+    iterations_per_s = clock_hz / max(sched.latency, 1)
+    dynamic_w = ops_energy_fj * 1e-15 * activity * iterations_per_s
+    # Sharing muxes toggle with the datapath too.
+    dynamic_w += area.mux_area * _GATE_ENERGY_FJ * 1e-15 * activity \
+        * iterations_per_s
+
+    # Clock network: every allocated FF bit is clocked every cycle.
+    n_ff_bits = area.reg_area / tech.ff_area if tech.ff_area else 0.0
+    clock_w = n_ff_bits * _CLOCK_ENERGY_PER_FF_FJ * 1e-15 * clock_hz
+
+    leakage_w = area.total * _LEAKAGE_PER_GATE_NW * 1e-9
+
+    return PowerReport(
+        design=sched.graph.name,
+        clock_ghz=clock_hz / 1e9,
+        dynamic_mw=dynamic_w * 1e3,
+        clock_mw=clock_w * 1e3,
+        leakage_mw=leakage_w * 1e3,
+    )

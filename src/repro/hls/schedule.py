@@ -1,0 +1,106 @@
+"""Operation scheduling: the core HLS transformation.
+
+List scheduling with operator chaining under a clock-period constraint
+and optional per-kind resource constraints — the same decisions Catapult
+makes when it maps a loosely-timed model to cycle-accurate RTL
+(section 2.2: "HLS tools run compilation, pipelining, and scheduling
+optimizations").
+
+The scheduler assigns each op a ``cycle`` and tracks the combinational
+path delay accumulated within that cycle; an op that would overflow the
+usable clock period is bumped to the next cycle (a pipeline cut).  Every
+dataflow edge that crosses a cycle boundary costs pipeline registers,
+accounted by :mod:`repro.hls.area`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .ir import DataflowGraph, IRError
+from .tech import DEFAULT_TECH, Tech
+
+__all__ = ["Schedule", "schedule"]
+
+
+@dataclass
+class Schedule:
+    """Result of scheduling a dataflow graph."""
+
+    graph: DataflowGraph
+    clock_period_ps: float
+    cycle: Dict[str, int] = field(default_factory=dict)
+    finish_ps: Dict[str, float] = field(default_factory=dict)
+    latency: int = 0
+    compile_seconds: float = 0.0
+    resource_limits: Optional[Dict[str, int]] = None
+
+    @property
+    def critical_path_ps(self) -> float:
+        """Longest within-cycle combinational path actually used."""
+        return max(self.finish_ps.values(), default=0.0)
+
+    def ops_in_cycle(self, c: int) -> list[str]:
+        return [name for name, cyc in self.cycle.items() if cyc == c]
+
+    def concurrency(self, kind: str) -> int:
+        """Peak number of ops of ``kind`` scheduled in any single cycle."""
+        per_cycle: Dict[int, int] = {}
+        for name, cyc in self.cycle.items():
+            if self.graph.ops[name].kind == kind:
+                per_cycle[cyc] = per_cycle.get(cyc, 0) + 1
+        return max(per_cycle.values(), default=0)
+
+
+def schedule(graph: DataflowGraph, *, clock_period_ps: float = 900.0,
+             tech: Tech = DEFAULT_TECH,
+             resource_limits: Optional[Dict[str, int]] = None) -> Schedule:
+    """List-schedule ``graph`` with chaining under the clock constraint.
+
+    ``resource_limits`` caps how many ops of each kind may execute in one
+    cycle (e.g. ``{"mul": 2}``); unlisted kinds are unconstrained.
+    """
+    start_wall = time.perf_counter()
+    budget = tech.usable_period_ps(clock_period_ps)
+    result = Schedule(graph, clock_period_ps,
+                      resource_limits=dict(resource_limits or {}))
+    usage: Dict[tuple[int, str], int] = {}  # (cycle, kind) -> ops placed
+
+    for name in graph.topo_order():
+        op = graph.ops[name]
+        delay = tech.delay(op)
+        if delay > budget:
+            raise IRError(
+                f"op {name!r} ({op.kind}, w={op.width}) cannot fit in a "
+                f"{clock_period_ps} ps cycle — no multicycle support"
+            )
+        # Earliest cycle and the chained arrival time within it.
+        earliest = 0
+        arrival = 0.0
+        for src in op.inputs:
+            src_cycle = result.cycle[src]
+            if src_cycle > earliest:
+                earliest = src_cycle
+                arrival = result.finish_ps[src]
+            elif src_cycle == earliest:
+                arrival = max(arrival, result.finish_ps[src])
+        cyc = earliest
+        while True:
+            start = arrival if cyc == earliest else 0.0
+            fits_timing = start + delay <= budget
+            limit = result.resource_limits.get(op.kind)
+            fits_resources = (limit is None
+                              or usage.get((cyc, op.kind), 0) < limit)
+            if fits_timing and fits_resources:
+                break
+            cyc += 1
+            arrival = 0.0
+        result.cycle[name] = cyc
+        result.finish_ps[name] = (arrival if cyc == earliest else 0.0) + delay
+        usage[(cyc, op.kind)] = usage.get((cyc, op.kind), 0) + 1
+
+    result.latency = max(result.cycle.values(), default=0) + 1
+    result.compile_seconds = time.perf_counter() - start_wall
+    return result

@@ -1,0 +1,46 @@
+"""Simulation kernel: the SystemC stand-in underlying the whole flow.
+
+Public API::
+
+    from repro.kernel import Simulator, Signal, BitSignal, BusSignal
+
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=1000)   # 1 GHz at 1 tick = 1 ps
+
+    def producer():
+        for i in range(10):
+            data.write(i)
+            yield            # wait one posedge
+
+    data = Signal(sim, name="data")
+    sim.add_thread(producer(), clk, name="producer")
+    sim.run(until=100_000)
+"""
+
+from .clock import Clock
+from .signal import BitSignal, BusSignal, Signal
+from .simulator import (
+    DeltaOverflow,
+    Event,
+    Method,
+    SimulationError,
+    Simulator,
+    Thread,
+)
+from .tracing import Trace, WallClock, write_vcd
+
+__all__ = [
+    "Simulator",
+    "Signal",
+    "BitSignal",
+    "BusSignal",
+    "Clock",
+    "Event",
+    "Thread",
+    "Method",
+    "Trace",
+    "WallClock",
+    "write_vcd",
+    "SimulationError",
+    "DeltaOverflow",
+]

@@ -1,0 +1,130 @@
+"""Clocks, including pausible/adaptive clocks for fine-grained GALS.
+
+A :class:`Clock` schedules its own posedge events in the simulator.  Two
+features beyond a plain synchronous clock support the paper's GALS
+methodology (section 3.1):
+
+* a per-edge ``generator`` callback can modulate the period cycle by
+  cycle — this is how :mod:`repro.gals.clock_generator` models local
+  adaptive clock generators tracking supply noise, and
+* :meth:`pause_until` lets pausible-synchronizer logic stretch the next
+  edge past a metastability window, the core mechanism of the pausible
+  bisynchronous FIFO [Keller ASYNC'15].
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+__all__ = ["Clock"]
+
+
+class Clock:
+    """A self-scheduling clock source.
+
+    Do not construct directly; use :meth:`Simulator.add_clock`.
+    """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "period",
+        "cycles",
+        "generator",
+        "_waiting",
+        "_callbacks",
+        "_pause_until",
+        "_stopped",
+        "paused_edges",
+        "total_pause_time",
+    )
+
+    def __init__(self, sim, name: str, period: int, *, start: int = 0, generator=None):
+        if period <= 0:
+            raise ValueError(f"clock period must be positive, got {period}")
+        self.sim = sim
+        self.name = name
+        self.period = period
+        self.cycles = 0
+        self.generator: Optional[Callable[["Clock"], int]] = generator
+        self._waiting: list = []
+        self._callbacks: list[Callable[["Clock"], None]] = []
+        self._pause_until = 0
+        self._stopped = False
+        self.paused_edges = 0
+        self.total_pause_time = 0
+        sim.schedule(start, self._edge)
+
+    # ------------------------------------------------------------------
+    # subscription
+    # ------------------------------------------------------------------
+    def _subscribe(self, thread) -> None:
+        self._waiting.append(thread)
+
+    def on_edge(self, fn: Callable[["Clock"], None]) -> None:
+        """Register a callback invoked at every posedge, before threads.
+
+        Used for per-cycle bookkeeping (channel cores, stall injectors,
+        statistics) that must observe state ahead of thread wakeups.
+        """
+        self._callbacks.append(fn)
+
+    # ------------------------------------------------------------------
+    # edge machinery
+    # ------------------------------------------------------------------
+    def _edge(self) -> None:
+        if self._stopped:
+            return
+        if self.sim.now < self._pause_until:
+            # Pausible clocking: the synchronizer is holding the clock low;
+            # retry the edge once the blackout window has passed.
+            self.paused_edges += 1
+            self.total_pause_time += self._pause_until - self.sim.now
+            self.sim.schedule(self._pause_until - self.sim.now, self._edge)
+            return
+        self.cycles += 1
+        for fn in self._callbacks:
+            fn(self)
+        if self._waiting:
+            still_waiting = []
+            for thread in self._waiting:
+                thread._edges_left -= 1
+                if thread._edges_left <= 0:
+                    self.sim._make_runnable(thread)
+                else:
+                    still_waiting.append(thread)
+            self._waiting = still_waiting
+        next_period = self.period
+        if self.generator is not None:
+            next_period = int(self.generator(self))
+            if next_period <= 0:
+                raise ValueError(
+                    f"clock {self.name!r} generator produced period {next_period}"
+                )
+        self.sim.schedule(next_period, self._edge)
+
+    # ------------------------------------------------------------------
+    # GALS controls
+    # ------------------------------------------------------------------
+    def pause_until(self, time: int) -> None:
+        """Forbid posedges before ``time`` (pausible clocking)."""
+        if time > self._pause_until:
+            self._pause_until = time
+
+    def set_period(self, period: int) -> None:
+        """Change the nominal period for subsequent cycles (DVFS)."""
+        if period <= 0:
+            raise ValueError(f"clock period must be positive, got {period}")
+        self.period = period
+
+    def stop(self) -> None:
+        """Permanently stop this clock (drains the event queue faster)."""
+        self._stopped = True
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Nominal frequency assuming 1 tick = 1 ps."""
+        return 1000.0 / self.period
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Clock({self.name!r}, period={self.period}, cycles={self.cycles})"

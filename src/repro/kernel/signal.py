@@ -1,0 +1,85 @@
+"""Signals with SystemC evaluate/update semantics.
+
+A :class:`Signal` holds a committed value readable by any process and a
+pending value set by ``write``.  Writes become visible only after the
+current delta cycle's evaluate phase — exactly the ``sc_signal``
+discipline that makes RTL-style models race-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, TypeVar
+
+__all__ = ["Signal", "BitSignal", "BusSignal"]
+
+T = TypeVar("T")
+
+
+class Signal(Generic[T]):
+    """A single driver/multi-reader signal with deferred update."""
+
+    __slots__ = ("sim", "name", "_value", "_next", "_dirty", "_has_watchers")
+
+    def __init__(self, sim, init: T = 0, name: str = "sig"):
+        self.sim = sim
+        self.name = name
+        self._value: T = init
+        self._next: T = init
+        self._dirty = False
+        self._has_watchers = False
+
+    def read(self) -> T:
+        """Return the committed value (the value as of the last delta)."""
+        return self._value
+
+    def write(self, value: T) -> None:
+        """Schedule ``value`` to commit at the end of this delta cycle."""
+        self._next = value
+        if not self._dirty:
+            self._dirty = True
+            self.sim._mark_dirty(self)
+
+    def _commit(self) -> bool:
+        """Commit the pending write.  Returns True if the value changed."""
+        self._dirty = False
+        if self._next != self._value:
+            self._value = self._next
+            return True
+        return False
+
+    # Convenience sugar so handshake code reads naturally.
+    @property
+    def value(self) -> T:
+        return self._value
+
+    def __bool__(self) -> bool:
+        return bool(self._value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Signal({self.name!r}={self._value!r})"
+
+
+class BitSignal(Signal[int]):
+    """A 1-bit signal (valid/ready wires).  Values are 0/1."""
+
+    def __init__(self, sim, init: int = 0, name: str = "bit"):
+        super().__init__(sim, int(bool(init)), name)
+
+    def write(self, value: int) -> None:
+        super().write(int(bool(value)))
+
+
+class BusSignal(Signal[int]):
+    """An n-bit bus signal; writes are masked to the declared width."""
+
+    __slots__ = ("width", "_mask")
+
+    def __init__(self, sim, width: int, init: int = 0, name: str = "bus"):
+        if width <= 0:
+            raise ValueError(f"bus width must be positive, got {width}")
+        self.width = width
+        self._mask = (1 << width) - 1
+        super().__init__(sim, init & self._mask, name)
+
+    def write(self, value: int) -> None:
+        super().write(value & self._mask)

@@ -1,0 +1,337 @@
+"""Event-driven simulation kernel with delta cycles and multiple clocks.
+
+This module is the reproduction's stand-in for the SystemC simulation
+kernel used by the paper's OOHLS flow.  It provides the same modelling
+vocabulary:
+
+* :class:`Simulator` — the scheduler: an integer-time event queue plus a
+  delta-cycle loop per timestep, mirroring SystemC's evaluate/update
+  semantics.
+* clocked threads (``SC_CTHREAD`` analogs) — Python generators that
+  ``yield`` to wait for posedges of their clock,
+* combinational methods (``SC_METHOD`` analogs) — plain functions with a
+  signal sensitivity list, re-run whenever a sensitive signal changes,
+* :class:`Event` — explicit notification objects for thread wakeups.
+
+Signals live in :mod:`repro.kernel.signal` and clocks in
+:mod:`repro.kernel.clock`; both cooperate with the scheduler defined here.
+
+The kernel deliberately uses integer timestamps (abstract "ticks", by
+convention 1 tick = 1 ps) so that globally-asynchronous clock domains with
+irrational-looking period ratios still compare exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Thread",
+    "Method",
+    "SimulationError",
+    "DeltaOverflow",
+]
+
+
+class SimulationError(RuntimeError):
+    """Base class for kernel-level errors."""
+
+
+class DeltaOverflow(SimulationError):
+    """Raised when a timestep fails to converge (combinational loop)."""
+
+
+class Event:
+    """A notification object threads can wait on.
+
+    Mirrors ``sc_event``: ``notify()`` wakes waiters in the next delta of
+    the current timestep; ``notify_at(delay)`` wakes them ``delay`` ticks
+    in the future.
+    """
+
+    __slots__ = ("sim", "name", "_waiters")
+
+    def __init__(self, sim: "Simulator", name: str = "event"):
+        self.sim = sim
+        self.name = name
+        self._waiters: list[Thread] = []
+
+    def notify(self) -> None:
+        """Wake every waiting thread in the next delta cycle."""
+        if self._waiters:
+            waiters, self._waiters = self._waiters, []
+            for thread in waiters:
+                self.sim._make_runnable(thread)
+
+    def notify_at(self, delay: int) -> None:
+        """Wake every waiting thread ``delay`` ticks from now."""
+        self.sim.schedule(delay, self.notify)
+
+    def _subscribe(self, thread: "Thread") -> None:
+        self._waiters.append(thread)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Event({self.name!r}, waiters={len(self._waiters)})"
+
+
+class Thread:
+    """A clocked simulation thread (``SC_CTHREAD`` analog).
+
+    The body is a Python generator.  Yield values:
+
+    * ``None`` — wait one posedge of the thread's clock,
+    * a positive ``int`` n — wait n posedges,
+    * an :class:`Event` — wait until the event is notified.
+
+    Subroutines compose with ``yield from``.
+    """
+
+    __slots__ = ("sim", "gen", "clock", "name", "done", "_edges_left")
+
+    def __init__(self, sim: "Simulator", gen: Generator, clock, name: str):
+        self.sim = sim
+        self.gen = gen
+        self.clock = clock
+        self.name = name
+        self.done = False
+        self._edges_left = 0
+
+    def _resume(self) -> None:
+        """Advance the generator to its next wait point."""
+        try:
+            request = next(self.gen)
+        except StopIteration:
+            self.done = True
+            self.sim._thread_finished(self)
+            return
+        if request is None:
+            request = 1
+        if isinstance(request, int):
+            if request <= 0:
+                raise SimulationError(
+                    f"thread {self.name!r} yielded non-positive wait {request}"
+                )
+            if self.clock is None:
+                raise SimulationError(
+                    f"thread {self.name!r} has no clock but yielded a cycle wait"
+                )
+            self._edges_left = request
+            self.clock._subscribe(self)
+        elif isinstance(request, Event):
+            request._subscribe(self)
+        else:
+            raise SimulationError(
+                f"thread {self.name!r} yielded unsupported value {request!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Thread({self.name!r}, done={self.done})"
+
+
+class Method:
+    """A combinational process (``SC_METHOD`` analog).
+
+    The function is invoked once at elaboration and re-invoked in a new
+    delta cycle whenever any signal in its sensitivity list changes value.
+    """
+
+    __slots__ = ("fn", "name", "_queued")
+
+    def __init__(self, fn: Callable[[], None], name: str):
+        self.fn = fn
+        self.name = name
+        self._queued = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Method({self.name!r})"
+
+
+class Simulator:
+    """The event-driven scheduler.
+
+    Typical use::
+
+        sim = Simulator()
+        clk = sim.add_clock("clk", period=1000)
+        sim.add_thread(producer(), clk, name="producer")
+        sim.run(until=1_000_000)
+
+    Timestep execution order (mirrors SystemC):
+
+    1. fire all timed events scheduled for the current timestamp
+       (clock edges, delayed notifications),
+    2. delta loop: run runnable threads and methods, then commit signal
+       updates; signals that changed wake their sensitive methods in the
+       next delta; repeat until quiescent.
+    """
+
+    #: Safety valve against unstable combinational loops.
+    MAX_DELTAS_PER_STEP = 1000
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: list[tuple[int, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._runnable: deque = deque()
+        self._runnable_set: set = set()
+        self._dirty_signals: list = []
+        self._threads: list[Thread] = []
+        self._clocks: list = []
+        self._sensitivity: dict[int, list[Method]] = {}
+        self._started = False
+        self._finished_threads = 0
+        self.trace = None  # optional Trace object (see tracing.py)
+
+    # ------------------------------------------------------------------
+    # elaboration API
+    # ------------------------------------------------------------------
+    def add_clock(self, name: str, period: int, *, start: int = 0, generator=None):
+        """Create and register a :class:`~repro.kernel.clock.Clock`.
+
+        ``generator`` optionally supplies a per-edge period callback used
+        by GALS local clock generators (jitter, adaptation, pausing).
+        """
+        from .clock import Clock
+
+        clock = Clock(self, name, period, start=start, generator=generator)
+        self._clocks.append(clock)
+        return clock
+
+    def add_thread(self, gen: Generator, clock, *, name: str = "thread") -> Thread:
+        """Register a clocked thread from a generator object.
+
+        The thread first runs at the first posedge of ``clock`` after
+        simulation start.
+        """
+        thread = Thread(self, gen, clock, name)
+        self._threads.append(thread)
+        thread._edges_left = 1
+        if clock is not None:
+            clock._subscribe(thread)
+        else:
+            # Unclocked threads start in the first delta of time zero.
+            self.schedule(0, lambda t=thread: self._make_runnable(t))
+        return thread
+
+    def add_method(
+        self, fn: Callable[[], None], sensitive: Iterable, *, name: str = "method"
+    ) -> Method:
+        """Register a combinational method with a sensitivity list."""
+        method = Method(fn, name)
+        for sig in sensitive:
+            self._sensitivity.setdefault(id(sig), []).append(method)
+            sig._has_watchers = True
+        # Run once at time zero to settle initial combinational state.
+        self.schedule(0, lambda m=method: self._queue_method(m))
+        return method
+
+    def event(self, name: str = "event") -> Event:
+        """Create a fresh :class:`Event`."""
+        return Event(self, name)
+
+    # ------------------------------------------------------------------
+    # scheduling primitives (used by Clock / Signal / Event)
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at ``now + delay`` (before that timestep's deltas)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(self._queue, (self.now + delay, next(self._seq), fn))
+
+    def _make_runnable(self, proc) -> None:
+        if id(proc) not in self._runnable_set:
+            self._runnable_set.add(id(proc))
+            self._runnable.append(proc)
+
+    def _queue_method(self, method: Method) -> None:
+        if not method._queued:
+            method._queued = True
+            self._make_runnable(method)
+
+    def _mark_dirty(self, signal) -> None:
+        self._dirty_signals.append(signal)
+
+    def _thread_finished(self, thread: Thread) -> None:
+        self._finished_threads += 1
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None, *, max_steps: Optional[int] = None) -> int:
+        """Run until the event queue drains or ``until`` ticks elapse.
+
+        Returns the final simulation time.
+        """
+        steps = 0
+        # Flush writes/wakeups performed outside any process before running.
+        self._delta_loop()
+        while self._queue:
+            time = self._queue[0][0]
+            if until is not None and time > until:
+                self.now = until
+                break
+            self.now = time
+            # Fire every timed event at this timestamp, interleaving delta
+            # loops so that zero-delay notifications land in fresh deltas.
+            while self._queue and self._queue[0][0] == time:
+                while self._queue and self._queue[0][0] == time:
+                    _, _, fn = heapq.heappop(self._queue)
+                    fn()
+                self._delta_loop()
+            steps += 1
+            if max_steps is not None and steps >= max_steps:
+                break
+        return self.now
+
+    def run_cycles(self, clock, cycles: int) -> int:
+        """Run until ``clock`` has ticked ``cycles`` more posedges."""
+        target = clock.cycles + cycles
+        while self._queue and clock.cycles < target:
+            self.run(max_steps=1)
+        return self.now
+
+    def _delta_loop(self) -> None:
+        deltas = 0
+        while self._runnable or self._dirty_signals:
+            deltas += 1
+            if deltas > self.MAX_DELTAS_PER_STEP:
+                raise DeltaOverflow(
+                    f"timestep at t={self.now} did not converge after "
+                    f"{self.MAX_DELTAS_PER_STEP} delta cycles"
+                )
+            current, self._runnable = self._runnable, deque()
+            self._runnable_set.clear()
+            for proc in current:
+                if isinstance(proc, Thread):
+                    if not proc.done:
+                        proc._resume()
+                else:  # Method
+                    proc._queued = False
+                    proc.fn()
+            # Update phase: commit signal writes, wake sensitive methods.
+            dirty, self._dirty_signals = self._dirty_signals, []
+            for sig in dirty:
+                if sig._commit():
+                    if self.trace is not None:
+                        self.trace.record(self.now, sig)
+                    for method in self._sensitivity.get(id(sig), ()):
+                        self._queue_method(method)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_threads(self) -> int:
+        """Number of registered threads that have not finished."""
+        return len(self._threads) - self._finished_threads
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Simulator(now={self.now}, queue={len(self._queue)}, "
+            f"threads={len(self._threads)})"
+        )

@@ -1,0 +1,90 @@
+"""Waveform tracing and simulation statistics.
+
+``Trace`` records committed signal changes; ``write_vcd`` emits a
+Value-Change-Dump file viewable in GTKWave — the debug path the paper's
+FSDB traces serve in the commercial flow (Figure 1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, IO
+
+__all__ = ["Trace", "write_vcd", "WallClock"]
+
+
+class Trace:
+    """Records (time, signal-name, value) tuples for committed changes.
+
+    Attach with ``sim.trace = Trace(signals)``; only listed signals are
+    recorded so large simulations stay cheap.
+    """
+
+    def __init__(self, signals):
+        self.signals = list(signals)
+        self._watched = {id(s) for s in self.signals}
+        self.changes: list[tuple[int, str, Any]] = []
+        # Seed with initial values at t=0.
+        for sig in self.signals:
+            self.changes.append((0, sig.name, sig.read()))
+
+    def record(self, now: int, signal) -> None:
+        if id(signal) in self._watched:
+            self.changes.append((now, signal.name, signal.read()))
+
+    def values_at(self, t: int) -> dict[str, Any]:
+        """Reconstruct the value of every watched signal at time ``t``."""
+        state: dict[str, Any] = {}
+        for when, name, value in self.changes:
+            if when > t:
+                break
+            state[name] = value
+        return state
+
+
+def _vcd_id(index: int) -> str:
+    """Map an integer to a compact printable VCD identifier."""
+    chars = "".join(chr(c) for c in range(33, 127))
+    out = ""
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, len(chars))
+        out = chars[rem] + out
+    return out
+
+
+def write_vcd(trace: Trace, fh: IO[str], *, timescale: str = "1ps") -> None:
+    """Write a recorded trace as a VCD file."""
+    ids = {sig.name: _vcd_id(i) for i, sig in enumerate(trace.signals)}
+    widths = {sig.name: getattr(sig, "width", 32) for sig in trace.signals}
+    fh.write(f"$timescale {timescale} $end\n$scope module repro $end\n")
+    for name, vid in ids.items():
+        fh.write(f"$var wire {widths[name]} {vid} {name} $end\n")
+    fh.write("$upscope $end\n$enddefinitions $end\n")
+    last_time = None
+    for when, name, value in sorted(trace.changes, key=lambda c: c[0]):
+        if when != last_time:
+            fh.write(f"#{when}\n")
+            last_time = when
+        if isinstance(value, bool):
+            value = int(value)
+        if isinstance(value, int):
+            fh.write(f"b{value & ((1 << widths[name]) - 1):b} {ids[name]}\n")
+        else:
+            fh.write(f"s{value!r} {ids[name]}\n".replace(" ", "_", 0))
+
+
+@dataclass
+class WallClock:
+    """Context manager measuring wall time (for Figure 6 speedup runs)."""
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "WallClock":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start

@@ -1,0 +1,64 @@
+"""MatchLib: the Modular Approach To Circuits and Hardware Library.
+
+Reimplementation of Table 2 of the paper, organized exactly as the paper
+classifies components:
+
+C++ functions (untimed)
+    :mod:`.fp` (Float mul/add/mul-add), :mod:`.crossbar`,
+    :mod:`.encoding` (1-hot encoders/decoders)
+
+C++ classes (state + untimed methods)
+    :class:`.Fifo`, :class:`.RoundRobinArbiter`, :class:`.MemArray`,
+    :class:`.Vector`, :class:`.ArbitratedCrossbarKernel`,
+    :class:`.ArbitratedScratchpad`, :class:`.ReorderBuffer`
+    (Connections itself lives in :mod:`repro.connections`)
+
+SystemC modules (clocked)
+    :class:`.Serializer` / :class:`.Deserializer`, :class:`.CacheModule`,
+    :class:`.ScratchpadModule`, the arbitrated-crossbar timing models
+    (NoC routers live in :mod:`repro.noc`, AXI in :mod:`repro.axi`)
+"""
+
+from .arbiter import FixedPriorityArbiter, RoundRobinArbiter
+from .arbitrated_crossbar import (
+    ArbitratedCrossbarKernel,
+    ArbitratedCrossbarModule,
+    ArbitratedCrossbarRTL,
+    ArbitratedCrossbarSA,
+)
+from .arbitrated_scratchpad import ArbitratedScratchpad, SpRequest, SpResponse
+from .cache import Cache, CacheModule, CacheRequest, CacheResponse
+from .crossbar import crossbar_dst_loop, crossbar_src_loop, permute
+from .encoding import (
+    binary_to_gray,
+    gray_to_binary,
+    is_one_hot,
+    one_hot_decode,
+    one_hot_encode,
+    priority_encode,
+)
+from .fifo import Fifo, FifoError
+from .fp import BF16, FP16, FP32, FloatSpec, fp_add, fp_mul, fp_mul_add
+from .mem_array import MemArray, MemError
+from .reorder_buffer import ReorderBuffer, RobError
+from .serdes import Deserializer, Serializer
+from .scratchpad import ScratchpadModule
+from .vector import Vector
+
+__all__ = [
+    "FloatSpec", "FP16", "FP32", "BF16", "fp_mul", "fp_add", "fp_mul_add",
+    "crossbar_dst_loop", "crossbar_src_loop", "permute",
+    "one_hot_encode", "one_hot_decode", "is_one_hot", "priority_encode",
+    "binary_to_gray", "gray_to_binary",
+    "Fifo", "FifoError",
+    "RoundRobinArbiter", "FixedPriorityArbiter",
+    "MemArray", "MemError",
+    "Vector",
+    "ArbitratedCrossbarKernel", "ArbitratedCrossbarModule",
+    "ArbitratedCrossbarRTL", "ArbitratedCrossbarSA",
+    "ArbitratedScratchpad", "SpRequest", "SpResponse",
+    "ReorderBuffer", "RobError",
+    "Serializer", "Deserializer",
+    "Cache", "CacheModule", "CacheRequest", "CacheResponse",
+    "ScratchpadModule",
+]

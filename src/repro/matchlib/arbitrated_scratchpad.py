@@ -1,0 +1,124 @@
+"""Arbitrated scratchpad (MatchLib Table 2): banked memories with
+arbitration and queueing.
+
+N requesters address B banks (bank = address % B).  Conflicting requests
+to one bank are round-robin arbitrated; losers wait in per-requester
+queues.  The PE scratchpad of the prototype SoC instantiates this
+component (section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from .arbiter import RoundRobinArbiter
+from .fifo import Fifo
+from .mem_array import MemArray
+
+__all__ = ["SpRequest", "SpResponse", "ArbitratedScratchpad"]
+
+
+@dataclass(frozen=True)
+class SpRequest:
+    """One scratchpad request."""
+
+    requester: int
+    is_write: bool
+    addr: int
+    data: Any = None
+
+
+@dataclass(frozen=True)
+class SpResponse:
+    """One scratchpad response (reads return data; writes ack)."""
+
+    requester: int
+    addr: int
+    data: Any = None
+
+
+class ArbitratedScratchpad:
+    """Cycle-stepped banked scratchpad with per-bank arbitration.
+
+    Drive with :meth:`submit` (queue a request) and :meth:`tick` (advance
+    one cycle; returns the responses completed that cycle).  One request
+    per bank per cycle completes; the rest stay queued.
+    """
+
+    def __init__(self, *, n_requesters: int, n_banks: int, bank_entries: int,
+                 width: Optional[int] = None, queue_depth: int = 4):
+        if n_requesters < 1 or n_banks < 1:
+            raise ValueError("need at least one requester and one bank")
+        self.n_requesters = n_requesters
+        self.n_banks = n_banks
+        self.banks = [MemArray(bank_entries, width=width) for _ in range(n_banks)]
+        self.arbiters = [RoundRobinArbiter(n_requesters) for _ in range(n_banks)]
+        self.queues: List[Fifo] = [Fifo(capacity=queue_depth)
+                                   for _ in range(n_requesters)]
+        self.conflict_cycles = 0
+        self.completed = 0
+
+    @property
+    def entries(self) -> int:
+        """Total words across banks."""
+        return self.n_banks * self.banks[0].entries
+
+    def bank_of(self, addr: int) -> tuple[int, int]:
+        """Map a flat address to (bank index, address within bank)."""
+        if not 0 <= addr < self.entries:
+            raise ValueError(f"address {addr} out of range [0, {self.entries})")
+        return addr % self.n_banks, addr // self.n_banks
+
+    def submit(self, request: SpRequest) -> bool:
+        """Queue a request; False if the requester's queue is full."""
+        if not 0 <= request.requester < self.n_requesters:
+            raise ValueError(f"requester {request.requester} out of range")
+        self.bank_of(request.addr)  # validate the address eagerly
+        return self.queues[request.requester].push_nb(request)
+
+    def can_submit(self, requester: int) -> bool:
+        return not self.queues[requester].full
+
+    def tick(self) -> list[SpResponse]:
+        """Advance one cycle: arbitrate each bank, perform one access."""
+        responses = []
+        # Head-of-queue requests, grouped by bank.
+        for bank_idx in range(self.n_banks):
+            requests = []
+            for q in self.queues:
+                if q.empty:
+                    requests.append(False)
+                else:
+                    b, _ = self.bank_of(q.peek().addr)
+                    requests.append(b == bank_idx)
+            pending = sum(requests)
+            if pending > 1:
+                self.conflict_cycles += 1
+            winner = self.arbiters[bank_idx].pick(requests)
+            if winner is None:
+                continue
+            req = self.queues[winner].pop()
+            _, offset = self.bank_of(req.addr)
+            if req.is_write:
+                self.banks[bank_idx].write(offset, req.data)
+                responses.append(SpResponse(req.requester, req.addr))
+            else:
+                data = self.banks[bank_idx].read(offset)
+                responses.append(SpResponse(req.requester, req.addr, data))
+            self.completed += 1
+        return responses
+
+    # Testbench conveniences ------------------------------------------
+    def load(self, values, *, base: int = 0) -> None:
+        """Preload flat addresses (interleaved across banks)."""
+        for offset, value in enumerate(values):
+            bank, addr = self.bank_of(base + offset)
+            self.banks[bank].load([value], base=addr)
+
+    def dump(self, base: int, length: int) -> list:
+        out = []
+        for offset in range(length):
+            bank, addr = self.bank_of(base + offset)
+            out.append(self.banks[bank].dump(addr, 1)[0])
+        return out

@@ -1,0 +1,226 @@
+"""Set-associative cache (MatchLib Table 2).
+
+Configurable line size, capacity, and associativity — the knobs the paper
+lists.  Write-back, write-allocate, LRU replacement.  Two layers:
+
+* :class:`Cache` — the untimed state machine with full statistics,
+* :class:`CacheModule` — a clocked module serving requests through LI
+  channel ports with configurable hit/miss latencies, backed by a
+  :class:`~repro.matchlib.mem_array.MemArray`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from ..connections.ports import In, Out
+from .mem_array import MemArray
+
+__all__ = ["Cache", "CacheModule", "CacheRequest", "CacheResponse"]
+
+
+class _Line:
+    __slots__ = ("tag", "valid", "dirty", "data", "lru")
+
+    def __init__(self, words_per_line: int):
+        self.tag = 0
+        self.valid = False
+        self.dirty = False
+        self.data = [0] * words_per_line
+        self.lru = 0
+
+
+class Cache:
+    """Write-back write-allocate set-associative cache over a backstore.
+
+    Addresses are word addresses into ``backstore``.  ``policy`` selects
+    the replacement policy: ``"lru"`` (default), ``"fifo"``, or
+    ``"random"`` (seeded).
+    """
+
+    POLICIES = ("lru", "fifo", "random")
+
+    def __init__(self, backstore: MemArray, *, capacity_words: int,
+                 words_per_line: int, associativity: int,
+                 policy: str = "lru", seed: int = 0):
+        if words_per_line < 1 or associativity < 1:
+            raise ValueError("words_per_line and associativity must be >= 1")
+        if capacity_words % (words_per_line * associativity):
+            raise ValueError(
+                "capacity must be a multiple of words_per_line * associativity"
+            )
+        if policy not in self.POLICIES:
+            raise ValueError(f"policy must be one of {self.POLICIES}")
+        import random as _random
+
+        self.policy = policy
+        self._rng = _random.Random(seed)
+        self.backstore = backstore
+        self.words_per_line = words_per_line
+        self.associativity = associativity
+        self.n_sets = capacity_words // (words_per_line * associativity)
+        if self.n_sets < 1:
+            raise ValueError("capacity too small for one set")
+        self._sets = [[_Line(words_per_line) for _ in range(associativity)]
+                      for _ in range(self.n_sets)]
+        self._clock = 0  # LRU timestamp source
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    # ------------------------------------------------------------------
+    # address math
+    # ------------------------------------------------------------------
+    def _split(self, addr: int) -> tuple[int, int, int]:
+        """addr -> (tag, set index, word offset)."""
+        offset = addr % self.words_per_line
+        line_addr = addr // self.words_per_line
+        set_idx = line_addr % self.n_sets
+        tag = line_addr // self.n_sets
+        return tag, set_idx, offset
+
+    def _line_base(self, tag: int, set_idx: int) -> int:
+        return (tag * self.n_sets + set_idx) * self.words_per_line
+
+    # ------------------------------------------------------------------
+    # lookup machinery
+    # ------------------------------------------------------------------
+    def _find(self, tag: int, set_idx: int) -> Optional[_Line]:
+        for line in self._sets[set_idx]:
+            if line.valid and line.tag == tag:
+                return line
+        return None
+
+    def _allocate(self, tag: int, set_idx: int) -> _Line:
+        """Victimize a way per the replacement policy, write back if
+        dirty, then fill."""
+        ways = self._sets[set_idx]
+        victim = None
+        for line in ways:
+            if not line.valid:
+                victim = line
+                break
+        if victim is None:
+            if self.policy == "random":
+                victim = self._rng.choice(ways)
+            else:
+                # LRU uses last-touch time; FIFO uses fill time — both
+                # stored in line.lru, updated by _touch vs only here.
+                victim = min(ways, key=lambda l: l.lru)
+            self.evictions += 1
+            if victim.dirty:
+                self.writebacks += 1
+                base = self._line_base(victim.tag, set_idx)
+                self.backstore.write_burst(base, victim.data)
+        base = self._line_base(tag, set_idx)
+        victim.data = self.backstore.read_burst(base, self.words_per_line)
+        victim.tag = tag
+        victim.valid = True
+        victim.dirty = False
+        if self.policy == "fifo":
+            # FIFO: age is fixed at fill time, never refreshed.
+            self._clock += 1
+            victim.lru = self._clock
+        return victim
+
+    def _touch(self, line: _Line) -> None:
+        if self.policy == "fifo":
+            return  # FIFO ignores reuse
+        self._clock += 1
+        line.lru = self._clock
+
+    # ------------------------------------------------------------------
+    # public operations
+    # ------------------------------------------------------------------
+    def read(self, addr: int) -> tuple[Any, bool]:
+        """Read a word; returns (data, hit)."""
+        tag, set_idx, offset = self._split(addr)
+        line = self._find(tag, set_idx)
+        hit = line is not None
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+            line = self._allocate(tag, set_idx)
+        self._touch(line)
+        return line.data[offset], hit
+
+    def write(self, addr: int, data: Any) -> bool:
+        """Write a word (write-allocate); returns hit."""
+        tag, set_idx, offset = self._split(addr)
+        line = self._find(tag, set_idx)
+        hit = line is not None
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+            line = self._allocate(tag, set_idx)
+        line.data[offset] = data
+        line.dirty = True
+        self._touch(line)
+        return hit
+
+    def flush(self) -> int:
+        """Write back every dirty line; returns the number written back."""
+        flushed = 0
+        for set_idx, ways in enumerate(self._sets):
+            for line in ways:
+                if line.valid and line.dirty:
+                    base = self._line_base(line.tag, set_idx)
+                    self.backstore.write_burst(base, line.data)
+                    line.dirty = False
+                    flushed += 1
+                    self.writebacks += 1
+        return flushed
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class CacheRequest:
+    is_write: bool
+    addr: int
+    data: Any = None
+
+
+@dataclass(frozen=True)
+class CacheResponse:
+    addr: int
+    data: Any
+    hit: bool
+
+
+class CacheModule:
+    """Clocked cache front-end: requests in, responses out.
+
+    Latency model: ``hit_latency`` cycles on a hit, ``miss_latency`` on a
+    miss (the backstore burst transfer).
+    """
+
+    def __init__(self, sim, clock, cache: Cache, *, hit_latency: int = 1,
+                 miss_latency: int = 10, name: str = "cache"):
+        if hit_latency < 1 or miss_latency < hit_latency:
+            raise ValueError("need miss_latency >= hit_latency >= 1")
+        self.name = name
+        self.cache = cache
+        self.hit_latency = hit_latency
+        self.miss_latency = miss_latency
+        self.req: In = In(name=f"{name}.req")
+        self.rsp: Out = Out(name=f"{name}.rsp")
+        sim.add_thread(self._run(), clock, name=name)
+
+    def _run(self) -> Generator:
+        while True:
+            req = yield from self.req.pop()
+            if req.is_write:
+                hit = self.cache.write(req.addr, req.data)
+                data = req.data
+            else:
+                data, hit = self.cache.read(req.addr)
+            yield (self.hit_latency if hit else self.miss_latency)
+            yield from self.rsp.push(CacheResponse(req.addr, data, hit))

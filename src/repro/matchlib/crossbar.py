@@ -1,0 +1,69 @@
+"""Crossbar functions (MatchLib Table 2) and the section 2.4 case study.
+
+Two functionally near-identical C++ codings of an N-lane crossbar HLS to
+very different hardware (the paper's QoR case study):
+
+* **src-loop** — ``for src: out[dst[src]] = in[src]`` — requires priority
+  decoding because several sources can target one output; HLS infers an
+  undesirable dependency from every ``dst[src]`` control signal to every
+  output and ~25 % more area.
+* **dst-loop** — ``for dst: out[dst] = in[src[dst]]`` — one plain mux per
+  output.
+
+Both behavioural functions are provided here (with the exact conflict
+semantics each coding implies), and :mod:`repro.hls.library` builds the
+corresponding operation graphs that the HLS engine schedules to
+reproduce the area/compile-time comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["crossbar_dst_loop", "crossbar_src_loop", "permute"]
+
+
+def crossbar_dst_loop(inputs: Sequence, src_sel: Sequence[int]) -> list:
+    """dst-loop crossbar: ``out[dst] = in[src_sel[dst]]``.
+
+    ``src_sel[dst]`` names which input drives each output; any permutation
+    or fan-out (several outputs reading one input) is legal.
+    """
+    n = len(inputs)
+    if len(src_sel) != n:
+        raise ValueError(f"src_sel has {len(src_sel)} entries, expected {n}")
+    out = [None] * n
+    for dst in range(n):
+        src = src_sel[dst]
+        if not 0 <= src < n:
+            raise ValueError(f"src_sel[{dst}]={src} out of range")
+        out[dst] = inputs[src]
+    return out
+
+
+def crossbar_src_loop(inputs: Sequence, dst_sel: Sequence[int]) -> list:
+    """src-loop crossbar: ``out[dst_sel[src]] = in[src]``.
+
+    When several sources select the same output, the *highest* source
+    index wins — the priority behaviour the HLS tool must build priority
+    decoders for (the source of the 25 % area penalty).
+    Outputs no source selects are ``None``.
+    """
+    n = len(inputs)
+    if len(dst_sel) != n:
+        raise ValueError(f"dst_sel has {len(dst_sel)} entries, expected {n}")
+    out = [None] * n
+    for src in range(n):
+        dst = dst_sel[src]
+        if not 0 <= dst < n:
+            raise ValueError(f"dst_sel[{src}]={dst} out of range")
+        out[dst] = inputs[src]
+    return out
+
+
+def permute(inputs: Sequence, permutation: Sequence[int]) -> list:
+    """Apply a strict permutation (validates bijectivity first)."""
+    n = len(inputs)
+    if sorted(permutation) != list(range(n)):
+        raise ValueError("not a permutation")
+    return crossbar_dst_loop(inputs, list(permutation))

@@ -1,0 +1,60 @@
+"""1-hot encoders and decoders (MatchLib Table 2)."""
+
+from __future__ import annotations
+
+__all__ = [
+    "one_hot_encode",
+    "one_hot_decode",
+    "is_one_hot",
+    "priority_encode",
+    "binary_to_gray",
+    "gray_to_binary",
+]
+
+
+def one_hot_encode(index: int, width: int) -> int:
+    """Binary index -> one-hot bit vector of ``width`` bits."""
+    if not 0 <= index < width:
+        raise ValueError(f"index {index} out of range for width {width}")
+    return 1 << index
+
+
+def one_hot_decode(onehot: int) -> int:
+    """One-hot bit vector -> binary index.  Rejects non-one-hot inputs."""
+    if not is_one_hot(onehot):
+        raise ValueError(f"{onehot:#x} is not one-hot")
+    return onehot.bit_length() - 1
+
+
+def is_one_hot(value: int) -> bool:
+    """True iff exactly one bit is set."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def priority_encode(bits: int) -> int:
+    """Index of the least-significant set bit; -1 if none.
+
+    This is the priority decoder the src-loop crossbar coding forces HLS
+    to synthesize (section 2.4).
+    """
+    if bits == 0:
+        return -1
+    return (bits & -bits).bit_length() - 1
+
+
+def binary_to_gray(value: int) -> int:
+    """Binary -> Gray code (used by CDC FIFO pointers in gals/)."""
+    if value < 0:
+        raise ValueError("negative values have no Gray encoding")
+    return value ^ (value >> 1)
+
+
+def gray_to_binary(gray: int) -> int:
+    """Gray code -> binary."""
+    if gray < 0:
+        raise ValueError("negative values have no Gray encoding")
+    value = 0
+    while gray:
+        value ^= gray
+        gray >>= 1
+    return value

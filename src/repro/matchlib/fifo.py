@@ -1,0 +1,98 @@
+"""Configurable FIFO class (MatchLib Table 2).
+
+An untimed bounded queue with the interface MatchLib components use
+internally (the clocked Buffer channel wraps the same discipline with
+handshake timing).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generic, Iterator, Optional, TypeVar
+
+__all__ = ["Fifo", "FifoError"]
+
+T = TypeVar("T")
+
+
+class FifoError(RuntimeError):
+    """Raised on illegal FIFO operations (overflow/underflow)."""
+
+
+class Fifo(Generic[T]):
+    """Bounded FIFO with explicit overflow/underflow errors.
+
+    ``capacity=None`` makes it unbounded (testbench use only — real
+    hardware always bounds it).
+    """
+
+    __slots__ = ("capacity", "_queue", "peak_occupancy", "total_pushed")
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
+        self._queue: deque = deque()
+        self.peak_occupancy = 0
+        self.total_pushed = 0
+
+    def push(self, item: T) -> None:
+        if self.full:
+            raise FifoError("push to full FIFO")
+        self._queue.append(item)
+        self.total_pushed += 1
+        if len(self._queue) > self.peak_occupancy:
+            self.peak_occupancy = len(self._queue)
+
+    def push_nb(self, item: T) -> bool:
+        """Non-blocking push; returns False instead of raising when full."""
+        if self.full:
+            return False
+        self.push(item)
+        return True
+
+    def pop(self) -> T:
+        if not self._queue:
+            raise FifoError("pop from empty FIFO")
+        return self._queue.popleft()
+
+    def pop_nb(self) -> tuple[bool, Optional[T]]:
+        if not self._queue:
+            return False, None
+        return True, self._queue.popleft()
+
+    def peek(self) -> T:
+        if not self._queue:
+            raise FifoError("peek at empty FIFO")
+        return self._queue[0]
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._queue) >= self.capacity
+
+    @property
+    def size(self) -> int:
+        return len(self._queue)
+
+    @property
+    def free(self) -> Optional[int]:
+        """Remaining space, or None when unbounded."""
+        if self.capacity is None:
+            return None
+        return self.capacity - len(self._queue)
+
+    def clear(self) -> None:
+        self._queue.clear()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Fifo(size={len(self._queue)}, capacity={self.capacity})"

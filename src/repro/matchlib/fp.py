@@ -1,0 +1,236 @@
+"""Bit-accurate floating-point arithmetic functions (MatchLib Table 2).
+
+MatchLib's ``Float`` component family provides synthesizable
+floating-point mul, add, and fused mul-add for configurable formats.
+This module reimplements them as pure functions over integer bit
+patterns with a parameterizable format (:class:`FloatSpec`), supporting:
+
+* normalized and subnormal numbers,
+* signed zero, infinities and NaNs,
+* round-to-nearest-even (the HLS default),
+* a *fused* multiply-add (single rounding), matching the datapath a
+  MAC unit synthesizes to.
+
+The PE vector datapath (:mod:`repro.soc.datapath`) instantiates these
+functions exactly as the prototype SoC instantiated MatchLib's Float
+components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["FloatSpec", "FP16", "FP32", "BF16", "fp_mul", "fp_add", "fp_mul_add"]
+
+
+@dataclass(frozen=True)
+class FloatSpec:
+    """A binary floating-point format: 1 sign, ``exp_bits``, ``man_bits``."""
+
+    exp_bits: int
+    man_bits: int
+
+    def __post_init__(self):
+        if self.exp_bits < 2 or self.man_bits < 1:
+            raise ValueError("need exp_bits >= 2 and man_bits >= 1")
+
+    @property
+    def width(self) -> int:
+        return 1 + self.exp_bits + self.man_bits
+
+    @property
+    def bias(self) -> int:
+        return (1 << (self.exp_bits - 1)) - 1
+
+    @property
+    def exp_max(self) -> int:
+        """All-ones exponent field (inf/NaN encoding)."""
+        return (1 << self.exp_bits) - 1
+
+    @property
+    def man_mask(self) -> int:
+        return (1 << self.man_bits) - 1
+
+    # ------------------------------------------------------------------
+    # field accessors
+    # ------------------------------------------------------------------
+    def fields(self, bits: int) -> Tuple[int, int, int]:
+        """Split a bit pattern into (sign, exponent-field, mantissa-field)."""
+        man = bits & self.man_mask
+        exp = (bits >> self.man_bits) & self.exp_max
+        sign = (bits >> (self.man_bits + self.exp_bits)) & 1
+        return sign, exp, man
+
+    def build(self, sign: int, exp: int, man: int) -> int:
+        return (sign << (self.man_bits + self.exp_bits)) | (exp << self.man_bits) | man
+
+    # special values ----------------------------------------------------
+    def zero(self, sign: int = 0) -> int:
+        return self.build(sign, 0, 0)
+
+    def inf(self, sign: int = 0) -> int:
+        return self.build(sign, self.exp_max, 0)
+
+    def nan(self) -> int:
+        return self.build(0, self.exp_max, 1 << (self.man_bits - 1))
+
+    def is_nan(self, bits: int) -> bool:
+        _, exp, man = self.fields(bits)
+        return exp == self.exp_max and man != 0
+
+    def is_inf(self, bits: int) -> bool:
+        _, exp, man = self.fields(bits)
+        return exp == self.exp_max and man == 0
+
+    def is_zero(self, bits: int) -> bool:
+        _, exp, man = self.fields(bits)
+        return exp == 0 and man == 0
+
+    # ------------------------------------------------------------------
+    # conversion to/from Python float (for testbenches, not synthesis)
+    # ------------------------------------------------------------------
+    def decode(self, bits: int) -> float:
+        sign, exp, man = self.fields(bits)
+        s = -1.0 if sign else 1.0
+        if exp == self.exp_max:
+            if man:
+                return float("nan")
+            return s * float("inf")
+        if exp == 0:
+            return s * man * 2.0 ** (1 - self.bias - self.man_bits)
+        return s * (man + (1 << self.man_bits)) * 2.0 ** (exp - self.bias - self.man_bits)
+
+    def encode(self, value: float) -> int:
+        """Encode a Python float with round-to-nearest-even."""
+        import math
+
+        if math.isnan(value):
+            return self.nan()
+        sign = 1 if math.copysign(1.0, value) < 0 else 0
+        if math.isinf(value):
+            return self.inf(sign)
+        if value == 0.0:
+            return self.zero(sign)
+        mantissa, exp2 = math.frexp(abs(value))  # value = mantissa * 2^exp2, m in [0.5,1)
+        # Represent as integer significand * 2^e with plenty of precision.
+        sig = int(mantissa * (1 << 60))
+        return _pack(self, sign, exp2 - 60, sig)
+
+    # exact significand form (used by the arithmetic) -------------------
+    def _unpack(self, bits: int) -> Tuple[int, int, int]:
+        """Return (sign, exp2, sig) with value = (-1)^sign * sig * 2^exp2."""
+        sign, exp, man = self.fields(bits)
+        if exp == 0:
+            return sign, 1 - self.bias - self.man_bits, man
+        return sign, exp - self.bias - self.man_bits, man + (1 << self.man_bits)
+
+
+FP16 = FloatSpec(exp_bits=5, man_bits=10)
+FP32 = FloatSpec(exp_bits=8, man_bits=23)
+BF16 = FloatSpec(exp_bits=8, man_bits=7)
+
+
+def _pack(spec: FloatSpec, sign: int, exp2: int, sig: int) -> int:
+    """Round-to-nearest-even pack of value = (-1)^sign * sig * 2^exp2."""
+    if sig == 0:
+        return spec.zero(sign)
+    # Normalized form: value = m * 2^e with m in [1, 2).
+    nbits = sig.bit_length()
+    e = exp2 + nbits - 1
+    biased = e + spec.bias
+    if biased >= 1:
+        drop = nbits - (spec.man_bits + 1)
+    else:
+        # Subnormal: fix the exponent at the minimum, shift further right.
+        drop = nbits - (spec.man_bits + 1) + (1 - biased)
+    if drop > 0:
+        keep = sig >> drop
+        remainder = sig & ((1 << drop) - 1)
+        half = 1 << (drop - 1)
+        if remainder > half or (remainder == half and (keep & 1)):
+            keep += 1
+    else:
+        keep = sig << (-drop)
+    # Rounding may have carried into a new bit.
+    if keep.bit_length() > spec.man_bits + 1:
+        keep >>= 1
+        biased += 1
+    if biased >= 1 and keep >= (1 << spec.man_bits):
+        # Normal number.
+        if biased >= spec.exp_max:
+            return spec.inf(sign)  # overflow
+        return spec.build(sign, biased, keep & spec.man_mask)
+    # Subnormal (or rounded up into the smallest normal).
+    if keep >= (1 << spec.man_bits):
+        return spec.build(sign, 1, keep & spec.man_mask)
+    return spec.build(sign, 0, keep)
+
+
+def fp_mul(spec: FloatSpec, a: int, b: int) -> int:
+    """Multiply two bit patterns; returns the product's bit pattern."""
+    if spec.is_nan(a) or spec.is_nan(b):
+        return spec.nan()
+    sa, ea, ma = spec._unpack(a)
+    sb, eb, mb = spec._unpack(b)
+    sign = sa ^ sb
+    if spec.is_inf(a) or spec.is_inf(b):
+        if spec.is_zero(a) or spec.is_zero(b):
+            return spec.nan()  # inf * 0
+        return spec.inf(sign)
+    return _pack(spec, sign, ea + eb, ma * mb)
+
+
+def fp_add(spec: FloatSpec, a: int, b: int) -> int:
+    """Add two bit patterns; returns the sum's bit pattern."""
+    if spec.is_nan(a) or spec.is_nan(b):
+        return spec.nan()
+    if spec.is_inf(a) and spec.is_inf(b):
+        sa, _, _ = spec.fields(a)
+        sb, _, _ = spec.fields(b)
+        return spec.nan() if sa != sb else a
+    if spec.is_inf(a):
+        return a
+    if spec.is_inf(b):
+        return b
+    sa, ea, ma = spec._unpack(a)
+    sb, eb, mb = spec._unpack(b)
+    # Align to the smaller exponent; exact integer arithmetic.
+    e = min(ea, eb)
+    va = ma << (ea - e)
+    vb = mb << (eb - e)
+    total = (-va if sa else va) + (-vb if sb else vb)
+    if total == 0:
+        # IEEE: exact-cancellation sum is +0 in round-to-nearest.
+        return spec.zero(0)
+    sign = 1 if total < 0 else 0
+    return _pack(spec, sign, e, abs(total))
+
+
+def fp_mul_add(spec: FloatSpec, a: int, b: int, c: int) -> int:
+    """Fused multiply-add ``a*b + c`` with a single rounding step."""
+    if spec.is_nan(a) or spec.is_nan(b) or spec.is_nan(c):
+        return spec.nan()
+    sa, ea, ma = spec._unpack(a)
+    sb, eb, mb = spec._unpack(b)
+    psign = sa ^ sb
+    if spec.is_inf(a) or spec.is_inf(b):
+        if spec.is_zero(a) or spec.is_zero(b):
+            return spec.nan()
+        if spec.is_inf(c):
+            sc, _, _ = spec.fields(c)
+            return spec.nan() if sc != psign else c
+        return spec.inf(psign)
+    if spec.is_inf(c):
+        return c
+    sc, ec, mc = spec._unpack(c)
+    pe = ea + eb
+    pm = ma * mb
+    e = min(pe, ec)
+    vp = pm << (pe - e)
+    vc = mc << (ec - e)
+    total = (-vp if psign else vp) + (-vc if sc else vc)
+    if total == 0:
+        return spec.zero(0)
+    sign = 1 if total < 0 else 0
+    return _pack(spec, sign, e, abs(total))

@@ -1,0 +1,98 @@
+"""Abstract memory class ``mem_array`` (MatchLib Table 2).
+
+An addressable array with read/write methods, optional bit-width
+masking, and access statistics.  The global memory banks of the
+prototype SoC are built from this class, exactly as in the paper
+(section 4: "the different memory banks were designed using our
+abstract memory class, mem_array").
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+__all__ = ["MemArray", "MemError"]
+
+
+class MemError(RuntimeError):
+    """Raised on out-of-range accesses."""
+
+
+class MemArray:
+    """Word-addressable memory.
+
+    Parameters
+    ----------
+    entries:
+        Number of words.
+    width:
+        Optional word width in bits; integer writes are masked to it.
+        ``None`` stores arbitrary Python objects (testbench convenience).
+    init:
+        Initial fill value.
+    """
+
+    __slots__ = ("entries", "width", "_mask", "_data", "reads", "writes")
+
+    def __init__(self, entries: int, *, width: Optional[int] = None, init: Any = 0):
+        if entries < 1:
+            raise ValueError(f"entries must be >= 1, got {entries}")
+        if width is not None and width < 1:
+            raise ValueError(f"width must be >= 1 or None, got {width}")
+        self.entries = entries
+        self.width = width
+        self._mask = (1 << width) - 1 if width is not None else None
+        self._data: List[Any] = [init] * entries
+        self.reads = 0
+        self.writes = 0
+
+    def _check(self, addr: int) -> None:
+        if not 0 <= addr < self.entries:
+            raise MemError(f"address {addr} out of range [0, {self.entries})")
+
+    def read(self, addr: int) -> Any:
+        self._check(addr)
+        self.reads += 1
+        return self._data[addr]
+
+    def write(self, addr: int, data: Any) -> None:
+        self._check(addr)
+        self.writes += 1
+        if self._mask is not None and isinstance(data, int):
+            data = data & self._mask
+        self._data[addr] = data
+
+    def read_burst(self, addr: int, length: int) -> list:
+        """Read ``length`` consecutive words."""
+        if length < 0 or addr + length > self.entries:
+            raise MemError(f"burst [{addr}, {addr + length}) out of range")
+        self.reads += length
+        return self._data[addr:addr + length]
+
+    def write_burst(self, addr: int, data: Sequence) -> None:
+        """Write consecutive words starting at ``addr``."""
+        if addr + len(data) > self.entries:
+            raise MemError(f"burst [{addr}, {addr + len(data)}) out of range")
+        for offset, word in enumerate(data):
+            self.write(addr + offset, word)
+
+    def load(self, values: Sequence, *, base: int = 0) -> None:
+        """Testbench preload without touching access counters."""
+        if base + len(values) > self.entries:
+            raise MemError("preload out of range")
+        for offset, word in enumerate(values):
+            if self._mask is not None and isinstance(word, int):
+                word = word & self._mask
+            self._data[base + offset] = word
+
+    def dump(self, base: int = 0, length: Optional[int] = None) -> list:
+        """Testbench inspection without touching access counters."""
+        if length is None:
+            length = self.entries - base
+        return list(self._data[base:base + length])
+
+    def __len__(self) -> int:
+        return self.entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MemArray(entries={self.entries}, width={self.width})"

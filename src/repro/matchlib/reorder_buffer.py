@@ -1,0 +1,103 @@
+"""Reorder buffer (MatchLib Table 2): in-order reads, out-of-order writes.
+
+Producers allocate slots in program order, fill them out of order (e.g.
+responses returning from banked memory or a NoC), and the consumer drains
+completed entries strictly in allocation order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["ReorderBuffer", "RobError"]
+
+
+class RobError(RuntimeError):
+    """Raised on illegal reorder-buffer operations."""
+
+
+class ReorderBuffer:
+    """Circular-buffer ROB with explicit tags."""
+
+    __slots__ = ("capacity", "_valid", "_data", "_head", "_tail", "_count")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._valid = [False] * capacity
+        self._data: list[Any] = [None] * capacity
+        self._head = 0  # next in-order read slot
+        self._tail = 0  # next allocation slot
+        self._count = 0  # allocated (not yet drained) slots
+
+    # ------------------------------------------------------------------
+    # allocation (in order)
+    # ------------------------------------------------------------------
+    @property
+    def can_allocate(self) -> bool:
+        return self._count < self.capacity
+
+    def allocate(self) -> int:
+        """Reserve the next slot; returns its tag."""
+        if not self.can_allocate:
+            raise RobError("reorder buffer full")
+        tag = self._tail
+        self._tail = (self._tail + 1) % self.capacity
+        self._count += 1
+        return tag
+
+    # ------------------------------------------------------------------
+    # completion (out of order)
+    # ------------------------------------------------------------------
+    def write(self, tag: int, data: Any) -> None:
+        """Fill an allocated slot (any order)."""
+        if not 0 <= tag < self.capacity:
+            raise RobError(f"tag {tag} out of range")
+        if not self._is_allocated(tag):
+            raise RobError(f"tag {tag} is not allocated")
+        if self._valid[tag]:
+            raise RobError(f"tag {tag} written twice")
+        self._valid[tag] = True
+        self._data[tag] = data
+
+    def _is_allocated(self, tag: int) -> bool:
+        if self._count == 0:
+            return False
+        if self._head < self._tail:
+            return self._head <= tag < self._tail
+        return tag >= self._head or tag < self._tail
+
+    # ------------------------------------------------------------------
+    # draining (in order)
+    # ------------------------------------------------------------------
+    @property
+    def head_ready(self) -> bool:
+        """True when the oldest allocated slot has been written."""
+        return self._count > 0 and self._valid[self._head]
+
+    def read(self) -> Any:
+        """Pop the oldest completed entry (in allocation order)."""
+        if not self.head_ready:
+            raise RobError("head entry not ready")
+        data = self._data[self._head]
+        self._valid[self._head] = False
+        self._data[self._head] = None
+        self._head = (self._head + 1) % self.capacity
+        self._count -= 1
+        return data
+
+    def read_nb(self) -> tuple[bool, Optional[Any]]:
+        if not self.head_ready:
+            return False, None
+        return True, self.read()
+
+    @property
+    def occupancy(self) -> int:
+        return self._count
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ReorderBuffer(capacity={self.capacity}, occupancy={self._count})"

@@ -1,0 +1,68 @@
+"""Scratchpad module (MatchLib Table 2): banked memory array + crossbar.
+
+The clocked front-end over :class:`~repro.matchlib.arbitrated_scratchpad.
+ArbitratedScratchpad`: lane requests arrive on an ``In`` port (one vector
+of per-lane requests per message), cross the bank crossbar with conflict
+arbitration, and per-lane responses leave on an ``Out`` port.  This is
+the PE-local memory of the prototype SoC.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence
+
+from ..connections.ports import In, Out
+from .arbitrated_scratchpad import ArbitratedScratchpad, SpRequest, SpResponse
+
+__all__ = ["ScratchpadModule"]
+
+
+class ScratchpadModule:
+    """Clocked banked scratchpad with vector (multi-lane) access.
+
+    A request message is a sequence of per-lane ``SpRequest`` (or None
+    for inactive lanes).  The response message is the list of per-lane
+    ``SpResponse`` in lane order, sent once every lane completed.  Bank
+    conflicts serialize internally — the response naturally arrives
+    later, which is how the real hardware behaves.
+    """
+
+    def __init__(self, sim, clock, *, n_lanes: int, n_banks: int,
+                 bank_entries: int, width: Optional[int] = None,
+                 name: str = "spad"):
+        self.name = name
+        self.n_lanes = n_lanes
+        self.core = ArbitratedScratchpad(
+            n_requesters=n_lanes, n_banks=n_banks,
+            bank_entries=bank_entries, width=width,
+        )
+        self.req: In = In(name=f"{name}.req")
+        self.rsp: Out = Out(name=f"{name}.rsp")
+        self.requests_served = 0
+        sim.add_thread(self._run(), clock, name=name)
+
+    def _run(self) -> Generator:
+        core = self.core
+        while True:
+            lanes: Sequence[Optional[SpRequest]] = yield from self.req.pop()
+            if len(lanes) != self.n_lanes:
+                raise ValueError(
+                    f"{self.name}: got {len(lanes)} lanes, expected {self.n_lanes}"
+                )
+            pending = 0
+            for lane, req in enumerate(lanes):
+                if req is None:
+                    continue
+                submitted = core.submit(
+                    SpRequest(lane, req.is_write, req.addr, req.data)
+                )
+                assert submitted, "per-lane queues sized for one vector"
+                pending += 1
+            responses: list[Optional[SpResponse]] = [None] * self.n_lanes
+            while pending:
+                yield  # one scratchpad cycle
+                for rsp in core.tick():
+                    responses[rsp.requester] = rsp
+                    pending -= 1
+            yield from self.rsp.push(responses)
+            self.requests_served += 1

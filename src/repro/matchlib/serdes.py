@@ -1,0 +1,77 @@
+"""Serializer / Deserializer modules (MatchLib Table 2).
+
+``Serializer``: N-bit messages to M cycles of (N/M)-bit flit payloads.
+``Deserializer``: the inverse.  These are the SystemC-module counterparts
+to the pure slicing helpers in :mod:`repro.connections.packet`; the PE's
+router interface instantiates them (section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..connections.packet import int_deserializer, int_serializer
+from ..connections.ports import In, Out
+
+__all__ = ["Serializer", "Deserializer"]
+
+
+class Serializer:
+    """Clocked module: pops one wide message, pushes its slices LSB-first.
+
+    Ports: ``wide_in`` (N-bit ints), ``narrow_out`` ((N/M)-bit ints).
+    Emits one slice per cycle, as the hardware shift register would.
+    """
+
+    def __init__(self, sim, clock, *, width: int, flit_width: int,
+                 name: str = "ser"):
+        if width < flit_width:
+            raise ValueError("width must be >= flit_width")
+        self.name = name
+        self.width = width
+        self.flit_width = flit_width
+        self.factor = -(-width // flit_width)
+        self._slice = int_serializer(width, flit_width)
+        self.wide_in: In = In(name=f"{name}.wide_in")
+        self.narrow_out: Out = Out(name=f"{name}.narrow_out")
+        self.messages = 0
+        sim.add_thread(self._run(), clock, name=name)
+
+    def _run(self) -> Generator:
+        while True:
+            msg = yield from self.wide_in.pop()
+            for payload in self._slice(msg):
+                yield from self.narrow_out.push(payload)
+                yield  # one slice per cycle
+            self.messages += 1
+
+
+class Deserializer:
+    """Clocked module: accumulates M slices, pushes the wide message.
+
+    Ports: ``narrow_in``, ``wide_out``.
+    """
+
+    def __init__(self, sim, clock, *, width: int, flit_width: int,
+                 name: str = "des"):
+        if width < flit_width:
+            raise ValueError("width must be >= flit_width")
+        self.name = name
+        self.width = width
+        self.flit_width = flit_width
+        self.factor = -(-width // flit_width)
+        self._join = int_deserializer(width, flit_width)
+        self.narrow_in: In = In(name=f"{name}.narrow_in")
+        self.wide_out: Out = Out(name=f"{name}.wide_out")
+        self.messages = 0
+        sim.add_thread(self._run(), clock, name=name)
+
+    def _run(self) -> Generator:
+        while True:
+            payloads = []
+            for _ in range(self.factor):
+                payload = yield from self.narrow_in.pop()
+                payloads.append(payload)
+            msg = self._join(payloads)
+            yield from self.wide_out.push(msg)
+            self.messages += 1

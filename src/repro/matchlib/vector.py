@@ -1,0 +1,131 @@
+"""Vector helper container with vector operations (MatchLib Table 2).
+
+A fixed-lane-count container with elementwise arithmetic, dot product,
+MAC and reductions — the building block of the PE's vector datapath
+(section 4: "we used the MatchLib vector library to design the datapath
+unit").  Two arithmetic modes:
+
+* native Python numbers (ints/floats) for functional modelling, and
+* bit-accurate floating point through a :class:`~repro.matchlib.fp.FloatSpec`,
+  which is what the synthesized datapath computes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+from .fp import FloatSpec, fp_add, fp_mul, fp_mul_add
+
+__all__ = ["Vector"]
+
+
+class Vector:
+    """Fixed-length lane container with elementwise operations."""
+
+    __slots__ = ("lanes", "_data")
+
+    def __init__(self, data: Sequence):
+        data = list(data)
+        if not data:
+            raise ValueError("Vector needs at least one lane")
+        self.lanes = len(data)
+        self._data = data
+
+    @classmethod
+    def splat(cls, value, lanes: int) -> "Vector":
+        """Broadcast one value across ``lanes`` lanes."""
+        if lanes < 1:
+            raise ValueError("lanes must be >= 1")
+        return cls([value] * lanes)
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.lanes
+
+    def __getitem__(self, idx: int):
+        return self._data[idx]
+
+    def __setitem__(self, idx: int, value) -> None:
+        self._data[idx] = value
+
+    def __iter__(self) -> Iterator:
+        return iter(self._data)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Vector) and self._data == other._data
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Vector({self._data!r})"
+
+    def to_list(self) -> list:
+        return list(self._data)
+
+    # ------------------------------------------------------------------
+    # elementwise native arithmetic
+    # ------------------------------------------------------------------
+    def _zip(self, other: "Vector", op: Callable) -> "Vector":
+        if not isinstance(other, Vector) or other.lanes != self.lanes:
+            raise ValueError("lane count mismatch")
+        return Vector([op(a, b) for a, b in zip(self._data, other._data)])
+
+    def __add__(self, other: "Vector") -> "Vector":
+        return self._zip(other, lambda a, b: a + b)
+
+    def __sub__(self, other: "Vector") -> "Vector":
+        return self._zip(other, lambda a, b: a - b)
+
+    def __mul__(self, other: "Vector") -> "Vector":
+        return self._zip(other, lambda a, b: a * b)
+
+    def scale(self, scalar) -> "Vector":
+        return Vector([a * scalar for a in self._data])
+
+    def mac(self, a: "Vector", b: "Vector") -> "Vector":
+        """self + a*b elementwise (multiply-accumulate)."""
+        return self._zip(a._zip(b, lambda x, y: x * y), lambda acc, p: acc + p)
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def reduce_sum(self):
+        total = self._data[0]
+        for v in self._data[1:]:
+            total = total + v
+        return total
+
+    def reduce_max(self):
+        return max(self._data)
+
+    def reduce_min(self):
+        return min(self._data)
+
+    def dot(self, other: "Vector"):
+        """Dot product (native arithmetic)."""
+        return (self * other).reduce_sum()
+
+    # ------------------------------------------------------------------
+    # bit-accurate floating-point lanes
+    # ------------------------------------------------------------------
+    def fp_add(self, other: "Vector", spec: FloatSpec) -> "Vector":
+        return self._zip(other, lambda a, b: fp_add(spec, a, b))
+
+    def fp_mul(self, other: "Vector", spec: FloatSpec) -> "Vector":
+        return self._zip(other, lambda a, b: fp_mul(spec, a, b))
+
+    def fp_mac(self, a: "Vector", b: "Vector", spec: FloatSpec) -> "Vector":
+        """Fused elementwise self + a*b with single rounding per lane."""
+        if a.lanes != self.lanes or b.lanes != self.lanes:
+            raise ValueError("lane count mismatch")
+        return Vector([
+            fp_mul_add(spec, x, y, acc)
+            for acc, x, y in zip(self._data, a._data, b._data)
+        ])
+
+    def fp_dot(self, other: "Vector", spec: FloatSpec) -> int:
+        """Sequential-accumulation dot product in the given FP format."""
+        acc = spec.zero()
+        for x, y in zip(self._data, other._data):
+            acc = fp_mul_add(spec, x, y, acc)
+        return acc

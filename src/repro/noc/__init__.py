@@ -1,0 +1,30 @@
+"""Network-on-chip: flits, routers (Table 2's SFRouter and WHVCRouter),
+and 2-D mesh construction with XY routing.
+
+Quick use::
+
+    from repro.kernel import Simulator
+    from repro.noc import Mesh
+
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=909)
+    mesh = Mesh(sim, clk, width=4, height=4)
+    mesh.ni(0).send(dest=15, payloads=["hello", "world"])
+    sim.run(until=100_000)
+    assert mesh.ni(15).received[0] == (0, ["hello", "world"])
+"""
+
+from .flit import NocFlit, make_packet, packet_payloads
+from .mesh import Mesh, NetworkInterface
+from .noc_channel import NocChannel, NocChannelDemux
+from .routing import Port, node_xy, xy_node, xy_route
+from .sf_router import SFRouter
+from .whvc_router import WHVCRouter
+
+__all__ = [
+    "NocFlit", "make_packet", "packet_payloads",
+    "Port", "xy_route", "node_xy", "xy_node",
+    "WHVCRouter", "SFRouter",
+    "Mesh", "NetworkInterface",
+    "NocChannel", "NocChannelDemux",
+]

@@ -1,0 +1,55 @@
+"""NoC flit and packet definitions.
+
+Wormhole networks move packets as a head flit (carrying the route),
+body flits, and a tail flit (releasing the wormhole).  ``vc`` selects a
+virtual channel; the WHVC router keeps one flit queue per (input port,
+VC) pair, as MatchLib's WHVCRouter does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List
+
+__all__ = ["NocFlit", "make_packet", "packet_payloads"]
+
+
+@dataclass(frozen=True)
+class NocFlit:
+    """One flit of a wormhole packet."""
+
+    src: int          # source node id
+    dest: int         # destination node id
+    vc: int           # virtual channel
+    packet_id: int    # unique per (src, sequence)
+    seq: int          # flit index within the packet
+    is_head: bool
+    is_tail: bool
+    payload: Any = None
+
+
+def make_packet(*, src: int, dest: int, payloads: List[Any], vc: int = 0,
+                packet_id: int = 0) -> List[NocFlit]:
+    """Build the flit sequence for one packet.
+
+    A single-payload packet is one flit with both head and tail set.
+    """
+    if not payloads:
+        raise ValueError("a packet needs at least one payload flit")
+    if vc < 0:
+        raise ValueError("vc must be >= 0")
+    last = len(payloads) - 1
+    return [
+        NocFlit(src=src, dest=dest, vc=vc, packet_id=packet_id, seq=i,
+                is_head=(i == 0), is_tail=(i == last), payload=p)
+        for i, p in enumerate(payloads)
+    ]
+
+
+def packet_payloads(flits: List[NocFlit]) -> List[Any]:
+    """Extract payloads from a completed flit sequence, with checks."""
+    if not flits or not flits[0].is_head or not flits[-1].is_tail:
+        raise ValueError("malformed packet framing")
+    if [f.seq for f in flits] != list(range(len(flits))):
+        raise ValueError("flits out of order")
+    return [f.payload for f in flits]

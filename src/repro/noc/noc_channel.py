@@ -1,0 +1,165 @@
+"""LI channels transported over the NoC (section 2.3).
+
+"The physical implementation of LI channels can include clock-domain
+crossing logic or even packetize/depacketize logic to send data between
+a producer and a consumer across a NoC."
+
+:class:`NocChannel` implements the fast-channel protocol — the same duck
+type ``In``/``Out`` ports bind to — over a mesh: pushes at the source
+node become NoC messages, pops at the destination node drain a bounded
+receive buffer, and **credit-based flow control** bounds in-flight
+traffic (each pop returns one credit to the sender over the network).
+Producer and consumer code is byte-for-byte identical to the
+direct-channel version, which is the library-polymorphism claim the
+paper builds MatchLib's reuse story on.
+
+Several logical channels can share one node through a
+:class:`NocChannelDemux` bound to the node's network interface.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Generator, Optional
+
+from .mesh import Mesh, NetworkInterface
+
+__all__ = ["NocChannel", "NocChannelDemux"]
+
+_CREDIT = "__credit__"
+
+
+class NocChannelDemux:
+    """Routes a node's incoming messages to its logical channels."""
+
+    def __init__(self, ni: NetworkInterface):
+        self.ni = ni
+        self._sinks: Dict[int, Any] = {}
+        ni.handler = self._on_message
+
+    def register(self, chan_id: int, sink) -> None:
+        if chan_id in self._sinks:
+            raise ValueError(f"channel id {chan_id} already registered "
+                             f"at node {self.ni.node}")
+        self._sinks[chan_id] = sink
+
+    def _on_message(self, src: int, payloads: list) -> None:
+        chan_id = payloads[0]
+        sink = self._sinks.get(chan_id)
+        if sink is None:
+            raise ValueError(f"node {self.ni.node}: message for unknown "
+                             f"channel id {chan_id}")
+        sink._deliver(payloads[1])
+
+
+class NocChannel:
+    """A latency-insensitive channel whose wire is the mesh.
+
+    ``src_demux`` / ``dst_demux`` are :class:`NocChannelDemux` at the
+    producer's and consumer's nodes.  ``depth`` bounds both the send
+    queue and the receive buffer; credits keep at most ``depth``
+    messages in flight.
+    """
+
+    def __init__(self, sim, mesh: Mesh, *, chan_id: int,
+                 src_demux: NocChannelDemux, dst_demux: NocChannelDemux,
+                 depth: int = 4, name: str = "nocchan"):
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.name = name
+        self.chan_id = chan_id
+        self.depth = depth
+        self._src_ni = src_demux.ni
+        self._dst_ni = dst_demux.ni
+        self._tx: deque = deque()
+        self._rx: deque = deque()
+        self._credits = depth
+        self._pushed = False
+        self._popped = False
+        self.transfers = 0
+        # Source side receives returned credits; destination receives data.
+        src_demux.register(chan_id, _CreditSink(self))
+        dst_demux.register(chan_id, _DataSink(self))
+        src_clock = mesh._clock_of(self._src_ni.node)
+        src_clock.on_edge(self._tick)
+        sim.add_thread(self._tx_run(), src_clock, name=f"{name}.tx")
+
+    def _tick(self, clock) -> None:
+        self._pushed = False
+        self._popped = False
+
+    def _tx_run(self) -> Generator:
+        while True:
+            if self._tx and self._credits > 0:
+                self._credits -= 1
+                msg = self._tx.popleft()
+                self._src_ni.send(self._dst_ni.node, [self.chan_id, msg])
+            yield
+
+    # delivery callbacks (called from NI handlers) ----------------------
+    def _deliver_data(self, msg: Any) -> None:
+        self._rx.append(msg)
+
+    def _deliver_credit(self) -> None:
+        self._credits += 1
+
+    # FastChannel protocol ----------------------------------------------
+    def can_push(self) -> bool:
+        return (not self._pushed) and len(self._tx) < self.depth
+
+    def do_push(self, msg: Any) -> bool:
+        if not self.can_push():
+            return False
+        self._pushed = True
+        self._tx.append(msg)
+        return True
+
+    def can_pop(self) -> bool:
+        return (not self._popped) and bool(self._rx)
+
+    def do_pop(self) -> tuple[bool, Optional[Any]]:
+        if not self.can_pop():
+            return False, None
+        self._popped = True
+        msg = self._rx.popleft()
+        # Return a credit to the sender over the network.
+        self._dst_ni.send(self._src_ni.node, [self.chan_id, _CREDIT])
+        self.transfers += 1
+        return True, msg
+
+    def peek(self) -> tuple[bool, Optional[Any]]:
+        if not self._rx:
+            return False, None
+        return True, self._rx[0]
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._tx) + len(self._rx)
+
+
+class _DataSink:
+    """Destination-side demux sink: data messages fill the rx buffer."""
+
+    __slots__ = ("chan",)
+
+    def __init__(self, chan: NocChannel):
+        self.chan = chan
+
+    def _deliver(self, msg: Any) -> None:
+        self.chan._deliver_data(msg)
+
+
+class _CreditSink:
+    """Source-side demux sink: credit returns free a send slot."""
+
+    __slots__ = ("chan",)
+
+    def __init__(self, chan: NocChannel):
+        self.chan = chan
+
+    def _deliver(self, msg: Any) -> None:
+        if msg != _CREDIT:
+            raise ValueError(
+                f"channel {self.chan.name}: unexpected message at the "
+                f"source endpoint (data flowing backwards?)")
+        self.chan._deliver_credit()

@@ -1,0 +1,51 @@
+"""Dimension-ordered (XY) routing for 2-D meshes.
+
+XY routing is deadlock-free on a mesh without extra virtual channels:
+packets fully resolve X before moving in Y, so the channel dependency
+graph is acyclic.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = ["Port", "xy_route", "node_xy", "xy_node"]
+
+
+class Port(IntEnum):
+    """Router port indices (order matters for arbitration fairness)."""
+
+    LOCAL = 0
+    NORTH = 1  # +y
+    SOUTH = 2  # -y
+    EAST = 3   # +x
+    WEST = 4   # -x
+
+
+def node_xy(node: int, width: int) -> tuple[int, int]:
+    """Node id -> (x, y) on a ``width``-column mesh."""
+    if node < 0:
+        raise ValueError(f"bad node id {node}")
+    return node % width, node // width
+
+
+def xy_node(x: int, y: int, width: int) -> int:
+    """(x, y) -> node id."""
+    if x < 0 or y < 0 or x >= width:
+        raise ValueError(f"bad coordinates ({x}, {y}) for width {width}")
+    return y * width + x
+
+
+def xy_route(current: int, dest: int, width: int) -> Port:
+    """Output port for a packet at ``current`` heading to ``dest``."""
+    cx, cy = node_xy(current, width)
+    dx, dy = node_xy(dest, width)
+    if dx > cx:
+        return Port.EAST
+    if dx < cx:
+        return Port.WEST
+    if dy > cy:
+        return Port.NORTH
+    if dy < cy:
+        return Port.SOUTH
+    return Port.LOCAL

@@ -1,0 +1,94 @@
+"""Store-and-forward router (MatchLib's SFRouter).
+
+Unlike the wormhole router, an SF router buffers the *entire* packet at
+each hop before forwarding it, so per-hop latency grows with packet
+length.  It exists in MatchLib for short control packets and as the
+simpler baseline; the reproduction's NoC benches use it as the ablation
+against wormhole switching.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..connections.ports import In, Out
+from ..matchlib.arbiter import RoundRobinArbiter
+from ..matchlib.fifo import Fifo
+from .flit import NocFlit
+from .routing import Port, xy_route
+
+__all__ = ["SFRouter"]
+
+N_PORTS = 5
+
+
+class SFRouter:
+    """Store-and-forward router for a 2-D mesh node."""
+
+    def __init__(self, sim, clock, *, node: int, mesh_width: int,
+                 packet_capacity: int = 2, max_packet_flits: int = 16,
+                 name: Optional[str] = None):
+        if packet_capacity < 1:
+            raise ValueError("packet_capacity must be >= 1")
+        self.name = name or f"sf{node}"
+        self.node = node
+        self.mesh_width = mesh_width
+        self.max_packet_flits = max_packet_flits
+        self.ins = [In(name=f"{self.name}.in{p}") for p in range(N_PORTS)]
+        self.outs = [Out(name=f"{self.name}.out{p}") for p in range(N_PORTS)]
+        # Per-input packet assembly buffer and per-input whole-packet queue.
+        self._assembly: list[list[NocFlit]] = [[] for _ in range(N_PORTS)]
+        self._packets = [Fifo(capacity=packet_capacity) for _ in range(N_PORTS)]
+        self._arbiters = [RoundRobinArbiter(N_PORTS) for _ in range(N_PORTS)]
+        # Per-output in-flight packet being streamed out.
+        self._sending: list[Optional[list[NocFlit]]] = [None] * N_PORTS
+        self.packets_forwarded = 0
+        sim.add_thread(self._run(), clock, name=self.name)
+
+    def _run(self) -> Generator:
+        while True:
+            self._assemble()
+            self._forward()
+            yield
+
+    def _assemble(self) -> None:
+        """Accumulate one flit per input; queue completed packets."""
+        for p, port in enumerate(self.ins):
+            if not port.bound or self._packets[p].full:
+                continue
+            ok, flit = port.pop_nb()
+            if not ok:
+                continue
+            buf = self._assembly[p]
+            buf.append(flit)
+            if len(buf) > self.max_packet_flits:
+                raise RuntimeError(
+                    f"{self.name}: packet exceeds max_packet_flits "
+                    f"({self.max_packet_flits})"
+                )
+            if flit.is_tail:
+                self._packets[p].push(list(buf))
+                buf.clear()
+
+    def _forward(self) -> None:
+        """Per output: stream the current packet, else arbitrate a new one."""
+        for o in range(N_PORTS):
+            out = self.outs[o]
+            if not out.bound:
+                continue
+            if self._sending[o] is None:
+                requests = [
+                    (not q.empty)
+                    and xy_route(self.node, q.peek()[0].dest, self.mesh_width) == o
+                    for q in self._packets
+                ]
+                winner = self._arbiters[o].pick(requests)
+                if winner is None:
+                    continue
+                self._sending[o] = self._packets[winner].pop()
+            packet = self._sending[o]
+            if packet and out.push_nb(packet[0]):
+                packet.pop(0)
+            if not packet:
+                self._sending[o] = None
+                self.packets_forwarded += 1

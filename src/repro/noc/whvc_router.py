@@ -1,0 +1,118 @@
+"""Wormhole router with virtual channels (MatchLib's WHVCRouter).
+
+Microarchitecture (one module thread, one iteration per cycle):
+
+* per-(input port, VC) flit queues,
+* XY route computation on head flits,
+* per-output round-robin arbitration among competing (port, VC)
+  wormholes; a granted wormhole holds the output until its tail flit
+  passes (wormhole switching),
+* backpressure through the LI channels (a full downstream link simply
+  rejects the push; the wormhole stalls in place).
+
+Virtual channels let independent packets interleave on one physical
+link: a blocked wormhole on VC 0 does not prevent VC 1 traffic from
+using the link.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..connections.ports import In, Out
+from ..matchlib.arbiter import RoundRobinArbiter
+from ..matchlib.fifo import Fifo
+from .flit import NocFlit
+from .routing import Port, xy_route
+
+__all__ = ["WHVCRouter"]
+
+N_PORTS = 5  # LOCAL, NORTH, SOUTH, EAST, WEST
+
+
+class WHVCRouter:
+    """Wormhole virtual-channel router for a 2-D mesh node."""
+
+    def __init__(self, sim, clock, *, node: int, mesh_width: int,
+                 n_vcs: int = 2, vc_depth: int = 4, name: Optional[str] = None):
+        if n_vcs < 1 or vc_depth < 1:
+            raise ValueError("need n_vcs >= 1 and vc_depth >= 1")
+        self.name = name or f"whvc{node}"
+        self.node = node
+        self.mesh_width = mesh_width
+        self.n_vcs = n_vcs
+        self.ins = [In(name=f"{self.name}.in{p}") for p in range(N_PORTS)]
+        self.outs = [Out(name=f"{self.name}.out{p}") for p in range(N_PORTS)]
+        # Per (input port, vc) flit queue.
+        self._queues = [[Fifo(capacity=vc_depth) for _ in range(n_vcs)]
+                        for _ in range(N_PORTS)]
+        # Per-output arbiter over (port, vc) requesters.
+        self._arbiters = [RoundRobinArbiter(N_PORTS * n_vcs)
+                          for _ in range(N_PORTS)]
+        # Per-output wormhole lock: (in_port, vc) or None.
+        self._locks: list[Optional[tuple[int, int]]] = [None] * N_PORTS
+        self.flits_forwarded = 0
+        self.packets_forwarded = 0
+        sim.add_thread(self._run(), clock, name=self.name)
+
+    # ------------------------------------------------------------------
+    def _route_of(self, flit: NocFlit) -> Port:
+        return xy_route(self.node, flit.dest, self.mesh_width)
+
+    def _run(self) -> Generator:
+        while True:
+            self._accept_flits()
+            self._forward_flits()
+            yield
+
+    def _accept_flits(self) -> None:
+        """Move at most one flit per input port into its VC queue."""
+        for p, port in enumerate(self.ins):
+            if not port.bound:
+                continue
+            ok, flit = port.peek_nb()
+            if not ok:
+                continue
+            queue = self._queues[p][flit.vc % self.n_vcs]
+            if queue.full:
+                continue  # backpressure: leave it in the channel
+            ok, flit = port.pop_nb()
+            if ok:
+                queue.push(flit)
+
+    def _forward_flits(self) -> None:
+        """Arbitrate each output and forward one flit per output."""
+        for out_port in range(N_PORTS):
+            out = self.outs[out_port]
+            if not out.bound or not out.can_push():
+                continue
+            lock = self._locks[out_port]
+            if lock is not None:
+                self._advance_wormhole(out_port, *lock)
+                continue
+            # Collect head flits requesting this output, by (port, vc).
+            requests = []
+            for p in range(N_PORTS):
+                for v in range(self.n_vcs):
+                    q = self._queues[p][v]
+                    wants = (not q.empty and q.peek().is_head
+                             and self._route_of(q.peek()) == out_port)
+                    requests.append(wants)
+            winner = self._arbiters[out_port].pick(requests)
+            if winner is None:
+                continue
+            p, v = divmod(winner, self.n_vcs)
+            self._locks[out_port] = (p, v)
+            self._advance_wormhole(out_port, p, v)
+
+    def _advance_wormhole(self, out_port: int, p: int, v: int) -> None:
+        queue = self._queues[p][v]
+        if queue.empty:
+            return  # next flit not here yet; hold the lock
+        flit = queue.peek()
+        if self.outs[out_port].push_nb(flit):
+            queue.pop()
+            self.flits_forwarded += 1
+            if flit.is_tail:
+                self._locks[out_port] = None
+                self.packets_forwarded += 1

@@ -1,0 +1,44 @@
+"""The prototype SoC (Figure 5): RISC-V controller, PE spatial array,
+WHVC NoC, and banked global memory.
+
+Quick use::
+
+    from repro.soc import PrototypeSoC, Cmd, Kernel
+
+    commands = [
+        ("send", 0, [Cmd.WRITE_SPAD, 0, 1, 2, 3, 4]),
+        ("send", 0, [Cmd.COMPUTE, Kernel.VSUM, 0, 0, 16, 4, 0]),
+        ("send", 0, [Cmd.STORE, 17, 0, 16, 1]),
+        ("send", 0, [Cmd.NOTIFY, 16, 0]),
+        ("wait", 1),
+    ]
+    soc = PrototypeSoC(commands=commands)
+    soc.run()
+    assert soc.gmem_left.dump(0, 1) == [10]
+"""
+
+from .asm import AsmError, assemble
+from .chip import PrototypeSoC
+from .controller import Controller, command_player_firmware, encode_command_table
+from .global_memory import GlobalMemory
+from .pe import ProcessingElement
+from .protocol import Cmd, Kernel, KERNEL_FP_BASE, NO_REPLY
+from .riscv import MMIO_BASE, RiscvCore, RiscvError
+
+__all__ = [
+    "PrototypeSoC",
+    "ProcessingElement",
+    "GlobalMemory",
+    "Controller",
+    "command_player_firmware",
+    "encode_command_table",
+    "Cmd",
+    "Kernel",
+    "KERNEL_FP_BASE",
+    "NO_REPLY",
+    "RiscvCore",
+    "RiscvError",
+    "MMIO_BASE",
+    "assemble",
+    "AsmError",
+]

@@ -1,0 +1,230 @@
+"""A small two-pass RV32I assembler.
+
+The prototype SoC's global controller is a RISC-V core (the paper uses a
+Chisel-generated Rocket core; we implement an RV32I interpreter in
+:mod:`repro.soc.riscv`).  This assembler lets the SoC driver and the
+tests write controller firmware in readable assembly.
+
+Supported: the RV32I base integer ISA (ALU, ALU-immediate, LUI/AUIPC,
+JAL/JALR, branches, LW/SW), labels, and the common pseudo-instructions
+``li``, ``mv``, ``j``, ``nop``, ``ret``, ``beqz``, ``bnez``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+__all__ = ["assemble", "AsmError", "REGISTERS"]
+
+
+class AsmError(ValueError):
+    """Raised on malformed assembly input."""
+
+
+_ABI = ["zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1",
+        "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+        "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+        "t3", "t4", "t5", "t6"]
+
+REGISTERS: Dict[str, int] = {f"x{i}": i for i in range(32)}
+REGISTERS.update({name: i for i, name in enumerate(_ABI)})
+REGISTERS["fp"] = 8
+
+
+def _reg(token: str) -> int:
+    token = token.strip().lower()
+    if token not in REGISTERS:
+        raise AsmError(f"unknown register {token!r}")
+    return REGISTERS[token]
+
+
+def _imm(token: str, labels: Dict[str, int], pc: int) -> int:
+    token = token.strip()
+    if token in labels:
+        return labels[token] - pc  # pc-relative for branches/jumps
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AsmError(f"bad immediate {token!r}") from exc
+
+
+def _abs(token: str, labels: Dict[str, int]) -> int:
+    token = token.strip()
+    if token in labels:
+        return labels[token]
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AsmError(f"bad immediate {token!r}") from exc
+
+
+def _check_range(value: int, bits: int, what: str) -> int:
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not lo <= value <= hi:
+        raise AsmError(f"{what} {value} out of {bits}-bit range")
+    return value & ((1 << bits) - 1)
+
+
+# Instruction encoders ---------------------------------------------------
+def _r_type(funct7, rs2, rs1, funct3, rd, opcode):
+    return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) \
+        | (rd << 7) | opcode
+
+
+def _i_type(imm, rs1, funct3, rd, opcode):
+    return ((imm & 0xFFF) << 20) | (rs1 << 15) | (funct3 << 12) \
+        | (rd << 7) | opcode
+
+
+def _s_type(imm, rs2, rs1, funct3, opcode):
+    imm &= 0xFFF
+    return ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) \
+        | ((imm & 0x1F) << 7) | opcode
+
+
+def _b_type(imm, rs2, rs1, funct3, opcode):
+    imm &= 0x1FFF
+    return (((imm >> 12) & 1) << 31) | (((imm >> 5) & 0x3F) << 25) \
+        | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) \
+        | (((imm >> 1) & 0xF) << 8) | (((imm >> 11) & 1) << 7) | opcode
+
+
+def _u_type(imm, rd, opcode):
+    return ((imm & 0xFFFFF) << 12) | (rd << 7) | opcode
+
+
+def _j_type(imm, rd, opcode):
+    imm &= 0x1FFFFF
+    return (((imm >> 20) & 1) << 31) | (((imm >> 1) & 0x3FF) << 21) \
+        | (((imm >> 11) & 1) << 20) | (((imm >> 12) & 0xFF) << 12) \
+        | (rd << 7) | opcode
+
+
+_ALU_R = {"add": (0, 0), "sub": (0x20, 0), "sll": (0, 1), "slt": (0, 2),
+          "sltu": (0, 3), "xor": (0, 4), "srl": (0, 5), "sra": (0x20, 5),
+          "or": (0, 6), "and": (0, 7)}
+_ALU_I = {"addi": 0, "slti": 2, "sltiu": 3, "xori": 4, "ori": 6, "andi": 7}
+_SHIFT_I = {"slli": (0, 1), "srli": (0, 5), "srai": (0x20, 5)}
+_BRANCH = {"beq": 0, "bne": 1, "blt": 4, "bge": 5, "bltu": 6, "bgeu": 7}
+
+_MEM_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+
+def _expand_pseudo(mnemonic: str, args: List[str]) -> List[tuple]:
+    """Expand pseudo-instructions; returns a list of (mnemonic, args)."""
+    if mnemonic == "nop":
+        return [("addi", ["x0", "x0", "0"])]
+    if mnemonic == "mv":
+        return [("addi", [args[0], args[1], "0"])]
+    if mnemonic == "j":
+        return [("jal", ["x0", args[0]])]
+    if mnemonic == "ret":
+        return [("jalr", ["x0", "ra", "0"])]
+    if mnemonic == "beqz":
+        return [("beq", [args[0], "x0", args[1]])]
+    if mnemonic == "bnez":
+        return [("bne", [args[0], "x0", args[1]])]
+    if mnemonic == "li":
+        value = int(args[1], 0) & 0xFFFFFFFF
+        lo = value & 0xFFF
+        if lo >= 0x800:
+            lo -= 0x1000
+        hi = (value - lo) & 0xFFFFFFFF
+        if hi:
+            out = [("lui", [args[0], str(hi >> 12)])]
+            if lo:
+                out.append(("addi", [args[0], args[0], str(lo)]))
+            return out
+        return [("addi", [args[0], "x0", str(lo)])]
+    return [(mnemonic, args)]
+
+
+def _tokenize(source: str) -> List[tuple]:
+    """First pass: strip comments, expand pseudos, collect labels."""
+    items: List[tuple] = []  # ("label", name) or ("insn", mnem, args)
+    for raw_line in source.splitlines():
+        line = raw_line.split("#")[0].strip()
+        if not line:
+            continue
+        while ":" in line:
+            label, line = line.split(":", 1)
+            items.append(("label", label.strip()))
+            line = line.strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        args = [a.strip() for a in parts[1].split(",")] if len(parts) > 1 else []
+        for m, a in _expand_pseudo(mnemonic, args):
+            items.append(("insn", m, a))
+    return items
+
+
+def assemble(source: str, *, base: int = 0) -> List[int]:
+    """Assemble RV32I source into a list of 32-bit instruction words."""
+    items = _tokenize(source)
+    labels: Dict[str, int] = {}
+    pc = base
+    for item in items:
+        if item[0] == "label":
+            if item[1] in labels:
+                raise AsmError(f"duplicate label {item[1]!r}")
+            labels[item[1]] = pc
+        else:
+            pc += 4
+
+    words: List[int] = []
+    pc = base
+    for item in items:
+        if item[0] == "label":
+            continue
+        _, mnem, args = item
+        try:
+            words.append(_encode(mnem, args, labels, pc))
+        except AsmError as exc:
+            raise AsmError(f"at pc={pc:#x} ({mnem} {', '.join(args)}): {exc}")
+        pc += 4
+    return words
+
+
+def _encode(mnem: str, args: List[str], labels: Dict[str, int], pc: int) -> int:
+    if mnem in _ALU_R:
+        f7, f3 = _ALU_R[mnem]
+        return _r_type(f7, _reg(args[2]), _reg(args[1]), f3, _reg(args[0]), 0x33)
+    if mnem in _ALU_I:
+        imm = _check_range(_imm(args[2], labels, pc), 12, "immediate")
+        return _i_type(imm, _reg(args[1]), _ALU_I[mnem], _reg(args[0]), 0x13)
+    if mnem in _SHIFT_I:
+        f7, f3 = _SHIFT_I[mnem]
+        shamt = _abs(args[2], labels)
+        if not 0 <= shamt < 32:
+            raise AsmError(f"shift amount {shamt} out of range")
+        return _i_type((f7 << 5) | shamt, _reg(args[1]), f3, _reg(args[0]), 0x13)
+    if mnem in _BRANCH:
+        offset = _imm(args[2], labels, pc)
+        _check_range(offset, 13, "branch offset")
+        return _b_type(offset, _reg(args[1]), _reg(args[0]), _BRANCH[mnem], 0x63)
+    if mnem == "lui":
+        return _u_type(_abs(args[1], labels), _reg(args[0]), 0x37)
+    if mnem == "auipc":
+        return _u_type(_abs(args[1], labels), _reg(args[0]), 0x17)
+    if mnem == "jal":
+        offset = _imm(args[1], labels, pc)
+        _check_range(offset, 21, "jump offset")
+        return _j_type(offset, _reg(args[0]), 0x6F)
+    if mnem == "jalr":
+        imm = _check_range(_abs(args[2], labels), 12, "immediate")
+        return _i_type(imm, _reg(args[1]), 0, _reg(args[0]), 0x67)
+    if mnem in ("lw", "sw"):
+        m = _MEM_RE.match(args[1].replace(" ", ""))
+        if not m:
+            raise AsmError(f"bad memory operand {args[1]!r}")
+        imm = _check_range(int(m.group(1), 0), 12, "offset")
+        base_reg = _reg(m.group(2))
+        if mnem == "lw":
+            return _i_type(imm, base_reg, 2, _reg(args[0]), 0x03)
+        return _s_type(imm, _reg(args[0]), base_reg, 2, 0x23)
+    if mnem == "ebreak":
+        return _i_type(1, 0, 0, 0, 0x73)
+    raise AsmError(f"unknown mnemonic {mnem!r}")

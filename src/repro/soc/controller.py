@@ -1,0 +1,169 @@
+"""The RISC-V global controller node and its firmware.
+
+The controller is a :class:`~repro.soc.riscv.RiscvCore` whose MMIO
+window bridges onto the NoC: firmware pushes message words into a
+staging buffer and writes the destination node id to send, then polls a
+done-token counter — exactly the orchestration role the paper gives the
+Rocket core (section 4: "initiating the execution by configuring the
+control registers in PE and global memory and orchestrating the data
+transfer").
+
+:func:`command_player_firmware` is the generic firmware: it walks a
+command table in data memory (built by :func:`encode_command_table`),
+sends each message, honors WAIT barriers, and halts.  One firmware image
+drives every workload.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence, Tuple, Union
+
+from ..matchlib.mem_array import MemArray
+from ..noc.mesh import NetworkInterface
+from .asm import assemble
+from .protocol import Cmd
+from .riscv import MMIO_BASE, RiscvCore
+
+__all__ = [
+    "Controller",
+    "command_player_firmware",
+    "encode_command_table",
+    "SendCmd",
+    "WaitCmd",
+]
+
+#: MMIO register byte offsets from MMIO_BASE.
+_CMD_PUSH = 0x0
+_CMD_SEND = 0x4
+_DONE_COUNT = 0x8
+
+SendCmd = Tuple[str, int, List[int]]   # ("send", dest, words)
+WaitCmd = Tuple[str, int]              # ("wait", done_count)
+
+
+def encode_command_table(commands: Sequence[Union[SendCmd, WaitCmd]]) -> List[int]:
+    """Encode a command list into the firmware's data-memory table.
+
+    Records: ``[dest, n, w0..wn-1]`` for sends, ``[-2, count]`` for
+    waits, and a terminating ``[-1]``.
+    """
+    table: List[int] = []
+    for cmd in commands:
+        if cmd[0] == "send":
+            _, dest, words = cmd
+            if dest < 0:
+                raise ValueError("send destination must be >= 0")
+            table.append(dest)
+            table.append(len(words))
+            table.extend(w & 0xFFFFFFFF for w in words)
+        elif cmd[0] == "wait":
+            table.append(0xFFFFFFFE)  # -2
+            table.append(cmd[1])
+        else:
+            raise ValueError(f"unknown command {cmd[0]!r}")
+    table.append(0xFFFFFFFF)  # -1: halt
+    return table
+
+
+def command_player_firmware() -> List[int]:
+    """Assemble the generic command-player firmware."""
+    return assemble("""
+        li s0, 0            # byte pointer into the command table
+        li s1, 0x80000000   # MMIO base
+    main:
+        lw t0, 0(s0)
+        addi s0, s0, 4
+        li t1, -1
+        beq t0, t1, halt
+        li t1, -2
+        beq t0, t1, wait
+        lw t2, 0(s0)        # word count
+        addi s0, s0, 4
+    push_loop:
+        beqz t2, send
+        lw t3, 0(s0)
+        addi s0, s0, 4
+        sw t3, 0(s1)        # CMD_PUSH
+        addi t2, t2, -1
+        j push_loop
+    send:
+        sw t0, 4(s1)        # CMD_SEND = destination node
+        j main
+    wait:
+        lw t2, 0(s0)        # target done count
+        addi s0, s0, 4
+    poll:
+        lw t3, 8(s1)        # DONE_COUNT
+        blt t3, t2, poll
+        j main
+    halt:
+        ebreak
+    """)
+
+
+class Controller:
+    """RISC-V core + NoC bridge at one mesh node."""
+
+    def __init__(self, sim, clock, ni: NetworkInterface, *,
+                 commands: Sequence[Union[SendCmd, WaitCmd]] = (),
+                 dmem_words: int = 4096, name: str = "controller",
+                 max_instructions: int = 2_000_000, axi_bridge=None):
+        self.name = name
+        self.node = ni.node
+        self.ni = ni
+        self.axi_bridge = axi_bridge  # MMIO window 0x100.. if present
+        self._staged: List[int] = []
+        self.done_count = 0
+        self.done_tokens: List[int] = []
+        self.other_messages: List[List[int]] = []
+        ni.handler = self._on_message
+
+        table = encode_command_table(commands)
+        if len(table) > dmem_words:
+            raise ValueError(
+                f"command table ({len(table)} words) exceeds dmem "
+                f"({dmem_words} words)")
+        dmem = MemArray(dmem_words, width=32)
+        dmem.load(table)
+        self.core = RiscvCore(
+            imem=command_player_firmware(), dmem=dmem,
+            mmio_read=self._mmio_read, mmio_write=self._mmio_write,
+            name=f"{name}.cpu",
+        )
+        self.halt_time: Optional[int] = None
+
+        def thread_body():
+            yield from self.core.run_thread(max_instructions=max_instructions)
+            self.halt_time = sim.now
+
+        sim.add_thread(thread_body(), clock, name=name)
+
+    # ------------------------------------------------------------------
+    def _on_message(self, src: int, payloads: List[int]) -> None:
+        if payloads and payloads[0] == Cmd.DONE:
+            self.done_count += 1
+            self.done_tokens.append(payloads[1])
+        else:
+            self.other_messages.append(payloads)
+
+    def _mmio_read(self, addr: int) -> int:
+        offset = addr - MMIO_BASE
+        if offset == _DONE_COUNT:
+            return self.done_count
+        if offset >= 0x100 and self.axi_bridge is not None:
+            return self.axi_bridge.mmio_read(offset - 0x100)
+        return 0
+
+    def _mmio_write(self, addr: int, value: int) -> None:
+        offset = addr - MMIO_BASE
+        if offset == _CMD_PUSH:
+            self._staged.append(value)
+        elif offset == _CMD_SEND:
+            self.ni.send(value, self._staged)
+            self._staged = []
+        elif offset >= 0x100 and self.axi_bridge is not None:
+            self.axi_bridge.mmio_write(offset - 0x100, value)
+
+    @property
+    def halted(self) -> bool:
+        return self.core.halted

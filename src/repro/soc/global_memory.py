@@ -1,0 +1,98 @@
+"""Global memory node (Figure 5).
+
+Banked on-chip memory built from MatchLib's ``mem_array`` banks behind
+an arbitrated crossbar (here the :class:`ArbitratedScratchpad`, which is
+exactly banks + arbitration), serving GM_READ/GM_WRITE messages from the
+NoC.  Throughput: ``n_banks`` words per cycle at unit stride.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator, List, Optional
+
+from ..matchlib.arbitrated_scratchpad import ArbitratedScratchpad, SpRequest
+from ..noc.mesh import NetworkInterface
+from .protocol import Cmd, NO_REPLY
+
+__all__ = ["GlobalMemory"]
+
+
+class GlobalMemory:
+    """A global-memory partition on the NoC."""
+
+    def __init__(self, sim, clock, ni: NetworkInterface, *, words: int = 65536,
+                 n_banks: int = 8, name: Optional[str] = None):
+        if n_banks < 1:
+            raise ValueError("n_banks must be >= 1")
+        self.name = name or f"gmem{ni.node}"
+        self.node = ni.node
+        self.n_banks = n_banks
+        self.core = ArbitratedScratchpad(
+            n_requesters=n_banks, n_banks=n_banks,
+            bank_entries=-(-words // n_banks), width=32,
+        )
+        self.ni = ni
+        self._inbox: deque = deque()
+        self.reads_served = 0
+        self.writes_served = 0
+        ni.handler = lambda src, payloads: self._inbox.append(payloads)
+        sim.add_thread(self._run(), clock, name=self.name)
+
+    @property
+    def words(self) -> int:
+        return self.core.entries
+
+    # Testbench conveniences --------------------------------------------
+    def load(self, values: List[int], *, base: int = 0) -> None:
+        self.core.load([v & 0xFFFFFFFF for v in values], base=base)
+
+    def dump(self, base: int, length: int) -> List[int]:
+        return self.core.dump(base, length)
+
+    # ------------------------------------------------------------------
+    def _access(self, base: int, words: Optional[List[int]],
+                length: int) -> Generator:
+        """Banked access, ``n_banks`` words per cycle; returns read data."""
+        is_write = words is not None
+        out: List[int] = [0] * length
+        for chunk_base in range(0, length, self.n_banks):
+            chunk_len = min(self.n_banks, length - chunk_base)
+            for lane in range(chunk_len):
+                addr = base + chunk_base + lane
+                data = words[chunk_base + lane] & 0xFFFFFFFF if is_write else None
+                ok = self.core.submit(SpRequest(lane, is_write, addr, data))
+                assert ok, "lane queues sized for one vector"
+            pending = chunk_len
+            while pending:
+                for rsp in self.core.tick():
+                    if not is_write:
+                        out[chunk_base + rsp.requester] = rsp.data
+                    pending -= 1
+                yield
+        return out
+
+    def _run(self) -> Generator:
+        while True:
+            if not self._inbox:
+                yield
+                continue
+            msg = self._inbox.popleft()
+            op = msg[0]
+            if op == Cmd.GM_READ:
+                base, length, reply_node, tag = msg[1:5]
+                data = yield from self._access(base, None, length)
+                self.ni.send(reply_node, [int(Cmd.GM_DATA), tag] + list(data))
+                self.reads_served += 1
+            elif op == Cmd.GM_WRITE:
+                base, reply_node, tag = msg[1:4]
+                payload = msg[4:]
+                yield from self._access(base, payload, len(payload))
+                self.writes_served += 1
+                if reply_node != NO_REPLY:
+                    self.ni.send(reply_node, [int(Cmd.GM_DATA), tag])
+            elif op == Cmd.NOTIFY:
+                self.ni.send(msg[1], [int(Cmd.DONE), msg[2]])
+            else:
+                raise ValueError(f"{self.name}: unknown command {op}")
+            yield

@@ -1,0 +1,85 @@
+"""SoC command protocol: integer-word messages over the NoC.
+
+Every message on the prototype SoC's NoC is a list of 32-bit integer
+words whose first word is an opcode.  The RISC-V controller issues PE
+and global-memory commands; PEs exchange data with global memory; done
+tokens flow back to the controller.
+
+PE commands
+-----------
+====================  ==================================================
+``[LOAD, g, gb, sb, n]``     fetch n words from gmem node g at gb into
+                             scratchpad at sb
+``[STORE, g, gb, sb, n]``    write n scratchpad words at sb to gmem
+``[COMPUTE, k, a, b, d, n, p]``  run kernel k over n elements:
+                             operands at scratchpad a and b, result at
+                             d, scalar parameter p
+``[NOTIFY, dest, token]``    send ``[DONE, token]`` to node dest
+``[WRITE_SPAD, sb, w...]``   direct scratchpad write (testbench use)
+====================  ==================================================
+
+Global-memory commands: ``[GM_READ, base, n, reply, tag]`` answered by
+``[GM_DATA, tag, w...]``; ``[GM_WRITE, base, reply, tag, w...]``
+acknowledged by ``[GM_DATA, tag]`` (``reply == NO_REPLY`` suppresses the
+ack).  A PE's STORE waits for the ack before executing its next command,
+so a NOTIFY queued after a STORE proves the data is durably in global
+memory.
+
+Kernel ids < :data:`KERNEL_FP_BASE` operate on 32-bit integers; adding
+:data:`KERNEL_FP_BASE` selects the FP16 bit-pattern variant computed
+with MatchLib's float functions.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = ["Cmd", "Kernel", "KERNEL_FP_BASE", "NO_REPLY"]
+
+#: Sentinel reply-node value meaning "do not acknowledge".
+NO_REPLY = 0xFFFFFFFF
+
+
+class Cmd(IntEnum):
+    """Message opcodes (first word of every NoC message)."""
+
+    LOAD = 1
+    STORE = 2
+    COMPUTE = 3
+    NOTIFY = 4
+    WRITE_SPAD = 5
+    GM_READ = 16
+    GM_DATA = 17
+    GM_WRITE = 18
+    DONE = 32
+
+
+#: Kernel ids at or above this value are FP16; below, 32-bit integer.
+KERNEL_FP_BASE = 16
+
+
+class Kernel(IntEnum):
+    """PE compute kernels (integer variants; add KERNEL_FP_BASE for FP16)."""
+
+    VADD = 1       # d[i] = a[i] + b[i]
+    VMUL = 2       # d[i] = a[i] * b[i]
+    VSUM = 3       # d[0] = sum(a[i])        (reduction)
+    VMAX = 4       # d[0] = max(a[i])        (reduction)
+    DOT = 5        # d[0] = sum(a[i] * b[i]) (dot product)
+    RELU = 6       # d[i] = max(a[i], 0)     (signed for int)
+    SCALE = 7      # d[i] = a[i] * p
+    L2DIST = 8     # d[0] = sum((a[i]-b[i])^2)
+    ADDS = 9       # d[i] = a[i] + p
+    VMIN = 10      # d[i] = min(a[i], b[i])
+
+    # FP16 variants.
+    VADD_FP16 = VADD + KERNEL_FP_BASE
+    VMUL_FP16 = VMUL + KERNEL_FP_BASE
+    VSUM_FP16 = VSUM + KERNEL_FP_BASE
+    VMAX_FP16 = VMAX + KERNEL_FP_BASE
+    DOT_FP16 = DOT + KERNEL_FP_BASE
+    RELU_FP16 = RELU + KERNEL_FP_BASE
+    SCALE_FP16 = SCALE + KERNEL_FP_BASE
+    L2DIST_FP16 = L2DIST + KERNEL_FP_BASE
+    ADDS_FP16 = ADDS + KERNEL_FP_BASE
+    VMIN_FP16 = VMIN + KERNEL_FP_BASE

@@ -1,0 +1,219 @@
+"""RV32I interpreter: the SoC's global controller core.
+
+The prototype SoC uses a RISC-V processor as the global controller that
+configures PEs and global memory and orchestrates data movement
+(section 4).  This is a from-scratch RV32I implementation: fetch,
+decode, execute at one instruction per cycle, with a word-addressed data
+memory and a memory-mapped I/O window for talking to the NoC command
+bridge.
+
+``ebreak`` halts the core (the firmware's exit).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional
+
+from ..matchlib.mem_array import MemArray
+
+__all__ = ["RiscvCore", "RiscvError", "MMIO_BASE"]
+
+#: Byte address where the memory-mapped I/O window begins.
+MMIO_BASE = 0x8000_0000
+
+
+class RiscvError(RuntimeError):
+    """Raised on illegal instructions or misaligned accesses."""
+
+
+def _signed(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+def _sext(value: int, bits: int) -> int:
+    mask = 1 << (bits - 1)
+    value &= (1 << bits) - 1
+    return (value ^ mask) - mask
+
+
+class RiscvCore:
+    """A single-issue RV32I core.
+
+    ``imem`` holds instruction words (word-indexed from byte address 0);
+    ``dmem`` is the data memory (word-addressed).  Loads/stores with byte
+    addresses at or above :data:`MMIO_BASE` are routed to the ``mmio_read``
+    / ``mmio_write`` callbacks.
+    """
+
+    def __init__(self, *, imem: List[int], dmem: MemArray,
+                 mmio_read: Optional[Callable[[int], int]] = None,
+                 mmio_write: Optional[Callable[[int, int], None]] = None,
+                 name: str = "riscv"):
+        self.name = name
+        self.imem = list(imem)
+        self.dmem = dmem
+        self.mmio_read = mmio_read or (lambda addr: 0)
+        self.mmio_write = mmio_write or (lambda addr, value: None)
+        self.regs = [0] * 32
+        self.pc = 0
+        self.halted = False
+        self.instructions_retired = 0
+
+    # ------------------------------------------------------------------
+    # memory access
+    # ------------------------------------------------------------------
+    def _load_word(self, addr: int) -> int:
+        if addr % 4:
+            raise RiscvError(f"misaligned load at {addr:#x}")
+        if addr >= MMIO_BASE:
+            return self.mmio_read(addr) & 0xFFFFFFFF
+        return self.dmem.read(addr // 4) & 0xFFFFFFFF
+
+    def _store_word(self, addr: int, value: int) -> None:
+        if addr % 4:
+            raise RiscvError(f"misaligned store at {addr:#x}")
+        if addr >= MMIO_BASE:
+            self.mmio_write(addr, value & 0xFFFFFFFF)
+        else:
+            self.dmem.write(addr // 4, value & 0xFFFFFFFF)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Execute one instruction."""
+        if self.halted:
+            return
+        word_index = self.pc // 4
+        if self.pc % 4 or not 0 <= word_index < len(self.imem):
+            raise RiscvError(f"bad pc {self.pc:#x}")
+        insn = self.imem[word_index]
+        self._execute(insn)
+        self.regs[0] = 0
+        self.instructions_retired += 1
+
+    def _execute(self, insn: int) -> None:
+        opcode = insn & 0x7F
+        rd = (insn >> 7) & 0x1F
+        funct3 = (insn >> 12) & 0x7
+        rs1 = (insn >> 15) & 0x1F
+        rs2 = (insn >> 20) & 0x1F
+        funct7 = insn >> 25
+        next_pc = self.pc + 4
+
+        if opcode == 0x33:  # R-type ALU
+            self.regs[rd] = self._alu(funct3, funct7, self.regs[rs1],
+                                      self.regs[rs2])
+        elif opcode == 0x13:  # I-type ALU
+            imm = _sext(insn >> 20, 12)
+            if funct3 in (1, 5):  # shifts use shamt + funct7
+                shamt = (insn >> 20) & 0x1F
+                self.regs[rd] = self._alu(funct3, funct7, self.regs[rs1], shamt)
+            else:
+                self.regs[rd] = self._alu(funct3, 0, self.regs[rs1], imm)
+        elif opcode == 0x03:  # loads
+            if funct3 != 2:
+                raise RiscvError(f"unsupported load funct3={funct3}")
+            addr = (self.regs[rs1] + _sext(insn >> 20, 12)) & 0xFFFFFFFF
+            self.regs[rd] = self._load_word(addr)
+        elif opcode == 0x23:  # stores
+            if funct3 != 2:
+                raise RiscvError(f"unsupported store funct3={funct3}")
+            imm = _sext(((funct7 << 5) | rd), 12)
+            addr = (self.regs[rs1] + imm) & 0xFFFFFFFF
+            self._store_word(addr, self.regs[rs2])
+        elif opcode == 0x63:  # branches
+            imm = _sext(
+                (((insn >> 31) & 1) << 12) | (((insn >> 7) & 1) << 11)
+                | (((insn >> 25) & 0x3F) << 5) | (((insn >> 8) & 0xF) << 1),
+                13,
+            )
+            if self._branch_taken(funct3, self.regs[rs1], self.regs[rs2]):
+                next_pc = (self.pc + imm) & 0xFFFFFFFF
+        elif opcode == 0x37:  # lui
+            self.regs[rd] = (insn & 0xFFFFF000) & 0xFFFFFFFF
+        elif opcode == 0x17:  # auipc
+            self.regs[rd] = (self.pc + (insn & 0xFFFFF000)) & 0xFFFFFFFF
+        elif opcode == 0x6F:  # jal
+            imm = _sext(
+                (((insn >> 31) & 1) << 20) | (((insn >> 12) & 0xFF) << 12)
+                | (((insn >> 20) & 1) << 11) | (((insn >> 21) & 0x3FF) << 1),
+                21,
+            )
+            self.regs[rd] = next_pc
+            next_pc = (self.pc + imm) & 0xFFFFFFFF
+        elif opcode == 0x67:  # jalr
+            if funct3 != 0:
+                raise RiscvError("bad jalr funct3")
+            target = (self.regs[rs1] + _sext(insn >> 20, 12)) & 0xFFFFFFFE
+            self.regs[rd] = next_pc
+            next_pc = target
+        elif opcode == 0x73:  # system: ebreak halts
+            if (insn >> 20) & 0xFFF == 1:
+                self.halted = True
+            else:
+                raise RiscvError(f"unsupported system instruction {insn:#010x}")
+        else:
+            raise RiscvError(f"illegal opcode {opcode:#x} in {insn:#010x}")
+        self.pc = next_pc
+
+    @staticmethod
+    def _alu(funct3: int, funct7: int, a: int, b: int) -> int:
+        a &= 0xFFFFFFFF
+        b &= 0xFFFFFFFF
+        if funct3 == 0:  # add/sub
+            if funct7 == 0x20:
+                return (a - b) & 0xFFFFFFFF
+            return (a + b) & 0xFFFFFFFF
+        if funct3 == 1:
+            return (a << (b & 0x1F)) & 0xFFFFFFFF
+        if funct3 == 2:
+            return 1 if _signed(a) < _signed(b) else 0
+        if funct3 == 3:
+            return 1 if a < b else 0
+        if funct3 == 4:
+            return a ^ b
+        if funct3 == 5:
+            if funct7 == 0x20:
+                return (_signed(a) >> (b & 0x1F)) & 0xFFFFFFFF
+            return a >> (b & 0x1F)
+        if funct3 == 6:
+            return a | b
+        if funct3 == 7:
+            return a & b
+        raise RiscvError(f"bad ALU funct3={funct3}")
+
+    @staticmethod
+    def _branch_taken(funct3: int, a: int, b: int) -> bool:
+        a &= 0xFFFFFFFF
+        b &= 0xFFFFFFFF
+        if funct3 == 0:
+            return a == b
+        if funct3 == 1:
+            return a != b
+        if funct3 == 4:
+            return _signed(a) < _signed(b)
+        if funct3 == 5:
+            return _signed(a) >= _signed(b)
+        if funct3 == 6:
+            return a < b
+        if funct3 == 7:
+            return a >= b
+        raise RiscvError(f"bad branch funct3={funct3}")
+
+    # ------------------------------------------------------------------
+    # simulation integration
+    # ------------------------------------------------------------------
+    def run_thread(self, *, max_instructions: Optional[int] = None) -> Generator:
+        """Clocked thread body: one instruction per cycle until halt."""
+        count = 0
+        while not self.halted:
+            self.step()
+            count += 1
+            if max_instructions is not None and count >= max_instructions:
+                raise RiscvError(
+                    f"{self.name}: exceeded {max_instructions} instructions "
+                    f"without halting (runaway firmware?)"
+                )
+            yield

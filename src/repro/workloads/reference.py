@@ -1,0 +1,111 @@
+"""Golden reference implementations of the SoC workloads.
+
+Pure-Python integer models used to verify accelerator output bit-for-bit
+(the role of the "golden reference models" the paper's verification
+methodology compares against).  All arithmetic is 32-bit two's
+complement to match the PE datapath.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = [
+    "mask32",
+    "conv2d_ref",
+    "dot_ref",
+    "gemm_ref",
+    "kmeans_min_distances_ref",
+    "relu_ref",
+    "scale_ref",
+    "sum_ref",
+]
+
+_MASK = 0xFFFFFFFF
+
+
+def mask32(value: int) -> int:
+    return value & _MASK
+
+
+def _s32(value: int) -> int:
+    value &= _MASK
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+def scale_ref(vec: Sequence[int], factor: int) -> List[int]:
+    """Elementwise multiply by a scalar."""
+    return [mask32(_s32(x) * _s32(factor)) for x in vec]
+
+
+def relu_ref(vec: Sequence[int]) -> List[int]:
+    return [x & _MASK if _s32(x) > 0 else 0 for x in vec]
+
+
+def sum_ref(vec: Sequence[int]) -> int:
+    return mask32(sum(_s32(x) for x in vec))
+
+
+def dot_ref(a: Sequence[int], b: Sequence[int]) -> int:
+    if len(a) != len(b):
+        raise ValueError("length mismatch")
+    return mask32(sum(_s32(x) * _s32(y) for x, y in zip(a, b)))
+
+
+def conv2d_ref(image: List[List[int]], kernel: List[List[int]]) -> List[List[int]]:
+    """Valid-mode 2-D convolution (actually cross-correlation, as CNNs use).
+
+    Output size: (H - kh + 1) x (W - kw + 1).
+    """
+    height, width = len(image), len(image[0])
+    kh, kw = len(kernel), len(kernel[0])
+    if kh > height or kw > width:
+        raise ValueError("kernel larger than image")
+    out = []
+    for oy in range(height - kh + 1):
+        row = []
+        for ox in range(width - kw + 1):
+            acc = 0
+            for ky in range(kh):
+                for kx in range(kw):
+                    acc += _s32(image[oy + ky][ox + kx]) * _s32(kernel[ky][kx])
+            row.append(mask32(acc))
+        out.append(row)
+    return out
+
+
+def gemm_ref(a: List[List[int]], b: List[List[int]]) -> List[List[int]]:
+    """Integer matrix multiply: (m x k) @ (k x n)."""
+    m, k = len(a), len(a[0])
+    k2, n = len(b), len(b[0])
+    if k != k2:
+        raise ValueError("inner dimension mismatch")
+    return [
+        [mask32(sum(_s32(a[i][p]) * _s32(b[p][j]) for p in range(k)))
+         for j in range(n)]
+        for i in range(m)
+    ]
+
+
+def kmeans_min_distances_ref(points: List[List[int]],
+                             centroids: List[List[int]]) -> List[int]:
+    """Per-point minimum squared L2 distance to any centroid.
+
+    The compute-heavy inner loop of a k-means step — what the PE array
+    accelerates (assignment indices and the centroid update run on the
+    controller in a real deployment).
+    """
+    if not centroids:
+        raise ValueError("need at least one centroid")
+    out = []
+    for p in points:
+        best = None
+        for c in centroids:
+            if len(c) != len(p):
+                raise ValueError("dimension mismatch")
+            d = mask32(sum((_s32(x) - _s32(y)) ** 2 for x, y in zip(p, c)))
+            # Signed min, matching the PE's VMIN kernel semantics.
+            if best is None or _s32(d) < _s32(best):
+                best = d
+        out.append(best)
+    return out

@@ -1,0 +1,215 @@
+"""Tests for AXI master/slave interfaces and the interconnect fabric."""
+
+import pytest
+
+from repro.axi import (
+    AddressRange,
+    AxiAR,
+    AxiAW,
+    AxiError,
+    AxiInterconnect,
+    AxiMaster,
+    AxiMemorySlave,
+    AxiRegisterSlave,
+    AxiResp,
+)
+from repro.connections import Buffer
+from repro.kernel import Simulator
+from repro.matchlib import MemArray
+
+
+def make_env():
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=10)
+    return sim, clk
+
+
+def direct_wire(sim, clk, master, slave):
+    """Wire a master straight to a slave (no fabric)."""
+    for m_port, s_port, tag in (
+        (master.aw, slave.aw, "aw"),
+        (master.w, slave.w, "w"),
+        (master.ar, slave.ar, "ar"),
+    ):
+        chan = Buffer(sim, clk, capacity=2, name=tag)
+        m_port.bind(chan)
+        s_port.bind(chan)
+    for s_port, m_port, tag in ((slave.b, master.b, "b"), (slave.r, master.r, "r")):
+        chan = Buffer(sim, clk, capacity=2, name=tag)
+        s_port.bind(chan)
+        m_port.bind(chan)
+
+
+def test_axi_types_validate():
+    with pytest.raises(ValueError):
+        AxiAW(addr=0, length=0)
+    with pytest.raises(ValueError):
+        AxiAR(addr=0, length=0)
+
+
+def test_single_write_then_read():
+    sim, clk = make_env()
+    mem = MemArray(64, width=32)
+    slave = AxiMemorySlave(sim, clk, mem)
+    master = AxiMaster()
+    direct_wire(sim, clk, master, slave)
+    result = {}
+
+    def body():
+        yield from master.write(5, 0xABCD)
+        result["data"] = yield from master.read(5)
+
+    sim.add_thread(body(), clk, name="m")
+    sim.run(until=100_000)
+    assert result["data"] == 0xABCD
+    assert master.reads_done == 1 and master.writes_done == 1
+    assert slave.reads_served == 1 and slave.writes_served == 1
+
+
+def test_burst_write_read():
+    sim, clk = make_env()
+    mem = MemArray(64, width=32)
+    slave = AxiMemorySlave(sim, clk, mem)
+    master = AxiMaster()
+    direct_wire(sim, clk, master, slave)
+    result = {}
+
+    def body():
+        yield from master.write_burst(8, [1, 2, 3, 4])
+        result["data"] = yield from master.read_burst(8, 4)
+
+    sim.add_thread(body(), clk, name="m")
+    sim.run(until=100_000)
+    assert result["data"] == [1, 2, 3, 4]
+    assert mem.dump(8, 4) == [1, 2, 3, 4]
+
+
+def test_out_of_range_write_raises_slverr():
+    sim, clk = make_env()
+    slave = AxiMemorySlave(sim, clk, MemArray(16, width=32))
+    master = AxiMaster()
+    direct_wire(sim, clk, master, slave)
+    result = {}
+
+    def body():
+        try:
+            yield from master.write(999, 1)
+        except AxiError as exc:
+            result["error"] = str(exc)
+
+    sim.add_thread(body(), clk, name="m")
+    sim.run(until=100_000)
+    assert "SLVERR" in result["error"]
+
+
+def test_register_slave_callback():
+    sim, clk = make_env()
+    writes = []
+    slave = AxiRegisterSlave(sim, clk, n_regs=8,
+                             on_write=lambda a, v: writes.append((a, v)))
+    master = AxiMaster()
+    direct_wire(sim, clk, master, slave)
+    result = {}
+
+    def body():
+        yield from master.write(3, 77)
+        result["r3"] = yield from master.read(3)
+
+    sim.add_thread(body(), clk, name="m")
+    sim.run(until=100_000)
+    assert writes == [(3, 77)]
+    assert result["r3"] == 77
+    assert slave.regs[3] == 77
+
+
+def test_interconnect_routes_by_address():
+    sim, clk = make_env()
+    fabric = AxiInterconnect(sim, clk)
+    master = AxiMaster()
+    fabric.connect_master(master)
+    mem_a = MemArray(16, width=32)
+    mem_b = MemArray(16, width=32)
+    fabric.connect_slave(AxiMemorySlave(sim, clk, mem_a, name="sa"),
+                         AddressRange(0x100, 16))
+    fabric.connect_slave(AxiMemorySlave(sim, clk, mem_b, name="sb"),
+                         AddressRange(0x200, 16))
+    result = {}
+
+    def body():
+        yield from master.write(0x105, 0xA)
+        yield from master.write(0x205, 0xB)
+        result["a"] = yield from master.read(0x105)
+        result["b"] = yield from master.read(0x205)
+
+    sim.add_thread(body(), clk, name="m")
+    sim.run(until=200_000)
+    assert result == {"a": 0xA, "b": 0xB}
+    assert mem_a.dump(5, 1) == [0xA]   # rebased to slave-local address
+    assert mem_b.dump(5, 1) == [0xB]
+    assert fabric.transactions == 4
+
+
+def test_interconnect_decode_error():
+    sim, clk = make_env()
+    fabric = AxiInterconnect(sim, clk)
+    master = AxiMaster()
+    fabric.connect_master(master)
+    fabric.connect_slave(
+        AxiMemorySlave(sim, clk, MemArray(16, width=32)), AddressRange(0, 16))
+    result = {}
+
+    def body():
+        try:
+            yield from master.read(0x9999)
+        except AxiError as exc:
+            result["error"] = str(exc)
+
+    sim.add_thread(body(), clk, name="m")
+    sim.run(until=100_000)
+    assert "DECERR" in result["error"]
+    assert fabric.decode_errors == 1
+
+
+def test_interconnect_two_masters_shared_slave():
+    sim, clk = make_env()
+    fabric = AxiInterconnect(sim, clk)
+    m0, m1 = AxiMaster(name="m0", id_=0), AxiMaster(name="m1", id_=1)
+    fabric.connect_master(m0)
+    fabric.connect_master(m1)
+    mem = MemArray(32, width=32)
+    fabric.connect_slave(AxiMemorySlave(sim, clk, mem), AddressRange(0, 32))
+    done = []
+
+    def worker(master, base):
+        for i in range(4):
+            yield from master.write(base + i, base * 100 + i)
+        done.append(master.name)
+
+    sim.add_thread(worker(m0, 0), clk, name="w0")
+    sim.add_thread(worker(m1, 16), clk, name="w1")
+    sim.run(until=500_000)
+    assert sorted(done) == ["m0", "m1"]
+    assert mem.dump(0, 4) == [0, 1, 2, 3]
+    assert mem.dump(16, 4) == [1600, 1601, 1602, 1603]
+
+
+def test_interconnect_rejects_overlapping_ranges():
+    sim, clk = make_env()
+    fabric = AxiInterconnect(sim, clk)
+    fabric.connect_slave(
+        AxiMemorySlave(sim, clk, MemArray(16), name="s0"), AddressRange(0, 16))
+    with pytest.raises(ValueError):
+        fabric.connect_slave(
+            AxiMemorySlave(sim, clk, MemArray(16), name="s1"),
+            AddressRange(8, 16))
+
+
+def test_address_range_validation():
+    with pytest.raises(ValueError):
+        AddressRange(base=-1, size=4)
+    with pytest.raises(ValueError):
+        AddressRange(base=0, size=0)
+    r = AddressRange(0x100, 0x10)
+    assert r.contains(0x100) and r.contains(0x10F)
+    assert not r.contains(0x110)
+    assert r.rebase(0x105) == 5

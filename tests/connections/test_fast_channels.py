@@ -1,0 +1,289 @@
+"""Tests for the fast (sim-accurate) channel core and In/Out ports."""
+
+import pytest
+
+from repro.connections import Buffer, Bypass, Combinational, In, Out, Pipeline, PortError
+from repro.kernel import Simulator
+
+
+def make_env(period=10):
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=period)
+    return sim, clk
+
+
+def run_stream(channel_factory, n_msgs=50, consumer_stall=0, capacity_kwargs=None):
+    """Push n messages through a channel; return (received, elapsed_cycles)."""
+    sim, clk = make_env()
+    chan = channel_factory(sim, clk, **(capacity_kwargs or {}))
+    out, inp = Out(chan), In(chan)
+    received = []
+    done = {}
+
+    def producer():
+        for i in range(n_msgs):
+            yield from out.push(i)
+            yield
+
+    def consumer():
+        while len(received) < n_msgs:
+            ok, msg = inp.pop_nb()
+            if ok:
+                received.append(msg)
+            for _ in range(consumer_stall):
+                yield
+            yield
+        done["cycles"] = clk.cycles
+
+    sim.add_thread(producer(), clk, name="prod")
+    sim.add_thread(consumer(), clk, name="cons")
+    sim.run(until=n_msgs * 400)
+    return received, done.get("cycles")
+
+
+@pytest.mark.parametrize("factory", [Combinational, Bypass, Pipeline, Buffer])
+def test_all_kinds_deliver_in_order(factory):
+    received, cycles = run_stream(factory)
+    assert received == list(range(50))
+    assert cycles is not None
+
+
+@pytest.mark.parametrize("factory", [Combinational, Bypass, Pipeline, Buffer])
+def test_all_kinds_survive_slow_consumer(factory):
+    received, _ = run_stream(factory, n_msgs=20, consumer_stall=3)
+    assert received == list(range(20))
+
+
+def test_buffer_respects_capacity():
+    sim, clk = make_env()
+    chan = Buffer(sim, clk, capacity=4)
+    out = Out(chan)
+
+    def producer():
+        accepted = 0
+        for i in range(10):
+            if out.push_nb(i):
+                accepted += 1
+            yield
+        assert accepted == 4  # nobody pops; capacity caps acceptance
+
+    sim.add_thread(producer(), clk, name="prod")
+    sim.run(until=1000)
+    assert chan.occupancy == 4
+
+
+def test_one_push_per_cycle_limit():
+    sim, clk = make_env()
+    chan = Buffer(sim, clk, capacity=8)
+    out = Out(chan)
+    results = []
+
+    def producer():
+        results.append(out.push_nb("a"))
+        results.append(out.push_nb("b"))  # same cycle: must fail
+        yield
+
+    sim.add_thread(producer(), clk, name="prod")
+    sim.run(until=100)
+    assert results == [True, False]
+
+
+def test_one_pop_per_cycle_limit():
+    sim, clk = make_env()
+    chan = Buffer(sim, clk, capacity=8)
+    out, inp = Out(chan), In(chan)
+    popped = []
+
+    def producer():
+        out.push_nb(1)
+        out.push_nb(2)  # fails; retry next cycle
+        yield
+        out.push_nb(2)
+        yield
+
+    def consumer():
+        yield 3  # wait for both to land
+        popped.append(inp.pop_nb())
+        popped.append(inp.pop_nb())  # same cycle: must fail
+
+    sim.add_thread(producer(), clk, name="prod")
+    sim.add_thread(consumer(), clk, name="cons")
+    sim.run(until=200)
+    assert popped[0] == (True, 1)
+    assert popped[1][0] is False
+
+
+def test_push_visible_next_cycle_not_same_cycle():
+    sim, clk = make_env()
+    chan = Buffer(sim, clk, capacity=8)
+    out, inp = Out(chan), In(chan)
+    log = []
+
+    def both():
+        out.push_nb("x")
+        log.append(inp.pop_nb())  # same cycle: not yet visible
+        yield
+        log.append(inp.pop_nb())  # next cycle: visible
+
+    sim.add_thread(both(), clk, name="t")
+    sim.run(until=100)
+    assert log[0][0] is False
+    assert log[1] == (True, "x")
+
+
+def test_extra_latency_delays_delivery():
+    sim, clk = make_env()
+    chan = Buffer(sim, clk, capacity=8, extra_latency=3)
+    out, inp = Out(chan), In(chan)
+    arrival = {}
+
+    def producer():
+        out.push_nb("m")
+        yield
+
+    def consumer():
+        while True:
+            ok, _ = inp.pop_nb()
+            if ok:
+                arrival["cycle"] = clk.cycles
+                return
+            yield
+
+    sim.add_thread(producer(), clk, name="p")
+    sim.add_thread(consumer(), clk, name="c")
+    sim.run(until=1000)
+    # Push at cycle 1 (first edge), visible at 1 + 1 + 3 = cycle 5.
+    assert arrival["cycle"] == 5
+
+
+def test_buffer_full_throughput_with_capacity_2():
+    """Steady-state: one message per cycle through a Buffer(2)."""
+    sim, clk = make_env()
+    chan = Buffer(sim, clk, capacity=2)
+    out, inp = Out(chan), In(chan)
+    n = 100
+    received = []
+    t = {}
+
+    def producer():
+        for i in range(n):
+            yield from out.push(i)
+
+    def consumer():
+        t["start"] = clk.cycles
+        while len(received) < n:
+            ok, msg = inp.pop_nb()
+            if ok:
+                received.append(msg)
+            yield
+        t["end"] = clk.cycles
+
+    sim.add_thread(producer(), clk, name="p")
+    sim.add_thread(consumer(), clk, name="c")
+    sim.run(until=n * 100)
+    assert received == list(range(n))
+    cycles_per_msg = (t["end"] - t["start"]) / n
+    assert cycles_per_msg < 1.15  # ~1 msg/cycle steady state
+
+
+def test_peek_does_not_consume():
+    sim, clk = make_env()
+    chan = Buffer(sim, clk, capacity=4)
+    out, inp = Out(chan), In(chan)
+    log = []
+
+    def t():
+        out.push_nb(7)
+        yield
+        log.append(inp.peek_nb())
+        log.append(inp.peek_nb())
+        log.append(inp.pop_nb())
+
+    sim.add_thread(t(), clk, name="t")
+    sim.run(until=100)
+    assert log == [(True, 7), (True, 7), (True, 7)]
+    assert chan.occupancy == 0
+
+
+def test_port_double_bind_rejected():
+    sim, clk = make_env()
+    chan = Buffer(sim, clk)
+    port = Out(chan)
+    with pytest.raises(PortError):
+        port.bind(chan)
+
+
+def test_unbound_port_rejected():
+    port = In(name="loose")
+    with pytest.raises(PortError):
+        port.pop_nb()
+
+
+def test_invalid_capacity_rejected():
+    sim, clk = make_env()
+    with pytest.raises(ValueError):
+        Buffer(sim, clk, capacity=0)
+
+
+def test_channel_stats_count_transfers():
+    received, _ = run_stream(Buffer, n_msgs=30)
+    assert received == list(range(30))
+
+
+def test_stall_injection_preserves_functionality():
+    """The central LI property: stalls change timing, never data."""
+    sim, clk = make_env()
+    chan = Buffer(sim, clk, capacity=4)
+    chan.set_stall(0.5, seed=42)
+    out, inp = Out(chan), In(chan)
+    n = 40
+    received = []
+
+    def producer():
+        for i in range(n):
+            yield from out.push(i)
+
+    def consumer():
+        for _ in range(n):
+            msg = yield from inp.pop()
+            received.append(msg)
+
+    sim.add_thread(producer(), clk, name="p")
+    sim.add_thread(consumer(), clk, name="c")
+    sim.run(until=n * 1000)
+    assert received == list(range(n))
+    assert chan.stats.stall_cycles > 0
+
+
+def test_stall_slows_down_delivery():
+    _, cycles_free = run_stream(Buffer, n_msgs=50)
+
+    sim, clk = make_env()
+    chan = Buffer(sim, clk, capacity=8)
+    chan.set_stall(0.7, seed=1)
+    out, inp = Out(chan), In(chan)
+    received = []
+    done = {}
+
+    def producer():
+        for i in range(50):
+            yield from out.push(i)
+
+    def consumer():
+        for _ in range(50):
+            msg = yield from inp.pop()
+            received.append(msg)
+        done["cycles"] = clk.cycles
+
+    sim.add_thread(producer(), clk, name="p")
+    sim.add_thread(consumer(), clk, name="c")
+    sim.run(until=500_000)
+    assert received == list(range(50))
+    assert done["cycles"] > cycles_free
+
+
+def test_stall_probability_validation():
+    sim, clk = make_env()
+    chan = Buffer(sim, clk)
+    with pytest.raises(ValueError):
+        chan.set_stall(1.5)

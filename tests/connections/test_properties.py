@@ -1,0 +1,134 @@
+"""Property-based tests on the LI channel invariants.
+
+The central latency-insensitive guarantee — arbitrary timing (channel
+kind, capacity, stalls, producer/consumer pacing) never changes *what*
+is delivered or its order — checked with hypothesis across the
+parameter space.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.connections import Buffer, Bypass, Combinational, In, Out, Pipeline
+from repro.connections.rtl_adapter import RtlChannel
+from repro.kernel import Simulator
+
+_FACTORIES = {
+    "Combinational": Combinational,
+    "Bypass": Bypass,
+    "Pipeline": Pipeline,
+    "Buffer": Buffer,
+    "Rtl": lambda sim, clk: RtlChannel(sim, clk, capacity=4),
+}
+
+
+def _run_channel(factory_name, messages, stall_prob, stall_seed,
+                 producer_gaps, consumer_gaps):
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=10)
+    chan = _FACTORIES[factory_name](sim, clk)
+    if stall_prob and hasattr(chan, "set_stall"):
+        chan.set_stall(stall_prob, seed=stall_seed)
+    out, inp = Out(chan), In(chan)
+    received = []
+
+    def producer():
+        for i, msg in enumerate(messages):
+            yield from out.push(msg)
+            for _ in range(producer_gaps[i % len(producer_gaps)]):
+                yield
+
+    def consumer():
+        for i in range(len(messages)):
+            received.append((yield from inp.pop()))
+            for _ in range(consumer_gaps[i % len(consumer_gaps)]):
+                yield
+
+    sim.add_thread(producer(), clk, name="p")
+    sim.add_thread(consumer(), clk, name="c")
+    sim.run(until=(len(messages) + 1) * 4000)
+    return received
+
+
+@given(
+    factory=st.sampled_from(sorted(_FACTORIES)),
+    messages=st.lists(st.integers(), min_size=1, max_size=25),
+    stall_prob=st.sampled_from([0.0, 0.3, 0.6]),
+    stall_seed=st.integers(0, 1000),
+    producer_gaps=st.lists(st.integers(0, 3), min_size=1, max_size=4),
+    consumer_gaps=st.lists(st.integers(0, 3), min_size=1, max_size=4),
+)
+@settings(max_examples=60, deadline=None)
+def test_li_delivery_invariant_under_arbitrary_timing(
+        factory, messages, stall_prob, stall_seed, producer_gaps,
+        consumer_gaps):
+    """Any channel kind, any stalls, any pacing: exact in-order delivery."""
+    received = _run_channel(factory, messages, stall_prob, stall_seed,
+                            producer_gaps, consumer_gaps)
+    assert received == messages
+
+
+@given(
+    messages=st.lists(st.integers(), min_size=1, max_size=30),
+    capacity=st.integers(1, 6),
+)
+@settings(max_examples=40, deadline=None)
+def test_buffer_capacity_never_exceeded(messages, capacity):
+    """Occupancy invariant: a Buffer never stores more than capacity."""
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=10)
+    chan = Buffer(sim, clk, capacity=capacity)
+    out, inp = Out(chan), In(chan)
+    peak = {"occ": 0}
+    clk.on_edge(lambda c: peak.__setitem__(
+        "occ", max(peak["occ"], chan.occupancy)))
+    received = []
+
+    def producer():
+        for msg in messages:
+            yield from out.push(msg)
+
+    def consumer():
+        for _ in range(len(messages)):
+            received.append((yield from inp.pop()))
+            yield 2  # slow consumer maximizes occupancy
+
+    sim.add_thread(producer(), clk, name="p")
+    sim.add_thread(consumer(), clk, name="c")
+    sim.run(until=len(messages) * 4000)
+    assert received == messages
+    assert peak["occ"] <= capacity
+
+
+@given(
+    n_msgs=st.integers(1, 20),
+    extra_latency=st.integers(0, 6),
+)
+@settings(max_examples=30, deadline=None)
+def test_retiming_registers_add_exact_latency(n_msgs, extra_latency):
+    """Retiming stages delay first delivery by exactly their count."""
+    def first_arrival(latency):
+        sim = Simulator()
+        clk = sim.add_clock("clk", period=10)
+        chan = Buffer(sim, clk, capacity=4, extra_latency=latency)
+        out, inp = Out(chan), In(chan)
+        arrival = {}
+
+        def producer():
+            for i in range(n_msgs):
+                yield from out.push(i)
+
+        def consumer():
+            while True:
+                ok, _ = inp.pop_nb()
+                if ok:
+                    arrival.setdefault("cycle", clk.cycles)
+                    return
+                yield
+
+        sim.add_thread(producer(), clk, name="p")
+        sim.add_thread(consumer(), clk, name="c")
+        sim.run(until=200_000)
+        return arrival["cycle"]
+
+    assert first_arrival(extra_latency) == first_arrival(0) + extra_latency

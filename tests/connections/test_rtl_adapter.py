@@ -1,0 +1,103 @@
+"""Direct tests for the RTL-cosimulation channel adapter."""
+
+import pytest
+
+from repro.connections import Buffer, In, Out, RtlChannel
+from repro.kernel import Simulator
+
+
+def make_env():
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=10)
+    return sim, clk
+
+
+def stream(chan_factory, n=30, consumer_stall=0):
+    sim, clk = make_env()
+    chan = chan_factory(sim, clk)
+    out, inp = Out(chan), In(chan)
+    received = []
+    done = {}
+
+    def producer():
+        for i in range(n):
+            yield from out.push(i)
+
+    def consumer():
+        for _ in range(n):
+            received.append((yield from inp.pop()))
+            for _ in range(consumer_stall):
+                yield
+        done["time"] = sim.now
+
+    sim.add_thread(producer(), clk, name="p")
+    sim.add_thread(consumer(), clk, name="c")
+    sim.run(until=n * 4000)
+    return received, done
+
+
+def test_rtl_channel_delivers_in_order():
+    received, done = stream(lambda s, c: RtlChannel(s, c))
+    assert received == list(range(30))
+    assert "time" in done
+
+
+def test_rtl_channel_slower_consumer_backpressures():
+    received, _ = stream(lambda s, c: RtlChannel(s, c), consumer_stall=3)
+    assert received == list(range(30))
+
+
+def test_rtl_channel_has_more_latency_than_fast_buffer():
+    """The deliberate pipeline-latency difference behind Figure 6's
+    elapsed-cycle error."""
+    _, done_fast = stream(lambda s, c: Buffer(s, c, capacity=4), n=20)
+    _, done_rtl = stream(lambda s, c: RtlChannel(s, c), n=20)
+    assert done_rtl["time"] > done_fast["time"]
+
+
+def test_rtl_channel_one_push_pop_per_cycle():
+    sim, clk = make_env()
+    chan = RtlChannel(sim, clk)
+    log = []
+
+    def t():
+        log.append(chan.do_push("a"))
+        log.append(chan.do_push("b"))  # same cycle: rejected
+        yield
+
+    sim.add_thread(t(), clk, name="t")
+    sim.run(until=1000)
+    assert log == [True, False]
+
+
+def test_rtl_channel_peek_and_stall_delegation():
+    sim, clk = make_env()
+    chan = RtlChannel(sim, clk)
+    chan.set_stall(0.4, seed=3)  # delegates to the signal core
+    out, inp = Out(chan), In(chan)
+    received = []
+
+    def producer():
+        for i in range(15):
+            yield from out.push(i)
+
+    def consumer():
+        while len(received) < 15:
+            ok, head = inp.peek_nb()
+            if ok:
+                ok2, msg = inp.pop_nb()
+                assert ok2 and msg == head
+                received.append(msg)
+            yield
+
+    sim.add_thread(producer(), clk, name="p")
+    sim.add_thread(consumer(), clk, name="c")
+    sim.run(until=500_000)
+    assert received == list(range(15))
+    assert chan.core._stall_probability == 0.4
+
+
+def test_rtl_channel_validation():
+    sim, clk = make_env()
+    with pytest.raises(ValueError):
+        RtlChannel(sim, clk, buffer_depth=0)

@@ -1,0 +1,172 @@
+"""Tests for signal-level (RTL reference) channels and testbench drivers."""
+
+import pytest
+
+from repro.connections import (
+    BufferSignal,
+    BypassSignal,
+    CombinationalSignal,
+    PipelineSignal,
+    stream_consumer,
+    stream_producer,
+)
+from repro.kernel import Simulator
+
+
+def make_env():
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=10)
+    return sim, clk
+
+
+def stream_through(channel_cls, n=40, **kwargs):
+    sim, clk = make_env()
+    chan = channel_cls(sim, clk, name="ch", **kwargs)
+    sink = []
+    done = {}
+    sim.add_thread(stream_producer(chan.enq, range(n)), clk, name="p")
+    sim.add_thread(stream_consumer(chan.deq, sink, count=n, done=done), clk, name="c")
+    sim.run(until=n * 500)
+    finish_cycles = done["time"] // 10 if "time" in done else None
+    return sink, finish_cycles, chan
+
+
+@pytest.mark.parametrize("cls,kwargs", [
+    (BufferSignal, {"capacity": 2}),
+    (BufferSignal, {"capacity": 8}),
+    (BypassSignal, {"capacity": 1}),
+    (PipelineSignal, {"capacity": 1}),
+])
+def test_queued_channels_deliver_in_order(cls, kwargs):
+    sink, _, _ = stream_through(cls, n=40, **kwargs)
+    assert sink == list(range(40))
+
+
+def test_combinational_signal_channel_is_shared_wires():
+    sim, clk = make_env()
+    chan = CombinationalSignal(sim, clk)
+    assert chan.enq is chan.deq
+    sink = []
+    sim.add_thread(stream_producer(chan.enq, range(20)), clk, name="p")
+    sim.add_thread(stream_consumer(chan.deq, sink, count=20), clk, name="c")
+    sim.run(until=10_000)
+    assert sink == list(range(20))
+
+
+def test_combinational_full_throughput():
+    """Pure wires: one transfer per cycle once both sides are up."""
+    sim, clk = make_env()
+    chan = CombinationalSignal(sim, clk)
+    sink = []
+    done = {}
+    n = 100
+    sim.add_thread(stream_producer(chan.enq, range(n)), clk, name="p")
+    sim.add_thread(stream_consumer(chan.deq, sink, count=n, done=done), clk, name="c")
+    sim.run(until=n * 100)
+    assert sink == list(range(n))
+    assert done["time"] // 10 <= n + 5
+
+
+def test_buffer_signal_throughput_near_one_at_cap2():
+    sink, cycles, _ = stream_through(BufferSignal, n=100, capacity=2)
+    assert sink == list(range(100))
+    assert cycles <= 115  # ~1 msg/cycle plus pipeline fill
+
+
+def test_buffer_signal_cap1_half_throughput():
+    """Registered-ready 1-deep FIFO: known 1/2-throughput behaviour."""
+    sink, cycles, _ = stream_through(BufferSignal, n=50, capacity=1)
+    assert sink == list(range(50))
+    assert 95 <= cycles <= 110  # ~2 cycles per message
+
+
+def test_bypass_signal_passthrough_when_empty():
+    """Bypass latency: first message visible without a buffer cycle."""
+    sim, clk = make_env()
+    chan = BypassSignal(sim, clk, name="by", capacity=1)
+    seen_at = {}
+
+    def producer():
+        chan.enq.valid.write(1)
+        chan.enq.msg.write("m")
+        while True:
+            yield
+            if chan.enq.ready.read():
+                chan.enq.valid.write(0)
+                return
+
+    def consumer():
+        chan.deq.ready.write(1)
+        while True:
+            yield
+            if chan.deq.valid.read():
+                seen_at["cycle"] = clk.cycles
+                seen_at["msg"] = chan.deq.msg.read()
+                return
+
+    sim.add_thread(producer(), clk, name="p")
+    sim.add_thread(consumer(), clk, name="c")
+    sim.run(until=1000)
+    assert seen_at["msg"] == "m"
+    # valid cut through combinationally: consumer fires at cycle 2 (first
+    # edge after the producer's drive committed), not a buffer-cycle later.
+    assert seen_at["cycle"] == 2
+
+
+def test_pipeline_signal_enq_when_full():
+    """Pipeline: a full buffer still accepts when the consumer dequeues."""
+    sim, clk = make_env()
+    chan = PipelineSignal(sim, clk, name="pi", capacity=1)
+    sink = []
+    done = {}
+    sim.add_thread(stream_producer(chan.enq, range(30)), clk, name="p")
+    sim.add_thread(stream_consumer(chan.deq, sink, count=30, done=done), clk, name="c")
+    sim.run(until=10_000)
+    assert sink == list(range(30))
+    # Full throughput even with capacity 1 — the point of the valid cut.
+    assert done["time"] // 10 <= 45
+
+
+def test_pipeline_overflow_is_detected():
+    sim, clk = make_env()
+    chan = PipelineSignal(sim, clk, name="pi", capacity=1)
+    # Force illegal state: enq.ready never consulted by a broken producer.
+    chan.queue.append("stale")
+
+    def bad_producer():
+        chan.enq.valid.write(1)
+        chan.enq.msg.write("x")
+        # Force ready high against protocol.
+        chan.enq.ready.write(1)
+        yield
+        chan.enq.ready.write(1)
+        yield
+
+    sim.add_thread(bad_producer(), clk, name="bad")
+    with pytest.raises(RuntimeError, match="overflow"):
+        sim.run(until=1000)
+
+
+def test_signal_channel_capacity_validation():
+    sim, clk = make_env()
+    with pytest.raises(ValueError):
+        BufferSignal(sim, clk, name="b", capacity=0)
+
+
+def test_signal_channel_stall_injection_preserves_data():
+    sim, clk = make_env()
+    chan = BufferSignal(sim, clk, name="st", capacity=4)
+    chan.set_stall(0.5, seed=7)
+    sink = []
+    sim.add_thread(stream_producer(chan.enq, range(30)), clk, name="p")
+    sim.add_thread(stream_consumer(chan.deq, sink, count=30), clk, name="c")
+    sim.run(until=100_000)
+    assert sink == list(range(30))
+    assert chan.transfers_out == 30
+
+
+def test_signal_channel_transfer_counters():
+    _, _, chan = stream_through(BufferSignal, n=25, capacity=4)
+    assert chan.transfers_in == 25
+    assert chan.transfers_out == 25
+    assert chan.occupancy == 0

@@ -1,0 +1,133 @@
+"""Tests for the backend-turnaround and productivity models."""
+
+import pytest
+
+from repro.flow import (
+    OOHLS_METHODOLOGY,
+    RTL_METHODOLOGY,
+    FlowRuntimeModel,
+    MethodologyModel,
+    UnitEffort,
+    inventory_efforts,
+    inventory_partitions,
+    productivity_report,
+)
+from repro.flow import testchip_inventory as chip_inventory
+from repro.gals import Partition
+
+
+# ----------------------------------------------------------------------
+# backend flow runtime
+# ----------------------------------------------------------------------
+def test_partition_hours_superlinear():
+    model = FlowRuntimeModel()
+    one = model.partition_hours(1e6)
+    two = model.partition_hours(2e6)
+    assert two > 2 * one  # superlinear growth is the whole point
+
+
+def test_partition_hours_validation():
+    with pytest.raises(ValueError):
+        FlowRuntimeModel().partition_hours(0)
+
+
+def test_replicated_partitions_counted_once():
+    model = FlowRuntimeModel()
+    parts = [Partition(f"pe{i}", logic_gates=500_000) for i in range(15)]
+    report = model.turnaround(parts)
+    assert report.unique_partitions == 1
+    assert report.partition_hours == model.partition_hours(500_000)
+
+
+def test_parallel_vs_serial_turnaround():
+    model = FlowRuntimeModel()
+    parts = [Partition("a", 1e6), Partition("b", 2e6), Partition("c", 5e5)]
+    par = model.turnaround(parts, parallel=True)
+    ser = model.turnaround(parts, parallel=False)
+    assert par.partition_hours == model.partition_hours(2e6)
+    assert ser.partition_hours == pytest.approx(
+        sum(model.partition_hours(g) for g in (1e6, 2e6, 5e5)))
+
+
+def test_gals_removes_top_level_hours():
+    model = FlowRuntimeModel()
+    parts = [Partition("a", 1e6)]
+    gals = model.turnaround(parts, gals=True)
+    sync = model.turnaround(parts, gals=False)
+    assert gals.top_level_hours == 0.0
+    assert sync.top_level_hours > 0.0
+    assert sync.total_hours > gals.total_hours
+
+
+def test_testchip_turnaround_reproduces_12_hour_claim():
+    """The paper's 12-hour RTL-to-layout turnaround, within 2x."""
+    model = FlowRuntimeModel()
+    parts = inventory_partitions(chip_inventory())
+    report = model.turnaround(parts, gals=True, parallel=True)
+    assert 6.0 <= report.total_hours <= 16.0
+    assert report.daily_iterations >= 1.5
+    # The flat alternative is order-of-magnitude worse.
+    assert model.flat_hours(parts) > 5 * report.total_hours
+
+
+def test_turnaround_report_text():
+    model = FlowRuntimeModel()
+    parts = [Partition("a", 1e6)]
+    assert "turnaround" in model.turnaround(parts, gals=False).to_text()
+
+
+# ----------------------------------------------------------------------
+# productivity
+# ----------------------------------------------------------------------
+def test_unit_effort_validation():
+    with pytest.raises(ValueError):
+        UnitEffort("bad", gates=0, reuse_fraction=0.5)
+    with pytest.raises(ValueError):
+        UnitEffort("bad", gates=100, reuse_fraction=1.5)
+
+
+def test_reuse_reduces_effort():
+    m = OOHLS_METHODOLOGY
+    low = UnitEffort("low", gates=100_000, reuse_fraction=0.1)
+    high = UnitEffort("high", gates=100_000, reuse_fraction=0.9)
+    assert m.unit_days(high) < m.unit_days(low)
+    assert m.productivity(high) > m.productivity(low)
+
+
+def test_testchip_productivity_in_paper_band():
+    """Section 4: 2K-20K NAND2-equivalent gates per engineer-day."""
+    report = productivity_report(inventory_efforts(chip_inventory()),
+                                 OOHLS_METHODOLOGY)
+    assert 2_000 <= report.overall_productivity <= 20_000
+    for name, gates_per_day in report.per_unit:
+        assert 2_000 <= gates_per_day <= 20_000, name
+
+
+def test_oohls_significantly_above_rtl_baseline():
+    efforts = inventory_efforts(chip_inventory())
+    oohls = productivity_report(efforts, OOHLS_METHODOLOGY)
+    rtl = productivity_report(efforts, RTL_METHODOLOGY)
+    assert oohls.overall_productivity > 5 * rtl.overall_productivity
+
+
+def test_productivity_report_text():
+    report = productivity_report(
+        [UnitEffort("u", 100_000, 0.5)], OOHLS_METHODOLOGY)
+    assert "gates/engineer-day" in report.to_text()
+
+
+# ----------------------------------------------------------------------
+# inventory
+# ----------------------------------------------------------------------
+def test_inventory_totals_match_testchip_scale():
+    """87M transistors ~= 20-24M NAND2 equivalents."""
+    parts = inventory_partitions(chip_inventory())
+    total = sum(p.total_gates for p in parts)
+    assert 15e6 <= total <= 30e6
+    # 15 PEs + 2 gmems + riscv + io = 19 partitions (routers folded in).
+    assert len(parts) == 19
+
+
+def test_inventory_efforts_exclude_external_ip():
+    efforts = inventory_efforts(chip_inventory())
+    assert all(e.name != "riscv" for e in efforts)

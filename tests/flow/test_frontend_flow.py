@@ -1,0 +1,39 @@
+"""Tests for the Figure 1 front-end flow orchestration."""
+
+import pytest
+
+from repro.flow import crossbar_testbench, run_frontend_flow
+from repro.hls import crossbar_dst_loop_design
+
+
+@pytest.fixture(scope="module")
+def crossbar_report():
+    design = crossbar_dst_loop_design(4, 32)
+    return run_frontend_flow(design, testbench=crossbar_testbench(4, 30))
+
+
+def test_flow_functional_and_cosim_pass(crossbar_report):
+    assert crossbar_report.functional_ok
+    assert crossbar_report.cosim_ok
+
+
+def test_flow_cycle_comparison(crossbar_report):
+    # RTL cosim adds per-hop pipeline cycles but stays close.
+    assert crossbar_report.cycles_rtl >= crossbar_report.cycles_fast
+    assert crossbar_report.cycle_error < 0.25
+
+
+def test_flow_produces_all_metrics(crossbar_report):
+    assert crossbar_report.area.total > 0
+    assert crossbar_report.power.total_mw > 0
+    assert "module xbar_dst_4x32" in crossbar_report.verilog
+    text = crossbar_report.to_text()
+    assert "PASS" in text and "mW" in text
+
+
+def test_flow_detects_wrong_golden():
+    design = crossbar_dst_loop_design(2, 8)
+    report = run_frontend_flow(design, testbench=crossbar_testbench(2, 10),
+                               expected=["bogus"])
+    assert not report.functional_ok
+    assert not report.cosim_ok

@@ -1,0 +1,223 @@
+"""Tests for GALS clock generators, pausible FIFOs, and overhead models."""
+
+import pytest
+
+from repro.connections import Buffer, In, Out
+from repro.gals import (
+    BruteForceSyncFIFO,
+    GalsOverheadModel,
+    LocalClockGenerator,
+    Partition,
+    PausibleBisyncFIFO,
+    SupplyNoise,
+    SynchronousBaseline,
+)
+from repro.kernel import Simulator
+
+
+# ----------------------------------------------------------------------
+# local clock generators
+# ----------------------------------------------------------------------
+def test_clean_generator_is_fixed_period():
+    sim = Simulator()
+    gen = LocalClockGenerator(sim, "g", nominal_period=100)
+    sim.run(until=10_000)
+    assert gen.period_min == gen.period_max == 100
+    assert gen.clock.cycles == 101
+
+
+def test_noisy_generator_stretches_under_droop():
+    sim = Simulator()
+    noise = SupplyNoise(amplitude=0.08, seed=3)
+    gen = LocalClockGenerator(sim, "g", nominal_period=100, noise=noise)
+    sim.run(until=500_000)
+    assert gen.period_max > 100          # slowed during droop
+    assert gen.mean_period > 100
+    assert gen.effective_margin > 0.0
+    # Bounded by the noise amplitude plus the random walk component.
+    assert gen.period_max <= 100 * 1.15
+
+
+def test_jitter_is_zero_mean_ish():
+    sim = Simulator()
+    gen = LocalClockGenerator(sim, "g", nominal_period=1000, jitter_ppm=50_000,
+                              seed=9)
+    sim.run(until=2_000_000)
+    assert 990 < gen.mean_period < 1010
+    assert gen.period_min < 1000 < gen.period_max
+
+
+def test_dvfs_retarget():
+    sim = Simulator()
+    gen = LocalClockGenerator(sim, "g", nominal_period=100)
+    sim.run(until=1000)
+    cycles_before = gen.clock.cycles
+    gen.set_nominal_period(200)
+    sim.run(until=3000)
+    # 2000 more ticks at period 200 -> ~10 more cycles, not 20.
+    assert gen.clock.cycles - cycles_before <= 11
+
+
+def test_generator_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        LocalClockGenerator(sim, "g", nominal_period=0)
+    with pytest.raises(ValueError):
+        SupplyNoise(amplitude=0.7)
+    gen = LocalClockGenerator(sim, "g", nominal_period=10)
+    with pytest.raises(ValueError):
+        gen.set_nominal_period(0)
+
+
+# ----------------------------------------------------------------------
+# pausible bisynchronous FIFO
+# ----------------------------------------------------------------------
+def crossing_env(fifo_cls, *, tx_period=90, rx_period=130, n=40, **kw):
+    """Producer in tx domain -> CDC FIFO -> consumer in rx domain."""
+    sim = Simulator()
+    tx = sim.add_clock("tx", period=tx_period)
+    rx = sim.add_clock("rx", period=rx_period)
+    fifo = fifo_cls(sim, tx, rx, **kw)
+    in_ch = Buffer(sim, tx, capacity=2, name="in")
+    out_ch = Buffer(sim, rx, capacity=2, name="out")
+    fifo.in_port.bind(in_ch)
+    fifo.out_port.bind(out_ch)
+    src, dst = Out(in_ch), In(out_ch)
+    received = []
+    done = {}
+
+    def producer():
+        for i in range(n):
+            yield from src.push(i)
+
+    def consumer():
+        for _ in range(n):
+            received.append((yield from dst.pop()))
+        done["time"] = sim.now
+
+    sim.add_thread(producer(), tx, name="p")
+    sim.add_thread(consumer(), rx, name="c")
+    sim.run(until=n * 10_000)
+    return fifo, received, done, sim
+
+
+def test_pausible_fifo_delivers_in_order_across_domains():
+    fifo, received, done, _ = crossing_env(PausibleBisyncFIFO, n=50)
+    assert received == list(range(50))
+    assert fifo.transfers == 50
+    assert fifo.metastability_risks == 0
+    assert "time" in done
+
+
+@pytest.mark.parametrize("tx_period,rx_period", [
+    (90, 130), (130, 90), (100, 100), (77, 233), (100, 101),
+])
+def test_pausible_fifo_any_frequency_ratio(tx_period, rx_period):
+    fifo, received, _, _ = crossing_env(
+        PausibleBisyncFIFO, tx_period=tx_period, rx_period=rx_period, n=30)
+    assert received == list(range(30))
+    assert fifo.metastability_risks == 0
+
+
+def test_pausible_fifo_actually_pauses_receiver_clock():
+    _, _, _, sim = crossing_env(PausibleBisyncFIFO, tx_period=100,
+                                rx_period=101, n=60, settle_ps=40)
+    rx = [c for c in sim._clocks if c.name == "rx"][0]
+    assert rx.paused_edges > 0
+    assert rx.total_pause_time > 0
+
+
+def test_unprotected_crossing_sees_metastability_windows():
+    """With pausing disabled, near-aligned clocks sample mid-settle."""
+    fifo, received, _, _ = crossing_env(
+        PausibleBisyncFIFO, tx_period=100, rx_period=101, n=60,
+        settle_ps=40, pausible=False)
+    assert received == list(range(60))  # model still delivers the data
+    assert fifo.metastability_risks > 0  # ... but silicon might not have
+
+
+def test_pausible_lower_latency_than_brute_force():
+    _, _, done_p, _ = crossing_env(PausibleBisyncFIFO, n=40)
+    _, _, done_b, _ = crossing_env(BruteForceSyncFIFO, n=40)
+    assert done_p["time"] < done_b["time"]
+
+
+def test_brute_force_fifo_correct():
+    fifo, received, _, _ = crossing_env(BruteForceSyncFIFO, n=40)
+    assert received == list(range(40))
+    assert fifo.transfers == 40
+
+
+def test_fifo_capacity_backpressure():
+    fifo, received, _, _ = crossing_env(
+        PausibleBisyncFIFO, tx_period=10, rx_period=400, n=20, capacity=2)
+    assert received == list(range(20))  # slow consumer, bounded FIFO
+
+
+def test_fifo_validation():
+    sim = Simulator()
+    tx = sim.add_clock("tx", period=10)
+    rx = sim.add_clock("rx", period=10)
+    with pytest.raises(ValueError):
+        PausibleBisyncFIFO(sim, tx, rx, capacity=0)
+    with pytest.raises(ValueError):
+        PausibleBisyncFIFO(sim, tx, rx, settle_ps=-1)
+    with pytest.raises(ValueError):
+        BruteForceSyncFIFO(sim, tx, rx, sync_stages=0)
+
+
+def test_gray_pointer_exposure():
+    sim = Simulator()
+    tx = sim.add_clock("tx", period=10)
+    rx = sim.add_clock("rx", period=10)
+    fifo = PausibleBisyncFIFO(sim, tx, rx, capacity=4)
+    assert fifo.wptr_gray == 0 and fifo.rptr_gray == 0
+
+
+# ----------------------------------------------------------------------
+# overhead models
+# ----------------------------------------------------------------------
+def test_typical_partition_overhead_below_3_percent():
+    """The paper's claim: < 3 % for typical partition sizes."""
+    model = GalsOverheadModel()
+    typical = Partition("pe", logic_gates=1_000_000, n_interfaces=5,
+                        interface_width=64)
+    assert model.overhead_fraction(typical) < 0.03
+
+
+def test_small_partitions_pay_more():
+    model = GalsOverheadModel()
+    small = Partition("tiny", logic_gates=50_000, n_interfaces=5)
+    big = Partition("big", logic_gates=5_000_000, n_interfaces=5)
+    assert model.overhead_fraction(small) > model.overhead_fraction(big)
+    assert model.overhead_fraction(small) > 0.03  # the crossover exists
+
+
+def test_chip_level_overhead_aggregates():
+    model = GalsOverheadModel()
+    partitions = [Partition(f"pe{i}", 1_200_000, n_interfaces=5)
+                  for i in range(15)]
+    partitions += [Partition("gmem_l", 2_500_000, n_interfaces=6),
+                   Partition("gmem_r", 2_500_000, n_interfaces=6),
+                   Partition("riscv", 1_500_000, n_interfaces=3),
+                   Partition("io", 800_000, n_interfaces=4)]
+    frac = model.chip_overhead_fraction(partitions)
+    assert 0.0 < frac < 0.03
+
+
+def test_synchronous_baseline_pays_margin():
+    base = SynchronousBaseline()
+    partitions = [Partition(f"p{i}", 1_000_000) for i in range(20)]
+    assert base.clock_tree_gates(partitions) > 0
+    penalty = base.frequency_penalty(partitions, clock_period_ps=909)
+    assert penalty > 0.05  # skew + OCV margin is a real cost
+    # More partitions / bigger die -> more skew margin.
+    bigger = partitions * 3
+    assert base.skew_margin_ps(bigger) > base.skew_margin_ps(partitions)
+
+
+def test_partition_validation():
+    with pytest.raises(ValueError):
+        Partition("bad", logic_gates=0)
+    with pytest.raises(ValueError):
+        Partition("bad", logic_gates=100, interface_width=0)

@@ -1,0 +1,104 @@
+"""Tests for the power model and the Verilog emitter."""
+
+import pytest
+
+from repro.hls import (
+    adder_tree_design,
+    alu_design,
+    crossbar_src_loop_design,
+    emit_verilog,
+    estimate_area,
+    estimate_power,
+    fir_design,
+    schedule,
+    vector_mac_design,
+)
+
+
+# ----------------------------------------------------------------------
+# power model
+# ----------------------------------------------------------------------
+def test_power_report_components_positive():
+    sched = schedule(fir_design(16, 16), clock_period_ps=909)
+    rpt = estimate_power(sched)
+    assert rpt.dynamic_mw > 0
+    assert rpt.leakage_mw > 0
+    assert rpt.total_mw == pytest.approx(
+        rpt.dynamic_mw + rpt.clock_mw + rpt.leakage_mw)
+    assert "mW" in rpt.to_text()
+
+
+def test_power_scales_with_design_size():
+    small = estimate_power(schedule(vector_mac_design(4, 16),
+                                    clock_period_ps=909))
+    large = estimate_power(schedule(vector_mac_design(16, 16),
+                                    clock_period_ps=909))
+    assert large.total_mw > 2 * small.total_mw
+
+
+def test_power_scales_with_activity():
+    sched = schedule(vector_mac_design(8, 16), clock_period_ps=909)
+    idle = estimate_power(sched, activity=0.05)
+    busy = estimate_power(sched, activity=0.5)
+    assert busy.dynamic_mw > 5 * idle.dynamic_mw
+    assert busy.leakage_mw == idle.leakage_mw  # leakage is activity-free
+
+
+def test_power_activity_validation():
+    sched = schedule(alu_design(8), clock_period_ps=909)
+    with pytest.raises(ValueError):
+        estimate_power(sched, activity=1.5)
+
+
+def test_pipelined_design_pays_clock_power():
+    sched = schedule(fir_design(24, 16), clock_period_ps=500)
+    assert sched.latency > 1
+    rpt = estimate_power(sched)
+    assert rpt.clock_mw > 0
+
+
+# ----------------------------------------------------------------------
+# Verilog emission
+# ----------------------------------------------------------------------
+def test_emit_single_cycle_module():
+    sched = schedule(alu_design(32), clock_period_ps=2000)
+    text = emit_verilog(sched)
+    assert "module alu_32 (" in text
+    assert "endmodule" in text
+    assert "input  wire [31:0] a" in text
+    assert "output wire [31:0] out" in text
+    # Single-cycle: purely combinational, no clock port or registers.
+    assert "clk" not in text
+    assert "always" not in text
+    assert text.count("?") >= 4  # the result mux tree
+
+
+def test_emit_pipelined_module_has_registers():
+    design = adder_tree_design(64, 32)
+    sched = schedule(design, clock_period_ps=500)
+    assert sched.latency > 1
+    text = emit_verilog(sched)
+    assert "input  wire clk" in text
+    assert "always @(posedge clk)" in text
+    assert "_q1" in text  # at least one pipeline register stage
+
+
+def test_emit_crossbar_has_priority_muxes():
+    sched = schedule(crossbar_src_loop_design(4, 8), clock_period_ps=2000)
+    text = emit_verilog(sched)
+    assert text.count("==") == 16  # 4 outputs x 4 comparators
+    assert "o0_m3" in text
+
+
+def test_emitted_wire_count_matches_graph():
+    design = vector_mac_design(4, 16)
+    sched = schedule(design, clock_period_ps=2000)
+    text = emit_verilog(sched)
+    real_ops = [op for op in design.ops.values()
+                if op.kind not in ("input", "const", "output")]
+    assert text.count("wire [15:0]") >= len(real_ops)
+
+
+def test_emit_is_deterministic():
+    sched = schedule(fir_design(8, 16), clock_period_ps=909)
+    assert emit_verilog(sched) == emit_verilog(sched)

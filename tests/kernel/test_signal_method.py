@@ -1,0 +1,166 @@
+"""Tests for signal evaluate/update semantics and combinational methods."""
+
+import io
+
+import pytest
+
+from repro.kernel import (
+    BitSignal,
+    BusSignal,
+    DeltaOverflow,
+    Signal,
+    Simulator,
+    Trace,
+    write_vcd,
+)
+
+
+def test_signal_write_not_visible_within_same_delta():
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=10)
+    sig = Signal(sim, init=0, name="s")
+    observed = []
+
+    def body():
+        sig.write(42)
+        observed.append(sig.read())  # still old value in same delta
+        yield
+        observed.append(sig.read())  # committed after the delta
+
+    sim.add_thread(body(), clk, name="t")
+    sim.run(until=50)
+    assert observed == [0, 42]
+
+
+def test_two_threads_swap_through_signals_race_free():
+    """The classic race: both threads read old values, swap is clean."""
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=10)
+    a = Signal(sim, init=1, name="a")
+    b = Signal(sim, init=2, name="b")
+
+    def swap_a():
+        a.write(b.read())
+        yield
+
+    def swap_b():
+        b.write(a.read())
+        yield
+
+    sim.add_thread(swap_a(), clk, name="ta")
+    sim.add_thread(swap_b(), clk, name="tb")
+    sim.run(until=20)
+    assert (a.read(), b.read()) == (2, 1)
+
+
+def test_method_runs_on_sensitivity_change():
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=10)
+    a = Signal(sim, init=0, name="a")
+    out = Signal(sim, init=0, name="out")
+
+    sim.add_method(lambda: out.write(a.read() + 1), sensitive=[a], name="inc")
+
+    def driver():
+        for v in (5, 7, 9):
+            a.write(v)
+            yield
+
+    sim.add_thread(driver(), clk, name="drv")
+    sim.run(until=100)
+    assert out.read() == 10
+
+
+def test_method_chain_settles_in_one_timestep():
+    """comb chain a -> b -> c resolves through cascaded deltas."""
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=10)
+    a = Signal(sim, init=0, name="a")
+    b = Signal(sim, init=0, name="b")
+    c = Signal(sim, init=0, name="c")
+
+    sim.add_method(lambda: b.write(a.read() * 2), sensitive=[a], name="m1")
+    sim.add_method(lambda: c.write(b.read() + 1), sensitive=[b], name="m2")
+
+    def driver():
+        a.write(10)
+        yield
+        yield
+
+    sim.add_thread(driver(), clk, name="drv")
+    sim.run(until=30)
+    assert c.read() == 21
+
+
+def test_unstable_combinational_loop_detected():
+    sim = Simulator()
+    a = Signal(sim, init=0, name="a")
+    # a = a + 1 never settles.
+    sim.add_method(lambda: a.write(a.read() + 1), sensitive=[a], name="osc")
+    with pytest.raises(DeltaOverflow):
+        sim.run(until=10)
+
+
+def test_bit_signal_coerces_to_01():
+    sim = Simulator()
+    bit = BitSignal(sim, name="b")
+    bit.write(17)
+    sim.run(until=0)
+    assert bit.read() == 1
+
+
+def test_bus_signal_masks_to_width():
+    sim = Simulator()
+    bus = BusSignal(sim, width=8, name="bus")
+    bus.write(0x1FF)
+    sim.run(until=0)
+    assert bus.read() == 0xFF
+
+
+def test_bus_signal_zero_width_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        BusSignal(sim, width=0)
+
+
+def test_redundant_write_does_not_wake_methods():
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=10)
+    a = Signal(sim, init=0, name="a")
+    runs = []
+
+    sim.add_method(lambda: runs.append(sim.now), sensitive=[a], name="m")
+
+    def driver():
+        a.write(0)  # no change
+        yield
+        a.write(3)  # change
+        yield
+
+    sim.add_thread(driver(), clk, name="drv")
+    sim.run(until=50)
+    # One elaboration run at t=0 plus exactly one change-triggered run.
+    assert len(runs) == 2
+
+
+def test_trace_records_changes_and_vcd_roundtrip():
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=10)
+    a = BusSignal(sim, width=8, name="a")
+    sim.trace = Trace([a])
+
+    def driver():
+        for v in (1, 2, 3):
+            a.write(v)
+            yield
+
+    sim.add_thread(driver(), clk, name="drv")
+    sim.run(until=100)
+    assert [v for _, name, v in sim.trace.changes if name == "a"] == [0, 1, 2, 3]
+    assert sim.trace.values_at(15)["a"] == 2
+
+    out = io.StringIO()
+    write_vcd(sim.trace, out)
+    text = out.getvalue()
+    assert "$var wire 8" in text
+    assert "#10" in text

@@ -1,0 +1,364 @@
+"""Tests for MatchLib untimed functions and classes (Table 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matchlib import (
+    Fifo,
+    FifoError,
+    FixedPriorityArbiter,
+    MemArray,
+    MemError,
+    ReorderBuffer,
+    RobError,
+    RoundRobinArbiter,
+    Vector,
+    binary_to_gray,
+    crossbar_dst_loop,
+    crossbar_src_loop,
+    gray_to_binary,
+    is_one_hot,
+    one_hot_decode,
+    one_hot_encode,
+    permute,
+    priority_encode,
+)
+
+
+# ----------------------------------------------------------------------
+# crossbar functions (the section 2.4 case study semantics)
+# ----------------------------------------------------------------------
+def test_dst_loop_permutation():
+    out = crossbar_dst_loop(["a", "b", "c", "d"], [3, 2, 1, 0])
+    assert out == ["d", "c", "b", "a"]
+
+
+def test_dst_loop_fanout_is_legal():
+    out = crossbar_dst_loop(["a", "b"], [0, 0])
+    assert out == ["a", "a"]
+
+
+def test_src_loop_permutation_matches_dst_loop():
+    inputs = list(range(8))
+    perm = [3, 1, 7, 0, 5, 2, 6, 4]
+    inverse = [perm.index(i) for i in range(8)]
+    assert crossbar_src_loop(inputs, perm) == crossbar_dst_loop(inputs, inverse)
+
+
+def test_src_loop_conflict_highest_index_wins():
+    """The priority semantics that force HLS to build priority decoders."""
+    out = crossbar_src_loop(["a", "b", "c"], [0, 0, 2])
+    assert out == ["b", None, "c"]  # src 1 beats src 0 for output 0
+
+
+def test_crossbar_validation():
+    with pytest.raises(ValueError):
+        crossbar_dst_loop([1, 2], [0])
+    with pytest.raises(ValueError):
+        crossbar_dst_loop([1, 2], [0, 5])
+    with pytest.raises(ValueError):
+        crossbar_src_loop([1, 2], [0, 9])
+    with pytest.raises(ValueError):
+        permute([1, 2, 3], [0, 0, 1])
+
+
+@given(st.permutations(list(range(8))))
+@settings(max_examples=50)
+def test_permute_property(perm):
+    inputs = [f"v{i}" for i in range(8)]
+    out = permute(inputs, perm)
+    for dst in range(8):
+        assert out[dst] == inputs[perm[dst]]
+
+
+# ----------------------------------------------------------------------
+# encoders / decoders
+# ----------------------------------------------------------------------
+def test_one_hot_roundtrip():
+    for width in (1, 4, 32):
+        for i in range(width):
+            assert one_hot_decode(one_hot_encode(i, width)) == i
+
+
+def test_one_hot_validation():
+    with pytest.raises(ValueError):
+        one_hot_encode(4, 4)
+    with pytest.raises(ValueError):
+        one_hot_decode(0b0110)
+    with pytest.raises(ValueError):
+        one_hot_decode(0)
+
+
+def test_is_one_hot():
+    assert is_one_hot(1) and is_one_hot(8)
+    assert not is_one_hot(0) and not is_one_hot(3)
+
+
+def test_priority_encode():
+    assert priority_encode(0) == -1
+    assert priority_encode(0b1000) == 3
+    assert priority_encode(0b1010) == 1  # least-significant wins
+
+
+@given(st.integers(min_value=0, max_value=2**16 - 1))
+def test_gray_code_roundtrip(v):
+    assert gray_to_binary(binary_to_gray(v)) == v
+
+
+@given(st.integers(min_value=0, max_value=2**16 - 2))
+def test_gray_code_adjacent_values_differ_in_one_bit(v):
+    diff = binary_to_gray(v) ^ binary_to_gray(v + 1)
+    assert is_one_hot(diff)
+
+
+# ----------------------------------------------------------------------
+# Fifo
+# ----------------------------------------------------------------------
+def test_fifo_ordering_and_bounds():
+    f = Fifo(capacity=3)
+    assert f.empty and not f.full
+    for i in range(3):
+        f.push(i)
+    assert f.full and f.free == 0
+    with pytest.raises(FifoError):
+        f.push(99)
+    assert [f.pop() for _ in range(3)] == [0, 1, 2]
+    with pytest.raises(FifoError):
+        f.pop()
+
+
+def test_fifo_nb_variants():
+    f = Fifo(capacity=1)
+    assert f.push_nb("x") is True
+    assert f.push_nb("y") is False
+    assert f.pop_nb() == (True, "x")
+    assert f.pop_nb() == (False, None)
+
+
+def test_fifo_peek_and_stats():
+    f = Fifo()
+    f.push(1)
+    f.push(2)
+    assert f.peek() == 1
+    assert f.size == 2
+    assert f.peak_occupancy == 2
+    assert f.total_pushed == 2
+    assert list(f) == [1, 2]
+    f.clear()
+    assert f.empty
+    with pytest.raises(FifoError):
+        f.peek()
+
+
+def test_fifo_unbounded():
+    f = Fifo()
+    for i in range(1000):
+        f.push(i)
+    assert f.free is None and not f.full
+
+
+def test_fifo_capacity_validation():
+    with pytest.raises(ValueError):
+        Fifo(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# arbiters
+# ----------------------------------------------------------------------
+def test_round_robin_rotates_fairly():
+    arb = RoundRobinArbiter(4)
+    picks = [arb.pick([True] * 4) for _ in range(8)]
+    assert picks == [0, 1, 2, 3, 0, 1, 2, 3]
+    assert arb.grants == [2, 2, 2, 2]
+
+
+def test_round_robin_skips_idle_requesters():
+    arb = RoundRobinArbiter(4)
+    assert arb.pick([False, True, False, True]) == 1
+    assert arb.pick([False, True, False, True]) == 3
+    assert arb.pick([False, True, False, True]) == 1
+
+
+def test_round_robin_none_when_idle():
+    arb = RoundRobinArbiter(3)
+    assert arb.pick([False, False, False]) is None
+
+
+def test_round_robin_mask_interface():
+    arb = RoundRobinArbiter(4)
+    assert arb.pick_mask(0b1010) == 1
+    assert arb.pick_mask(0b1010) == 3
+
+
+def test_round_robin_validation():
+    with pytest.raises(ValueError):
+        RoundRobinArbiter(0)
+    arb = RoundRobinArbiter(2)
+    with pytest.raises(ValueError):
+        arb.pick([True])
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=16))
+def test_round_robin_grant_is_asserted_requester(requests):
+    arb = RoundRobinArbiter(len(requests))
+    pick = arb.pick(requests)
+    if any(requests):
+        assert requests[pick]
+    else:
+        assert pick is None
+
+
+def test_fixed_priority_starves_high_indices():
+    arb = FixedPriorityArbiter(3)
+    for _ in range(5):
+        assert arb.pick([True, True, True]) == 0
+    assert arb.grants == [5, 0, 0]
+
+
+# ----------------------------------------------------------------------
+# MemArray
+# ----------------------------------------------------------------------
+def test_mem_array_read_write():
+    mem = MemArray(16, width=8)
+    mem.write(3, 0x1FF)  # masked to 8 bits
+    assert mem.read(3) == 0xFF
+    assert mem.reads == 1 and mem.writes == 1
+
+
+def test_mem_array_bounds():
+    mem = MemArray(4)
+    with pytest.raises(MemError):
+        mem.read(4)
+    with pytest.raises(MemError):
+        mem.write(-1, 0)
+    with pytest.raises(MemError):
+        mem.read_burst(2, 3)
+    with pytest.raises(MemError):
+        mem.write_burst(3, [1, 2])
+
+
+def test_mem_array_burst_roundtrip():
+    mem = MemArray(8)
+    mem.write_burst(2, [10, 11, 12])
+    assert mem.read_burst(2, 3) == [10, 11, 12]
+
+
+def test_mem_array_load_dump_bypass_counters():
+    mem = MemArray(4, width=16)
+    mem.load([1, 2, 3, 4])
+    assert mem.dump() == [1, 2, 3, 4]
+    assert mem.reads == 0 and mem.writes == 0
+
+
+def test_mem_array_validation():
+    with pytest.raises(ValueError):
+        MemArray(0)
+    with pytest.raises(ValueError):
+        MemArray(4, width=0)
+
+
+# ----------------------------------------------------------------------
+# Vector
+# ----------------------------------------------------------------------
+def test_vector_elementwise_ops():
+    a = Vector([1, 2, 3])
+    b = Vector([10, 20, 30])
+    assert (a + b).to_list() == [11, 22, 33]
+    assert (b - a).to_list() == [9, 18, 27]
+    assert (a * b).to_list() == [10, 40, 90]
+    assert a.scale(2).to_list() == [2, 4, 6]
+
+
+def test_vector_mac_and_reductions():
+    acc = Vector([1, 1, 1])
+    out = acc.mac(Vector([2, 3, 4]), Vector([5, 6, 7]))
+    assert out.to_list() == [11, 19, 29]
+    assert out.reduce_sum() == 59
+    assert out.reduce_max() == 29
+    assert out.reduce_min() == 11
+    assert Vector([1, 2]).dot(Vector([3, 4])) == 11
+
+
+def test_vector_splat_and_container_protocol():
+    v = Vector.splat(7, 4)
+    assert len(v) == 4 and v[2] == 7
+    v[2] = 9
+    assert v.to_list() == [7, 7, 9, 7]
+    assert Vector([1, 2]) == Vector([1, 2])
+    assert Vector([1, 2]) != Vector([2, 1])
+
+
+def test_vector_validation():
+    with pytest.raises(ValueError):
+        Vector([])
+    with pytest.raises(ValueError):
+        Vector.splat(0, 0)
+    with pytest.raises(ValueError):
+        Vector([1, 2]) + Vector([1, 2, 3])
+
+
+def test_vector_fp_lanes():
+    from repro.matchlib import FP32, fp_mul_add
+
+    spec = FP32
+    a = Vector([spec.encode(x) for x in (1.5, 2.5)])
+    b = Vector([spec.encode(x) for x in (2.0, 4.0)])
+    prod = a.fp_mul(b, spec)
+    assert [spec.decode(x) for x in prod] == [3.0, 10.0]
+    total = a.fp_dot(b, spec)
+    assert spec.decode(total) == 13.0
+    acc = Vector([spec.zero(), spec.zero()])
+    assert [spec.decode(x) for x in acc.fp_mac(a, b, spec)] == [3.0, 10.0]
+
+
+# ----------------------------------------------------------------------
+# ReorderBuffer
+# ----------------------------------------------------------------------
+def test_rob_out_of_order_completion_in_order_drain():
+    rob = ReorderBuffer(4)
+    t0, t1, t2 = rob.allocate(), rob.allocate(), rob.allocate()
+    rob.write(t2, "c")
+    rob.write(t0, "a")
+    assert rob.head_ready
+    assert rob.read() == "a"
+    assert not rob.head_ready  # t1 not yet written
+    rob.write(t1, "b")
+    assert rob.read() == "b"
+    assert rob.read() == "c"
+    assert len(rob) == 0
+
+
+def test_rob_wraparound():
+    rob = ReorderBuffer(2)
+    for round_ in range(5):
+        a, b = rob.allocate(), rob.allocate()
+        assert not rob.can_allocate
+        rob.write(b, round_ * 10 + 1)
+        rob.write(a, round_ * 10)
+        assert rob.read() == round_ * 10
+        assert rob.read() == round_ * 10 + 1
+
+
+def test_rob_error_paths():
+    rob = ReorderBuffer(2)
+    with pytest.raises(RobError):
+        rob.read()
+    tag = rob.allocate()
+    with pytest.raises(RobError):
+        rob.write(5, "x")  # out of range
+    with pytest.raises(RobError):
+        rob.write((tag + 1) % 2, "x")  # not allocated
+    rob.write(tag, "x")
+    with pytest.raises(RobError):
+        rob.write(tag, "y")  # double write
+    rob.allocate()
+    with pytest.raises(RobError):
+        rob.allocate()  # full
+    assert rob.read_nb() == (True, "x")
+    assert rob.read_nb() == (False, None)
+
+
+def test_rob_validation():
+    with pytest.raises(ValueError):
+        ReorderBuffer(0)

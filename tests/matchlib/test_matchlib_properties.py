@@ -1,0 +1,155 @@
+"""Property-based tests on MatchLib component invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.connections.packet import int_deserializer, int_serializer
+from repro.matchlib import (
+    ArbitratedScratchpad,
+    MemArray,
+    ReorderBuffer,
+    RoundRobinArbiter,
+    SpRequest,
+    Vector,
+)
+
+
+# ----------------------------------------------------------------------
+# reorder buffer: any completion order drains in allocation order
+# ----------------------------------------------------------------------
+@given(
+    capacity=st.integers(1, 8),
+    n_items=st.integers(1, 40),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_rob_drains_in_allocation_order(capacity, n_items, seed):
+    rng = random.Random(seed)
+    rob = ReorderBuffer(capacity)
+    allocated = {}   # tag -> value
+    next_value = 0
+    drained = []
+    while len(drained) < n_items:
+        actions = []
+        if rob.can_allocate and next_value < n_items:
+            actions.append("alloc")
+        if allocated:
+            actions.append("write")
+        if rob.head_ready:
+            actions.append("read")
+        action = rng.choice(actions)
+        if action == "alloc":
+            allocated[rob.allocate()] = next_value
+            next_value += 1
+        elif action == "write":
+            tag = rng.choice(sorted(allocated))
+            rob.write(tag, allocated.pop(tag))
+        else:
+            drained.append(rob.read())
+    assert drained == list(range(n_items))
+
+
+# ----------------------------------------------------------------------
+# arbitrated scratchpad: equivalent to a flat memory, and fair
+# ----------------------------------------------------------------------
+@given(
+    n_banks=st.integers(1, 4),
+    ops=st.lists(st.tuples(st.booleans(), st.integers(0, 31),
+                           st.integers(0, 2**16)), min_size=1, max_size=60),
+)
+@settings(max_examples=40, deadline=None)
+def test_scratchpad_equivalent_to_flat_memory(n_banks, ops):
+    sp = ArbitratedScratchpad(n_requesters=1, n_banks=n_banks,
+                              bank_entries=-(-32 // n_banks))
+    flat = [0] * sp.entries  # entries rounds up to a bank multiple
+    for is_write, addr, data in ops:
+        if addr >= sp.entries:
+            continue
+        submitted = sp.submit(SpRequest(0, is_write, addr, data))
+        assert submitted
+        responses = []
+        while not responses:
+            responses = sp.tick()
+        (rsp,) = responses
+        if is_write:
+            flat[addr] = data
+        else:
+            assert rsp.data == flat[addr]
+    assert sp.dump(0, sp.entries) == flat[:sp.entries]
+
+
+@given(n=st.integers(2, 8), rounds=st.integers(4, 40))
+@settings(max_examples=30, deadline=None)
+def test_round_robin_long_run_fairness(n, rounds):
+    """Under saturation, grant counts differ by at most one per requester."""
+    arb = RoundRobinArbiter(n)
+    for _ in range(rounds * n):
+        arb.pick([True] * n)
+    assert max(arb.grants) - min(arb.grants) <= 1
+
+
+# ----------------------------------------------------------------------
+# serializer/deserializer: pure-function roundtrip across widths
+# ----------------------------------------------------------------------
+@given(
+    width=st.integers(1, 64),
+    flit_width=st.integers(1, 64),
+    value=st.integers(min_value=0),
+)
+@settings(max_examples=150)
+def test_serializer_roundtrip_property(width, flit_width, value):
+    if flit_width > width:
+        flit_width = width
+    value &= (1 << width) - 1
+    ser = int_serializer(width, flit_width)
+    deser = int_deserializer(width, flit_width)
+    flits = ser(value)
+    assert len(flits) == -(-width // flit_width)
+    assert all(0 <= f < (1 << flit_width) for f in flits)
+    assert deser(flits) == value
+
+
+# ----------------------------------------------------------------------
+# Vector algebra laws
+# ----------------------------------------------------------------------
+@given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=16),
+       st.integers(-50, 50))
+@settings(max_examples=60)
+def test_vector_scale_distributes(data, k):
+    v = Vector(data)
+    assert v.scale(k).reduce_sum() == v.reduce_sum() * k
+
+
+@given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=16))
+@settings(max_examples=60)
+def test_vector_dot_self_nonnegative(data):
+    v = Vector(data)
+    assert v.dot(v) >= 0
+    assert v.dot(v) == sum(x * x for x in data)
+
+
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=12),
+       st.lists(st.integers(-100, 100), min_size=1, max_size=12))
+@settings(max_examples=60)
+def test_vector_dot_commutative(a, b):
+    n = min(len(a), len(b))
+    va, vb = Vector(a[:n]), Vector(b[:n])
+    assert va.dot(vb) == vb.dot(va)
+
+
+# ----------------------------------------------------------------------
+# MemArray burst laws
+# ----------------------------------------------------------------------
+@given(
+    base=st.integers(0, 20),
+    data=st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=12),
+)
+@settings(max_examples=60)
+def test_mem_array_burst_write_read_roundtrip(base, data):
+    mem = MemArray(32, width=32)
+    if base + len(data) > 32:
+        base = 32 - len(data)
+    mem.write_burst(base, data)
+    assert mem.read_burst(base, len(data)) == data

@@ -1,0 +1,188 @@
+"""Unit tests for the PE and global memory over a small mesh."""
+
+import pytest
+
+from repro.kernel import Simulator
+from repro.matchlib import FP16
+from repro.noc import Mesh
+from repro.soc import Cmd, Kernel
+from repro.soc.global_memory import GlobalMemory
+from repro.soc.pe import ProcessingElement
+
+
+def make_pe_env(*, lanes=4, spad_words=256, gmem_words=512):
+    """2x1 mesh: PE at node 0, global memory at node 1."""
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=10)
+    mesh = Mesh(sim, clk, width=2, height=1)
+    pe = ProcessingElement(sim, clk, mesh.ni(0), lanes=lanes,
+                           spad_words=spad_words)
+    gmem = GlobalMemory(sim, clk, mesh.ni(1), words=gmem_words, n_banks=4)
+    return sim, mesh, pe, gmem
+
+
+def drive(sim, mesh, src_node, dest, payloads, *, until=500_000):
+    mesh.ni(src_node).send(dest, [int(p) for p in payloads])
+    sim.run(until=until)
+
+
+def run_commands(commands, *, preload=None, until=1_000_000, **env_kw):
+    """Push commands into the PE from a fake controller at the gmem node."""
+    sim, mesh, pe, gmem = make_pe_env(**env_kw)
+    if preload:
+        gmem.load(preload)
+    for cmd in commands:
+        mesh.ni(1).send(0, [int(w) for w in cmd])
+    sim.run(until=until)
+    return sim, mesh, pe, gmem
+
+
+def test_write_spad_and_store():
+    _, _, pe, gmem = run_commands([
+        [Cmd.WRITE_SPAD, 0, 5, 6, 7, 8],
+        [Cmd.STORE, 1, 100, 0, 4],
+    ])
+    assert gmem.dump(100, 4) == [5, 6, 7, 8]
+    assert pe.commands_executed == 2
+
+
+def test_load_compute_store_roundtrip():
+    _, _, pe, gmem = run_commands([
+        [Cmd.LOAD, 1, 0, 0, 8],
+        [Cmd.COMPUTE, Kernel.SCALE, 0, 0, 8, 8, 10],
+        [Cmd.STORE, 1, 64, 8, 8],
+    ], preload=list(range(8)))
+    assert gmem.dump(64, 8) == [i * 10 for i in range(8)]
+
+
+@pytest.mark.parametrize("kernel,a,b,param,expected", [
+    (Kernel.VADD, [1, 2, 3, 4], [10, 20, 30, 40], 0, [11, 22, 33, 44]),
+    (Kernel.VMUL, [1, 2, 3, 4], [5, 6, 7, 8], 0, [5, 12, 21, 32]),
+    (Kernel.VMIN, [9, 2, 7, 1], [3, 5, 6, 8], 0, [3, 2, 6, 1]),
+])
+def test_two_operand_kernels(kernel, a, b, param, expected):
+    _, _, _, gmem = run_commands([
+        [Cmd.WRITE_SPAD, 0] + a,
+        [Cmd.WRITE_SPAD, 8] + b,
+        [Cmd.COMPUTE, kernel, 0, 8, 16, 4, param],
+        [Cmd.STORE, 1, 50, 16, 4],
+    ])
+    assert gmem.dump(50, 4) == expected
+
+
+@pytest.mark.parametrize("kernel,a,param,expected", [
+    (Kernel.VSUM, [1, 2, 3, 4], 0, [10]),
+    (Kernel.VMAX, [3, 9, 1, 5], 0, [9]),
+    (Kernel.RELU, [1, 0xFFFFFFFF, 3, 0xFFFFFFFE], 0, [1, 0, 3, 0]),
+    (Kernel.SCALE, [1, 2, 3, 4], 5, [5, 10, 15, 20]),
+    (Kernel.ADDS, [10, 20, 30, 40], 7, [17, 27, 37, 47]),
+])
+def test_one_operand_kernels(kernel, a, param, expected):
+    length = 1 if kernel in (Kernel.VSUM, Kernel.VMAX) else 4
+    _, _, _, gmem = run_commands([
+        [Cmd.WRITE_SPAD, 0] + a,
+        [Cmd.COMPUTE, kernel, 0, 0, 16, 4, param],
+        [Cmd.STORE, 1, 50, 16, length],
+    ])
+    assert gmem.dump(50, length) == expected
+
+
+def test_dot_and_l2dist_kernels():
+    _, _, _, gmem = run_commands([
+        [Cmd.WRITE_SPAD, 0, 1, 2, 3],
+        [Cmd.WRITE_SPAD, 8, 4, 5, 6],
+        [Cmd.COMPUTE, Kernel.DOT, 0, 8, 16, 3, 0],
+        [Cmd.COMPUTE, Kernel.L2DIST, 0, 8, 17, 3, 0],
+        [Cmd.STORE, 1, 50, 16, 2],
+    ])
+    assert gmem.dump(50, 2) == [32, 27]  # 4+10+18, 9+9+9
+
+
+def test_negative_int_arithmetic():
+    minus_two = 0xFFFFFFFE
+    _, _, _, gmem = run_commands([
+        [Cmd.WRITE_SPAD, 0, 3, minus_two, 5, 0],
+        [Cmd.COMPUTE, Kernel.SCALE, 0, 0, 8, 4, minus_two],
+        [Cmd.STORE, 1, 40, 8, 4],
+    ])
+    assert gmem.dump(40, 4) == [0xFFFFFFFA, 4, 0xFFFFFFF6, 0]
+
+
+def test_fp16_kernels():
+    enc = FP16.encode
+    a = [enc(1.5), enc(-2.0), enc(0.25), enc(4.0)]
+    b = [enc(2.0), enc(3.0), enc(4.0), enc(0.5)]
+    _, _, _, gmem = run_commands([
+        [Cmd.WRITE_SPAD, 0] + a,
+        [Cmd.WRITE_SPAD, 8] + b,
+        [Cmd.COMPUTE, Kernel.VMUL_FP16, 0, 8, 16, 4, 0],
+        [Cmd.COMPUTE, Kernel.DOT_FP16, 0, 8, 24, 4, 0],
+        [Cmd.COMPUTE, Kernel.RELU_FP16, 0, 0, 32, 4, 0],
+        [Cmd.STORE, 1, 60, 16, 4],
+        [Cmd.STORE, 1, 70, 24, 1],
+        [Cmd.STORE, 1, 80, 32, 4],
+    ])
+    assert [FP16.decode(v) for v in gmem.dump(60, 4)] == [3.0, -6.0, 1.0, 2.0]
+    assert FP16.decode(gmem.dump(70, 1)[0]) == 0.0  # 3 - 6 + 1 + 2
+    assert [FP16.decode(v) for v in gmem.dump(80, 4)] == [1.5, 0.0, 0.25, 4.0]
+
+
+def test_pe_notify_sends_done():
+    sim, mesh, pe, gmem = make_pe_env()
+    tokens = []
+    mesh.ni(1).handler = None  # detach gmem handler to observe raw messages
+    received = []
+    mesh.ni(1).handler = lambda src, p: received.append((src, p))
+    mesh.ni(1).send(0, [int(Cmd.NOTIFY), 1, 42])
+    sim.run(until=100_000)
+    assert (0, [int(Cmd.DONE), 42]) in received
+
+
+def test_pe_rejects_unknown_command():
+    sim, mesh, pe, gmem = make_pe_env()
+    mesh.ni(1).send(0, [9999])
+    with pytest.raises(ValueError, match="unknown command"):
+        sim.run(until=100_000)
+
+
+def test_pe_load_length_mismatch_detected():
+    # GM_DATA forged with wrong length.
+    sim, mesh, pe, gmem = make_pe_env()
+    mesh.ni(1).handler = lambda src, p: None  # silence gmem
+    mesh.ni(1).send(0, [int(Cmd.LOAD), 1, 0, 0, 8])
+    sim.run(until=20_000)
+    mesh.ni(1).send(0, [int(Cmd.GM_DATA), 0, 1, 2])  # tag 0, only 2 words
+    with pytest.raises(ValueError, match="LOAD expected"):
+        sim.run(until=200_000)
+
+
+def test_gmem_read_write_roundtrip_via_messages():
+    sim, mesh, pe, gmem = make_pe_env()
+    replies = []
+    mesh.ni(0).handler = lambda src, p: replies.append(p)
+    mesh.ni(0).send(1, [int(Cmd.GM_WRITE), 10, 0xFFFFFFFF, 0, 7, 8, 9])
+    sim.run(until=50_000)
+    mesh.ni(0).send(1, [int(Cmd.GM_READ), 10, 3, 0, 77])
+    sim.run(until=100_000)
+    assert gmem.dump(10, 3) == [7, 8, 9]
+    assert [int(Cmd.GM_DATA), 77, 7, 8, 9] in replies
+    assert gmem.writes_served == 1 and gmem.reads_served == 1
+
+
+def test_gmem_write_ack():
+    sim, mesh, pe, gmem = make_pe_env()
+    replies = []
+    mesh.ni(0).handler = lambda src, p: replies.append(p)
+    mesh.ni(0).send(1, [int(Cmd.GM_WRITE), 0, 0, 55, 1, 2])  # reply to node 0
+    sim.run(until=50_000)
+    assert [int(Cmd.GM_DATA), 55] in replies
+
+
+def test_pe_validation():
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=10)
+    mesh = Mesh(sim, clk, width=2, height=1)
+    with pytest.raises(ValueError):
+        ProcessingElement(sim, clk, mesh.ni(0), lanes=0)
+    with pytest.raises(ValueError):
+        GlobalMemory(sim, clk, mesh.ni(1), n_banks=0)

@@ -1,0 +1,264 @@
+"""Tests for the RV32I assembler and interpreter."""
+
+import pytest
+
+from repro.matchlib import MemArray
+from repro.soc.asm import AsmError, assemble
+from repro.soc.riscv import MMIO_BASE, RiscvCore, RiscvError
+
+
+def run_program(source, *, dmem_words=64, preload=None, mmio_read=None,
+                mmio_write=None, max_steps=10_000):
+    dmem = MemArray(dmem_words, width=32)
+    if preload:
+        dmem.load(preload)
+    core = RiscvCore(imem=assemble(source), dmem=dmem,
+                     mmio_read=mmio_read, mmio_write=mmio_write)
+    for _ in range(max_steps):
+        if core.halted:
+            break
+        core.step()
+    assert core.halted, "program did not halt"
+    return core, dmem
+
+
+# ----------------------------------------------------------------------
+# assembler
+# ----------------------------------------------------------------------
+def test_assemble_basic_encoding():
+    words = assemble("add x1, x2, x3")
+    assert words == [0x003100B3]
+
+
+def test_assemble_abi_register_names():
+    assert assemble("add ra, sp, gp") == assemble("add x1, x2, x3")
+
+
+def test_assemble_li_small_and_large():
+    core, _ = run_program("li a0, 42\nebreak")
+    assert core.regs[10] == 42
+    core, _ = run_program("li a0, 0x12345678\nebreak")
+    assert core.regs[10] == 0x12345678
+    core, _ = run_program("li a0, -1\nebreak")
+    assert core.regs[10] == 0xFFFFFFFF
+
+
+def test_assemble_labels_and_comments():
+    source = """
+        # count down from 5
+        li t0, 5
+        li t1, 0
+    loop:
+        add t1, t1, t0
+        addi t0, t0, -1
+        bnez t0, loop
+        ebreak
+    """
+    core, _ = run_program(source)
+    assert core.regs[6] == 15  # 5+4+3+2+1
+
+
+def test_assemble_errors():
+    with pytest.raises(AsmError):
+        assemble("frobnicate x1, x2")
+    with pytest.raises(AsmError):
+        assemble("add x1, x99, x2")
+    with pytest.raises(AsmError):
+        assemble("addi x1, x2, 99999")  # 12-bit overflow
+    with pytest.raises(AsmError):
+        assemble("l: nop\nl: nop")  # duplicate label
+    with pytest.raises(AsmError):
+        assemble("lw x1, nonsense")
+
+
+# ----------------------------------------------------------------------
+# ALU and control flow
+# ----------------------------------------------------------------------
+def test_arithmetic_ops():
+    core, _ = run_program("""
+        li t0, 100
+        li t1, 7
+        add a0, t0, t1
+        sub a1, t0, t1
+        and a2, t0, t1
+        or  a3, t0, t1
+        xor a4, t0, t1
+        ebreak
+    """)
+    assert core.regs[10] == 107
+    assert core.regs[11] == 93
+    assert core.regs[12] == 100 & 7
+    assert core.regs[13] == 100 | 7
+    assert core.regs[14] == 100 ^ 7
+
+
+def test_shifts_logical_and_arithmetic():
+    core, _ = run_program("""
+        li t0, -16
+        srai a0, t0, 2
+        srli a1, t0, 28
+        slli a2, t0, 1
+        ebreak
+    """)
+    assert core.regs[10] == 0xFFFFFFFC  # -4
+    assert core.regs[11] == 0xF
+    assert core.regs[12] == 0xFFFFFFE0
+
+
+def test_slt_signed_vs_unsigned():
+    core, _ = run_program("""
+        li t0, -1
+        li t1, 1
+        slt a0, t0, t1
+        sltu a1, t0, t1
+        slti a2, t0, 0
+        sltiu a3, t0, 0
+        ebreak
+    """)
+    assert core.regs[10] == 1   # -1 < 1 signed
+    assert core.regs[11] == 0   # 0xFFFFFFFF > 1 unsigned
+    assert core.regs[12] == 1
+    assert core.regs[13] == 0
+
+
+def test_branches_all_variants():
+    core, _ = run_program("""
+        li a0, 0
+        li t0, 3
+        li t1, 5
+        blt t0, t1, l1
+        ebreak
+    l1: addi a0, a0, 1
+        bge t1, t0, l2
+        ebreak
+    l2: addi a0, a0, 1
+        bltu t0, t1, l3
+        ebreak
+    l3: addi a0, a0, 1
+        beq t0, t0, l4
+        ebreak
+    l4: addi a0, a0, 1
+        bne t0, t1, done
+        ebreak
+    done: addi a0, a0, 1
+        ebreak
+    """)
+    assert core.regs[10] == 5
+
+
+def test_jal_jalr_call_return():
+    core, _ = run_program("""
+        li a0, 1
+        jal ra, func
+        addi a0, a0, 100   # executed after return
+        ebreak
+    func:
+        addi a0, a0, 10
+        ret
+    """)
+    assert core.regs[10] == 111
+
+
+def test_x0_stays_zero():
+    core, _ = run_program("""
+        li t0, 99
+        add x0, t0, t0
+        mv a0, x0
+        ebreak
+    """)
+    assert core.regs[10] == 0
+
+
+def test_lui_auipc():
+    core, _ = run_program("""
+        lui a0, 0x12345
+        auipc a1, 0
+        ebreak
+    """)
+    assert core.regs[10] == 0x12345000
+    assert core.regs[11] == 4  # pc of auipc
+
+
+# ----------------------------------------------------------------------
+# memory and MMIO
+# ----------------------------------------------------------------------
+def test_load_store_roundtrip():
+    core, dmem = run_program("""
+        li t0, 0xBEEF
+        li t1, 16       # byte address of word 4
+        sw t0, 0(t1)
+        lw a0, 0(t1)
+        lw a1, -16(t1)
+    data:
+        ebreak
+    """, preload=[7] * 8)
+    assert core.regs[10] == 0xBEEF
+    assert core.regs[11] == 7
+    assert dmem.read(4) == 0xBEEF
+
+
+def test_memory_sum_loop():
+    """Sum 8 array elements from data memory."""
+    source = """
+        li t0, 0       # byte pointer
+        li t1, 8       # count
+        li a0, 0
+    loop:
+        lw t2, 0(t0)
+        add a0, a0, t2
+        addi t0, t0, 4
+        addi t1, t1, -1
+        bnez t1, loop
+        ebreak
+    """
+    core, _ = run_program(source, preload=[1, 2, 3, 4, 5, 6, 7, 8])
+    assert core.regs[10] == 36
+
+
+def test_mmio_read_write():
+    log = []
+    values = {MMIO_BASE + 4: 0xCAFE}
+
+    core, _ = run_program("""
+        li t0, 0x80000000
+        lw a0, 4(t0)
+        li t1, 123
+        sw t1, 8(t0)
+        ebreak
+    """, mmio_read=lambda a: values.get(a, 0),
+        mmio_write=lambda a, v: log.append((a, v)))
+    assert core.regs[10] == 0xCAFE
+    assert log == [(MMIO_BASE + 8, 123)]
+
+
+def test_misaligned_access_rejected():
+    with pytest.raises(RiscvError):
+        run_program("""
+            li t0, 2
+            lw a0, 0(t0)
+            ebreak
+        """)
+
+
+def test_illegal_instruction_rejected():
+    dmem = MemArray(8, width=32)
+    core = RiscvCore(imem=[0xFFFFFFFF], dmem=dmem)
+    with pytest.raises(RiscvError):
+        core.step()
+
+
+def test_runaway_detection_in_thread():
+    from repro.kernel import Simulator
+
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=10)
+    dmem = MemArray(8, width=32)
+    core = RiscvCore(imem=assemble("loop: j loop"), dmem=dmem)
+    sim.add_thread(core.run_thread(max_instructions=100), clk, name="cpu")
+    with pytest.raises(RiscvError):
+        sim.run(until=100_000)
+
+
+def test_instructions_retired_counter():
+    core, _ = run_program("li a0, 1\nli a1, 2\nebreak")
+    assert core.instructions_retired == 3

@@ -1,0 +1,56 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig3" in out and "productivity" in out
+
+
+def test_no_command_lists(capsys):
+    assert main([]) == 0
+    assert "available experiments" in capsys.readouterr().out
+
+
+def test_gals_command(capsys):
+    assert main(["gals"]) == 0
+    out = capsys.readouterr().out
+    assert "testchip chip-level GALS overhead" in out
+
+
+def test_backend_command(capsys):
+    assert main(["backend"]) == 0
+    out = capsys.readouterr().out
+    assert "turnaround" in out and "flat flow" in out
+
+
+def test_productivity_command(capsys):
+    assert main(["productivity"]) == 0
+    out = capsys.readouterr().out
+    assert "OOHLS" in out and "hand RTL" in out
+
+
+def test_hls_qor_command(capsys):
+    assert main(["hls-qor"]) == 0
+    out = capsys.readouterr().out
+    assert "worst |delta|" in out
+
+
+def test_fig3_command_tiny(capsys):
+    assert main(["fig3", "--ports", "2", "--txns", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "cycles per transaction" in out
+
+
+def test_adaptive_clocking_command(capsys):
+    assert main(["adaptive-clocking"]) == 0
+    assert "throughput gain" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

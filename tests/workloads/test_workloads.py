@@ -1,0 +1,146 @@
+"""Tests for golden references and SoC workloads (small configurations)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    conv2d_ref,
+    conv2d_workload,
+    dot_product_workload,
+    dot_ref,
+    gemm_ref,
+    gemm_workload,
+    kmeans_min_distances_ref,
+    kmeans_workload,
+    mask32,
+    memcpy_workload,
+    reduction_workload,
+    run_workload,
+    scale_ref,
+    sum_ref,
+    vector_scale_workload,
+)
+
+
+# ----------------------------------------------------------------------
+# golden references
+# ----------------------------------------------------------------------
+def test_scale_and_sum_refs():
+    assert scale_ref([1, 2, 3], 4) == [4, 8, 12]
+    assert scale_ref([1], -1) == [0xFFFFFFFF]
+    assert sum_ref([1, 2, 3]) == 6
+    assert sum_ref([0xFFFFFFFF, 2]) == 1  # -1 + 2
+
+
+def test_dot_ref():
+    assert dot_ref([1, 2], [3, 4]) == 11
+    with pytest.raises(ValueError):
+        dot_ref([1], [1, 2])
+
+
+def test_conv2d_ref_known_answer():
+    image = [[1, 2, 3], [4, 5, 6], [7, 8, 9]]
+    kernel = [[0, 0, 0], [0, 1, 0], [0, 0, 0]]  # identity at center
+    assert conv2d_ref(image, kernel) == [[5]]
+    kernel_sum = [[1, 1, 1], [1, 1, 1], [1, 1, 1]]
+    assert conv2d_ref(image, kernel_sum) == [[45]]
+    with pytest.raises(ValueError):
+        conv2d_ref([[1]], kernel)
+
+
+def test_gemm_ref_identity():
+    a = [[1, 2], [3, 4]]
+    identity = [[1, 0], [0, 1]]
+    assert gemm_ref(a, identity) == a
+    with pytest.raises(ValueError):
+        gemm_ref(a, [[1, 2]])
+
+
+def test_gemm_ref_against_numpy():
+    import numpy as np
+
+    rng = np.random.default_rng(1)
+    a = rng.integers(-100, 100, (5, 7)).tolist()
+    b = rng.integers(-100, 100, (7, 3)).tolist()
+    want = (np.array(a) @ np.array(b)) % (1 << 32)
+    assert gemm_ref(a, b) == want.tolist()
+
+
+def test_kmeans_ref_known_answer():
+    points = [[0, 0], [10, 10]]
+    centroids = [[0, 1], [10, 9]]
+    assert kmeans_min_distances_ref(points, centroids) == [1, 1]
+    with pytest.raises(ValueError):
+        kmeans_min_distances_ref(points, [])
+
+
+@given(st.lists(st.integers(0, 2**31), min_size=1, max_size=32),
+       st.integers(-100, 100))
+@settings(max_examples=50)
+def test_scale_ref_distributes_over_sum(vec, factor):
+    assert sum_ref(scale_ref(vec, factor)) == mask32(sum_ref(vec) * factor)
+
+
+# ----------------------------------------------------------------------
+# SoC workloads (small configurations, bit-exact checks inside run)
+# ----------------------------------------------------------------------
+def test_vector_scale_on_soc():
+    soc = run_workload(vector_scale_workload(n_pes=4, n_per_pe=16))
+    assert soc.elapsed_cycles > 0
+    assert soc.total_pe_elements > 0
+
+
+def test_memcpy_on_soc():
+    run_workload(memcpy_workload(n_pes=4, n_per_pe=16))
+
+
+def test_reduction_on_soc():
+    run_workload(reduction_workload(n_pes=4, n_per_pe=16))
+
+
+def test_dot_product_on_soc():
+    run_workload(dot_product_workload(n_pes=4, n_per_pe=16))
+
+
+def test_conv2d_on_soc():
+    run_workload(conv2d_workload(height=6, width=8))
+
+
+def test_kmeans_on_soc():
+    run_workload(kmeans_workload(n_points=16, dim=2, k=2, n_pes=4))
+
+
+def test_gemm_on_soc():
+    run_workload(gemm_workload(m=4, k=4, n=4))
+
+
+def test_workload_on_gals_soc():
+    """LI design guarantee: same bit-exact results on the GALS chip."""
+    run_workload(vector_scale_workload(n_pes=4, n_per_pe=16), gals=True)
+
+
+def test_kmeans_validation():
+    with pytest.raises(ValueError):
+        kmeans_workload(n_points=10, n_pes=4)  # not divisible
+
+
+def test_gemm_validation():
+    with pytest.raises(ValueError):
+        gemm_workload(m=32)
+
+
+def test_conv2d_fp16_on_soc():
+    """The FP16 datapath end to end: bit-exact vs MatchLib float ops."""
+    from repro.workloads import conv2d_fp16_workload
+
+    run_workload(conv2d_fp16_workload(height=5, width=7))
+
+
+def test_soc_runs_are_deterministic():
+    """Same workload, same seeds: identical cycle counts and outputs."""
+    wl = vector_scale_workload(n_pes=4, n_per_pe=16)
+    soc_a = run_workload(wl)
+    soc_b = run_workload(wl)
+    assert soc_a.finish_time == soc_b.finish_time
+    assert soc_a.gmem_left.dump(0, 128) == soc_b.gmem_left.dump(0, 128)
