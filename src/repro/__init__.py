@@ -14,6 +14,7 @@ gals         fine-grained GALS clocking and pausible bisynchronous FIFOs
 soc          the prototype machine-learning SoC (Figure 5)
 workloads    ML / computer-vision workloads run on the SoC
 flow         front-to-back flow orchestration, backend and productivity models
+observe      simulation observability: telemetry counters, reports, JSONL logs
 """
 
 __version__ = "1.0.0"
@@ -29,4 +30,5 @@ __all__ = [
     "soc",
     "workloads",
     "flow",
+    "observe",
 ]

@@ -12,6 +12,21 @@ Usage::
     python -m repro stalls
     python -m repro backend
     python -m repro productivity
+
+Observability (see ``docs/OBSERVABILITY.md``):
+
+* every experiment verb accepts ``--trace-vcd PATH`` — run the
+  experiment with auto-watching signal traces enabled and write the
+  first simulator's waveforms as a GTKWave-loadable VCD file::
+
+      python -m repro fig3 --ports 2 --txns 10 --trace-vcd out.vcd
+
+* ``stats <experiment>`` re-runs any experiment with telemetry enabled
+  and appends a summary report (kernel event counts, per-channel
+  stall/occupancy statistics, NoC utilization, clock-domain activity);
+  ``--json PATH`` additionally writes the report as JSONL::
+
+      python -m repro stats fig3 --ports 2,4 --txns 20 --json fig3.jsonl
 """
 
 from __future__ import annotations
@@ -128,7 +143,40 @@ _COMMANDS = {
 }
 
 
+def _add_fig3_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--ports", default="2,4,8,16",
+                   help="comma-separated port counts")
+    p.add_argument("--txns", type=int, default=60,
+                   help="transactions per port")
+
+
+def _write_vcd_from(session, path: str) -> str:
+    """Export the capture session's best trace; returns a status line."""
+    from .kernel.tracing import write_vcd
+
+    trace = session.best_trace()
+    if trace is None:
+        return (f"--trace-vcd: no signal activity recorded "
+                f"(nothing written to {path})")
+    try:
+        with open(path, "w") as fh:
+            write_vcd(trace, fh)
+    except OSError as exc:
+        return f"--trace-vcd: cannot write {path}: {exc.strerror}"
+    return (f"wrote {path}: {len(trace.signals)} signals, "
+            f"{len(trace.changes)} value changes (open with gtkwave)")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro``.
+
+    Usage::
+
+        python -m repro <experiment> [experiment flags] [--trace-vcd PATH]
+        python -m repro stats <experiment> [...] [--json PATH]
+
+    Returns the process exit code (0 on success).
+    """
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate results from the DAC'18 modular VLSI flow "
@@ -139,21 +187,54 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name, (_, help_text) in _COMMANDS.items():
         p = sub.add_parser(name, help=help_text)
         if name == "fig3":
-            p.add_argument("--ports", default="2,4,8,16",
-                           help="comma-separated port counts")
-            p.add_argument("--txns", type=int, default=60,
-                           help="transactions per port")
+            _add_fig3_args(p)
+        p.add_argument("--trace-vcd", metavar="PATH", default=None,
+                       help="record signal waveforms and write a VCD file")
+    stats = sub.add_parser(
+        "stats",
+        help="run an experiment with telemetry enabled, print a report")
+    stats.add_argument("experiment", choices=sorted(_COMMANDS),
+                       help="which experiment to instrument")
+    _add_fig3_args(stats)
+    stats.add_argument("--trace-vcd", metavar="PATH", default=None,
+                       help="also write signal waveforms as a VCD file")
+    stats.add_argument("--json", metavar="PATH", default=None,
+                       help="also write the telemetry report as JSONL")
     args = parser.parse_args(argv)
 
     if args.command in (None, "list"):
         lines = ["available experiments:"]
         for name, (_, help_text) in _COMMANDS.items():
             lines.append(f"  {name:20s} {help_text}")
+        lines.append(f"  {'stats <experiment>':20s} "
+                     "re-run with telemetry, print a stats report")
         print("\n".join(lines))
         return 0
 
-    fn, _ = _COMMANDS[args.command]
-    print(fn(args))
+    want_stats = args.command == "stats"
+    target = args.experiment if want_stats else args.command
+    fn, _ = _COMMANDS[target]
+    trace_path = args.trace_vcd
+
+    if not (want_stats or trace_path):
+        print(fn(args))
+        return 0
+
+    from . import observe
+
+    with observe.capture(trace_signals=bool(trace_path)) as session:
+        out = fn(args)
+    extras = [out]
+    if trace_path:
+        extras.append(_write_vcd_from(session, trace_path))
+    if want_stats:
+        report = session.report(label=target)
+        extras.append(observe.format_report(report))
+        if args.json:
+            with open(args.json, "w") as fh:
+                n = observe.write_jsonl(observe.to_records(report), fh)
+            extras.append(f"wrote {args.json}: {n} JSONL records")
+    print("\n\n".join(extras))
     return 0
 
 

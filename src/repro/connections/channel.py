@@ -56,15 +56,36 @@ __all__ = [
 
 
 class ChannelStats:
-    """Per-channel occupancy and traffic statistics."""
+    """Per-channel occupancy and traffic statistics (always on).
 
-    __slots__ = ("transfers", "push_attempts", "pop_attempts", "stall_cycles",
+    These integer counters are cheap enough to maintain unconditionally:
+
+    * ``transfers`` — completed pops (messages actually moved),
+    * ``push_attempts`` / ``pop_attempts`` — port operations, including
+      retries of blocking ``push()``/``pop()``,
+    * ``push_rejections`` — attempts refused by backpressure (the
+      producer saw no ready),
+    * ``pop_rejections`` — attempts refused because no message was
+      available (or an injected stall withheld valid),
+    * ``stall_cycles`` — cycles an injected verification stall was
+      active (:meth:`FastChannel.set_stall`),
+    * ``occupancy_sum`` / ``cycles`` — for :attr:`mean_occupancy`.
+
+    Occupancy *histograms* and handshake stall-cycle counters are part
+    of the opt-in telemetry layer (:mod:`repro.observe`), attached only
+    when the simulator has a telemetry hub.
+    """
+
+    __slots__ = ("transfers", "push_attempts", "pop_attempts",
+                 "push_rejections", "pop_rejections", "stall_cycles",
                  "occupancy_sum", "cycles")
 
     def __init__(self) -> None:
         self.transfers = 0
         self.push_attempts = 0
         self.pop_attempts = 0
+        self.push_rejections = 0
+        self.pop_rejections = 0
         self.stall_cycles = 0
         self.occupancy_sum = 0
         self.cycles = 0
@@ -92,6 +113,7 @@ class FastChannel:
         "sim", "clock", "name", "kind", "capacity", "extra_latency",
         "_queue", "_transit", "_occ_start", "_pushed", "_popped",
         "_stall_probability", "_stall_rng", "_stalled", "stats",
+        "telemetry",
     )
 
     def __init__(
@@ -123,6 +145,9 @@ class FastChannel:
         self._stall_rng: Optional[random.Random] = None
         self._stalled = False
         self.stats = ChannelStats()
+        # Opt-in occupancy/stall telemetry (None when the hub is off).
+        hub = getattr(sim, "telemetry", None)
+        self.telemetry = hub.register_channel(self) if hub is not None else None
         clock.on_edge(self._tick)
 
     # ------------------------------------------------------------------
@@ -131,6 +156,8 @@ class FastChannel:
     def _tick(self, clock) -> None:
         while self._transit and self._transit[0][0] <= clock.cycles:
             self._queue.append(self._transit.popleft()[1])
+        if self.telemetry is not None:
+            self.telemetry.on_cycle(len(self._queue), self._popped)
         self._occ_start = len(self._queue) + len(self._transit)
         self._pushed = False
         self._popped = False
@@ -150,6 +177,9 @@ class FastChannel:
     def do_push(self, msg: Any) -> bool:
         self.stats.push_attempts += 1
         if not self.can_push():
+            self.stats.push_rejections += 1
+            if self.telemetry is not None:
+                self.telemetry.on_push_rejected()
             return False
         self._pushed = True
         # +1 models the one-cycle handshake; extra_latency adds retiming.
@@ -164,6 +194,7 @@ class FastChannel:
     def do_pop(self) -> tuple[bool, Any]:
         self.stats.pop_attempts += 1
         if not self.can_pop():
+            self.stats.pop_rejections += 1
             return False, None
         self._popped = True
         self.stats.transfers += 1

@@ -78,8 +78,14 @@ class LocalClockGenerator:
         self.period_min = nominal_period
         self.period_max = nominal_period
         self.samples = 0
+        self.retargets = 0
         self.clock = sim.add_clock(name, nominal_period,
                                    generator=self._next_period)
+        # Observability: registered generators annotate their domain's
+        # row in telemetry reports (mean period, margin, pauses).
+        hub = getattr(sim, "telemetry", None)
+        if hub is not None:
+            hub.register_clock_generator(self)
 
     def _next_period(self, clock) -> int:
         period = float(self.nominal_period)
@@ -100,6 +106,7 @@ class LocalClockGenerator:
         if period < 1:
             raise ValueError("period must be >= 1 tick")
         self.nominal_period = period
+        self.retargets += 1
 
     @property
     def mean_period(self) -> float:
@@ -111,3 +118,22 @@ class LocalClockGenerator:
         """Worst observed slowdown relative to nominal (the margin an
         equivalent synchronous design would have to reserve statically)."""
         return self.period_max / self.nominal_period - 1.0
+
+    def activity(self) -> dict:
+        """Clock-domain activity counters as a serializable dict.
+
+        Combines the generator's period statistics with the underlying
+        kernel clock's pause counters — the per-domain row of a
+        telemetry report (see :mod:`repro.observe`).
+        """
+        return {
+            "nominal_period": self.nominal_period,
+            "mean_period": round(self.mean_period, 3),
+            "period_min": self.period_min,
+            "period_max": self.period_max,
+            "effective_margin": round(self.effective_margin, 6),
+            "edges": self.samples,
+            "retargets": self.retargets,
+            "paused_edges": self.clock.paused_edges,
+            "total_pause_time": self.clock.total_pause_time,
+        }

@@ -126,5 +126,16 @@ class Clock:
         """Nominal frequency assuming 1 tick = 1 ps."""
         return 1000.0 / self.period
 
+    def activity(self) -> dict:
+        """Per-domain activity counters as a serializable dict
+        (cycles ticked, pausible-clocking pauses and blackout time)."""
+        return {
+            "name": self.name,
+            "period": self.period,
+            "cycles": self.cycles,
+            "paused_edges": self.paused_edges,
+            "total_pause_time": self.total_pause_time,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Clock({self.name!r}, period={self.period}, cycles={self.cycles})"

@@ -27,6 +27,11 @@ class Signal(Generic[T]):
         self._next: T = init
         self._dirty = False
         self._has_watchers = False
+        # Elaboration-time only: auto-watching traces (--trace-vcd) pick
+        # up every signal as it is created.
+        trace = getattr(sim, "trace", None)
+        if trace is not None and getattr(trace, "autowatch", False):
+            trace.watch(self)
 
     def read(self) -> T:
         """Return the committed value (the value as of the last delta)."""

@@ -25,8 +25,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..observe.core import attach_if_enabled
 
 __all__ = [
     "Simulator",
@@ -168,12 +171,20 @@ class Simulator:
     2. delta loop: run runnable threads and methods, then commit signal
        updates; signals that changed wake their sensitive methods in the
        next delta; repeat until quiescent.
+
+    ``telemetry=True`` attaches a :class:`~repro.observe.core.TelemetryHub`
+    that profiles the kernel itself (events fired, delta cycles, thread
+    wakeups, per-thread wall time) and lets channels/meshes register
+    their own counters; with the default ``telemetry=None`` the hub is
+    attached only inside an :func:`repro.observe.capture` window, and
+    the disabled path costs one ``is None`` check per hook site.
+    Snapshot with :func:`repro.observe.collect`.
     """
 
     #: Safety valve against unstable combinational loops.
     MAX_DELTAS_PER_STEP = 1000
 
-    def __init__(self) -> None:
+    def __init__(self, *, telemetry: Optional[bool] = None) -> None:
         self.now: int = 0
         self._queue: list[tuple[int, int, Callable[[], None]]] = []
         self._seq = itertools.count()
@@ -186,6 +197,8 @@ class Simulator:
         self._started = False
         self._finished_threads = 0
         self.trace = None  # optional Trace object (see tracing.py)
+        # TelemetryHub or None; None keeps every hook at zero overhead.
+        self.telemetry = attach_if_enabled(self, telemetry)
 
     # ------------------------------------------------------------------
     # elaboration API
@@ -268,22 +281,27 @@ class Simulator:
         Returns the final simulation time.
         """
         steps = 0
+        kstats = self.telemetry.kernel if self.telemetry is not None else None
         # Flush writes/wakeups performed outside any process before running.
         self._delta_loop()
         while self._queue:
-            time = self._queue[0][0]
-            if until is not None and time > until:
+            now = self._queue[0][0]
+            if until is not None and now > until:
                 self.now = until
                 break
-            self.now = time
+            self.now = now
             # Fire every timed event at this timestamp, interleaving delta
             # loops so that zero-delay notifications land in fresh deltas.
-            while self._queue and self._queue[0][0] == time:
-                while self._queue and self._queue[0][0] == time:
+            while self._queue and self._queue[0][0] == now:
+                while self._queue and self._queue[0][0] == now:
                     _, _, fn = heapq.heappop(self._queue)
+                    if kstats is not None:
+                        kstats.events_fired += 1
                     fn()
                 self._delta_loop()
             steps += 1
+            if kstats is not None:
+                kstats.timesteps += 1
             if max_steps is not None and steps >= max_steps:
                 break
         return self.now
@@ -297,6 +315,7 @@ class Simulator:
 
     def _delta_loop(self) -> None:
         deltas = 0
+        kstats = self.telemetry.kernel if self.telemetry is not None else None
         while self._runnable or self._dirty_signals:
             deltas += 1
             if deltas > self.MAX_DELTAS_PER_STEP:
@@ -308,19 +327,35 @@ class Simulator:
             self._runnable_set.clear()
             for proc in current:
                 if isinstance(proc, Thread):
-                    if not proc.done:
+                    if proc.done:
+                        continue
+                    if kstats is None:
                         proc._resume()
+                    else:
+                        kstats.thread_wakeups += 1
+                        start = time.perf_counter()
+                        proc._resume()
+                        kstats.add_proc_time(
+                            proc.name, time.perf_counter() - start)
                 else:  # Method
                     proc._queued = False
+                    if kstats is not None:
+                        kstats.method_invocations += 1
                     proc.fn()
             # Update phase: commit signal writes, wake sensitive methods.
             dirty, self._dirty_signals = self._dirty_signals, []
             for sig in dirty:
                 if sig._commit():
+                    if kstats is not None:
+                        kstats.signal_commits += 1
                     if self.trace is not None:
                         self.trace.record(self.now, sig)
                     for method in self._sensitivity.get(id(sig), ()):
                         self._queue_method(method)
+        if kstats is not None and deltas:
+            kstats.delta_cycles += deltas
+            if deltas > kstats.max_deltas_per_step:
+                kstats.max_deltas_per_step = deltas
 
     # ------------------------------------------------------------------
     # introspection

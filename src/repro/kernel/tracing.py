@@ -1,42 +1,88 @@
-"""Waveform tracing and simulation statistics.
+"""Waveform tracing and wall-clock measurement.
 
-``Trace`` records committed signal changes; ``write_vcd`` emits a
-Value-Change-Dump file viewable in GTKWave — the debug path the paper's
-FSDB traces serve in the commercial flow (Figure 1).
+:class:`Trace` records committed signal changes; :func:`write_vcd` emits
+a Value-Change-Dump file viewable in GTKWave — the debug path the
+paper's FSDB traces serve in the commercial flow (Figure 1).
+:class:`WallClock` measures host wall time for the Figure 6 speedup
+runs.  The counter-based side of observability (kernel/channel/NoC
+statistics) lives in :mod:`repro.observe`; see ``docs/OBSERVABILITY.md``
+for the combined guide.
+
+Usage::
+
+    from repro.kernel import Simulator, BusSignal, Trace, write_vcd
+
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=10)
+    count = BusSignal(sim, width=4, name="count")
+    sim.trace = Trace([count])        # explicit watch list...
+    # ...or Trace(autowatch=True) to record every signal created later.
+    sim.run(until=1_000)
+    with open("out.vcd", "w") as fh:
+        write_vcd(sim.trace, fh)      # -> gtkwave out.vcd
+
+From the command line, ``python -m repro <experiment> --trace-vcd PATH``
+attaches an auto-watching trace to the experiment's first simulator and
+writes the VCD for you.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, IO
+from typing import Any, IO, Iterable
 
 __all__ = ["Trace", "write_vcd", "WallClock"]
 
 
 class Trace:
-    """Records (time, signal-name, value) tuples for committed changes.
+    """Records ``(time, signal-name, value)`` tuples for committed changes.
 
-    Attach with ``sim.trace = Trace(signals)``; only listed signals are
-    recorded so large simulations stay cheap.
+    Attach with ``sim.trace = Trace(signals)``; only watched signals are
+    recorded so large simulations stay cheap.  With ``autowatch=True``
+    the trace starts empty and every signal subsequently created on that
+    simulator is watched automatically (the mechanism behind the CLI's
+    ``--trace-vcd`` flag).
+
+    Usage::
+
+        sim.trace = Trace([chan.enq.valid, chan.enq.ready])
+        sim.run(until=10_000)
+        sim.trace.values_at(500)   # -> {"ch.enq.valid": 1, ...}
     """
 
-    def __init__(self, signals):
-        self.signals = list(signals)
-        self._watched = {id(s) for s in self.signals}
+    def __init__(self, signals: Iterable = (), *, autowatch: bool = False):
+        self.signals: list = []
+        self.autowatch = autowatch
+        self._watched: set[int] = set()
         self.changes: list[tuple[int, str, Any]] = []
-        # Seed with initial values at t=0.
-        for sig in self.signals:
-            self.changes.append((0, sig.name, sig.read()))
+        for sig in signals:
+            self.watch(sig)
+
+    def watch(self, signal) -> None:
+        """Add a signal to the watch list, seeding its current value."""
+        if id(signal) in self._watched:
+            return
+        self.signals.append(signal)
+        self._watched.add(id(signal))
+        # Seed so values_at() is total even before the first change.
+        self.changes.append((0, signal.name, signal.read()))
 
     def record(self, now: int, signal) -> None:
+        """Called by the kernel's update phase on every committed change."""
         if id(signal) in self._watched:
             self.changes.append((now, signal.name, signal.read()))
 
     def values_at(self, t: int) -> dict[str, Any]:
-        """Reconstruct the value of every watched signal at time ``t``."""
+        """Reconstruct the value of every watched signal at time ``t``.
+
+        Changes are sorted by timestamp first (stably, so same-time
+        changes keep recording order and the last write wins), making
+        the reconstruction correct even when entries were recorded out
+        of time order — e.g. seeds added by :meth:`watch` mid-run.
+        """
         state: dict[str, Any] = {}
-        for when, name, value in self.changes:
+        for when, name, value in sorted(self.changes, key=lambda c: c[0]):
             if when > t:
                 break
             state[name] = value
@@ -55,7 +101,20 @@ def _vcd_id(index: int) -> str:
 
 
 def write_vcd(trace: Trace, fh: IO[str], *, timescale: str = "1ps") -> None:
-    """Write a recorded trace as a VCD file."""
+    """Write a recorded trace as a GTKWave-loadable VCD file.
+
+    Integer (and bool) values are emitted as binary vectors masked to
+    the signal's declared width — negative values therefore appear in
+    two's complement, like RTL.  Any other value is emitted as a VCD
+    string change (``s<value>``); spaces inside the value are replaced
+    with underscores because a space would terminate the value token and
+    corrupt the file.
+
+    Usage::
+
+        with open("out.vcd", "w") as fh:
+            write_vcd(sim.trace, fh)
+    """
     ids = {sig.name: _vcd_id(i) for i, sig in enumerate(trace.signals)}
     widths = {sig.name: getattr(sig, "width", 32) for sig in trace.signals}
     fh.write(f"$timescale {timescale} $end\n$scope module repro $end\n")
@@ -72,12 +131,20 @@ def write_vcd(trace: Trace, fh: IO[str], *, timescale: str = "1ps") -> None:
         if isinstance(value, int):
             fh.write(f"b{value & ((1 << widths[name]) - 1):b} {ids[name]}\n")
         else:
-            fh.write(f"s{value!r} {ids[name]}\n".replace(" ", "_", 0))
+            text = str(value).replace(" ", "_")
+            fh.write(f"s{text} {ids[name]}\n")
 
 
 @dataclass
 class WallClock:
-    """Context manager measuring wall time (for Figure 6 speedup runs)."""
+    """Context manager measuring wall time (for Figure 6 speedup runs).
+
+    Usage::
+
+        with WallClock() as wc:
+            sim.run(until=1_000_000)
+        print(f"{wc.elapsed:.3f} s")
+    """
 
     elapsed: float = 0.0
     _start: float = field(default=0.0, repr=False)

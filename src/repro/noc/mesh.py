@@ -96,6 +96,9 @@ class Mesh:
         self.n_nodes = width * height
         self.routers: List = []
         self.nis: List[NetworkInterface] = []
+        #: Link inventory for utilization reports:
+        #: ``(src_node, dst_node, tag, channel)`` per inter-router link.
+        self.links: List[tuple] = []
         self._clock_of = clock_of or (lambda node: clock)
         self._link_factory = link_factory
         self._link_depth = link_depth
@@ -143,6 +146,12 @@ class Mesh:
             ni.eject_port.bind(eject)
             self.nis.append(ni)
 
+        # Observability: registered meshes appear in telemetry reports
+        # with per-router flit counts and per-link utilization.
+        hub = getattr(sim, "telemetry", None)
+        if hub is not None:
+            hub.register_mesh(self)
+
     def _link(self, sim, clock, src: int, src_port: Port, dst: int,
               dst_port: Port, depth: int, name: str) -> None:
         tag = f"{name}.l{src}p{int(src_port)}"
@@ -153,11 +162,28 @@ class Mesh:
             chan = Buffer(sim, self._clock_of(dst), capacity=depth, name=tag)
         self.routers[src].outs[src_port].bind(chan)
         self.routers[dst].ins[dst_port].bind(chan)
+        self.links.append((src, dst, tag, chan))
 
     # ------------------------------------------------------------------
     @property
     def total_flits_forwarded(self) -> int:
         return sum(getattr(r, "flits_forwarded", 0) for r in self.routers)
+
+    def link_utilization(self) -> dict[str, float]:
+        """Per-link utilization: transfers per observed channel cycle.
+
+        Uses the always-on :class:`~repro.connections.channel.ChannelStats`
+        of each inter-router link; links built by a custom
+        ``link_factory`` without ``stats`` (e.g. CDC links) report 0.0.
+        """
+        out = {}
+        for _src, _dst, tag, chan in self.links:
+            stats = getattr(chan, "stats", None)
+            if stats is not None and stats.cycles:
+                out[tag] = stats.transfers / stats.cycles
+            else:
+                out[tag] = 0.0
+        return out
 
     def ni(self, node: int) -> NetworkInterface:
         return self.nis[node]

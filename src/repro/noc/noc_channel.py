@@ -77,6 +77,10 @@ class NocChannel:
         self._pushed = False
         self._popped = False
         self.transfers = 0
+        self.kind = "NocChannel"
+        # Opt-in telemetry on the receive buffer (None when the hub is off).
+        hub = getattr(sim, "telemetry", None)
+        self.telemetry = hub.register_channel(self) if hub is not None else None
         # Source side receives returned credits; destination receives data.
         src_demux.register(chan_id, _CreditSink(self))
         dst_demux.register(chan_id, _DataSink(self))
@@ -85,6 +89,8 @@ class NocChannel:
         sim.add_thread(self._tx_run(), src_clock, name=f"{name}.tx")
 
     def _tick(self, clock) -> None:
+        if self.telemetry is not None:
+            self.telemetry.on_cycle(len(self._rx), self._popped)
         self._pushed = False
         self._popped = False
 
@@ -109,6 +115,8 @@ class NocChannel:
 
     def do_push(self, msg: Any) -> bool:
         if not self.can_push():
+            if self.telemetry is not None:
+                self.telemetry.on_push_rejected()
             return False
         self._pushed = True
         self._tx.append(msg)

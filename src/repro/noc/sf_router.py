@@ -43,6 +43,10 @@ class SFRouter:
         # Per-output in-flight packet being streamed out.
         self._sending: list[Optional[list[NocFlit]]] = [None] * N_PORTS
         self.packets_forwarded = 0
+        self.flits_forwarded = 0
+        #: Cycles an in-flight packet could not stream its next flit out
+        #: (downstream link full) — link-level backpressure.
+        self.output_stall_cycles = 0
         sim.add_thread(self._run(), clock, name=self.name)
 
     def _run(self) -> Generator:
@@ -87,8 +91,12 @@ class SFRouter:
                     continue
                 self._sending[o] = self._packets[winner].pop()
             packet = self._sending[o]
-            if packet and out.push_nb(packet[0]):
-                packet.pop(0)
+            if packet:
+                if out.push_nb(packet[0]):
+                    packet.pop(0)
+                    self.flits_forwarded += 1
+                else:
+                    self.output_stall_cycles += 1
             if not packet:
                 self._sending[o] = None
                 self.packets_forwarded += 1

@@ -53,6 +53,9 @@ class WHVCRouter:
         self._locks: list[Optional[tuple[int, int]]] = [None] * N_PORTS
         self.flits_forwarded = 0
         self.packets_forwarded = 0
+        #: Cycles a granted wormhole could not advance (downstream full
+        #: or the next flit not yet arrived) — link-level backpressure.
+        self.output_stall_cycles = 0
         sim.add_thread(self._run(), clock, name=self.name)
 
     # ------------------------------------------------------------------
@@ -108,6 +111,7 @@ class WHVCRouter:
     def _advance_wormhole(self, out_port: int, p: int, v: int) -> None:
         queue = self._queues[p][v]
         if queue.empty:
+            self.output_stall_cycles += 1
             return  # next flit not here yet; hold the lock
         flit = queue.peek()
         if self.outs[out_port].push_nb(flit):
@@ -116,3 +120,5 @@ class WHVCRouter:
             if flit.is_tail:
                 self._locks[out_port] = None
                 self.packets_forwarded += 1
+        else:
+            self.output_stall_cycles += 1

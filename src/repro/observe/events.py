@@ -1,0 +1,76 @@
+"""Structured JSONL event log and report serialization.
+
+Telemetry artifacts are exchanged as JSON Lines: one JSON object per
+line, append-friendly, and readable by any log tooling.  Two record
+producers use this module:
+
+* :class:`EventLog` — discrete simulation events ("channel registered",
+  "run complete", ...), each stamped with a monotonically increasing
+  sequence number;
+* the report layer — :func:`repro.observe.report.to_records` flattens a
+  summary report into records that round-trip through
+  :func:`write_jsonl` / :func:`read_jsonl`.
+
+Usage::
+
+    from repro.observe import EventLog, read_jsonl, write_jsonl
+
+    log = EventLog()
+    log.emit("run-complete", now=1000, events=42)
+    with open("events.jsonl", "w") as fh:
+        write_jsonl(log.records, fh)
+    with open("events.jsonl") as fh:
+        assert read_jsonl(fh) == log.records
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, List
+
+__all__ = ["EventLog", "write_jsonl", "read_jsonl"]
+
+
+class EventLog:
+    """An in-memory sequence of structured telemetry events."""
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: List[dict] = []
+
+    def emit(self, event: str, **fields) -> dict:
+        """Append one event record; returns the record.
+
+        ``event`` names the event type; keyword arguments become the
+        record's payload.  Every record carries ``seq``, its position in
+        the log.
+        """
+        record = {"seq": len(self.records), "event": event, **fields}
+        self.records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+
+def write_jsonl(records: Iterable[dict], fh: IO[str]) -> int:
+    """Write records as JSON Lines; returns the number of lines written."""
+    n = 0
+    for record in records:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+        n += 1
+    return n
+
+
+def read_jsonl(fh: IO[str]) -> List[dict]:
+    """Read a JSON Lines stream back into a list of dicts (blank-line safe)."""
+    records = []
+    for line in fh:
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records

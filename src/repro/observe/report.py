@@ -1,0 +1,317 @@
+"""Telemetry summary reports: collect, merge, format, (de)serialize.
+
+A :class:`TelemetryReport` is a plain-data snapshot of everything the
+observability layer counted during a run: kernel scheduler work,
+per-channel handshake/occupancy statistics, NoC router/link utilization,
+and clock-domain activity.  Reports are built from live simulators with
+:func:`collect`, combined with :func:`merge`, rendered with
+:func:`format_report`, and round-tripped through JSONL with
+:func:`to_records` / :func:`from_records`.
+
+Usage::
+
+    from repro import observe
+
+    sim = Simulator(telemetry=True)
+    ... build and run ...
+    report = observe.collect(sim, label="my-run")
+    print(observe.format_report(report))
+
+    records = observe.to_records(report)         # -> JSONL-able dicts
+    assert observe.from_records(records) == report
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Sequence
+
+from .events import write_jsonl  # noqa: F401  (re-exported convenience)
+
+__all__ = [
+    "TelemetryReport",
+    "collect",
+    "merge",
+    "format_report",
+    "to_records",
+    "from_records",
+]
+
+_KERNEL_INT_FIELDS = (
+    "events_fired", "timesteps", "delta_cycles", "max_deltas_per_step",
+    "thread_wakeups", "method_invocations", "signal_commits",
+)
+
+
+@dataclass
+class TelemetryReport:
+    """A merged, serializable snapshot of one or more simulators."""
+
+    label: str = "telemetry"
+    simulators: int = 0
+    #: Kernel counters summed over simulators (``max_deltas_per_step`` is
+    #: the maximum, ``proc_seconds`` the union of per-thread profiles).
+    kernel: dict = field(default_factory=dict)
+    clocks: List[dict] = field(default_factory=list)
+    channels: List[dict] = field(default_factory=list)
+    routers: List[dict] = field(default_factory=list)
+    links: List[dict] = field(default_factory=list)
+    events: List[dict] = field(default_factory=list)
+
+
+def _channel_row(chan, tel) -> dict:
+    """One report row per instrumented channel: always-on stats + histogram."""
+    row = {
+        "name": getattr(chan, "name", "chan"),
+        "kind": getattr(chan, "kind", type(chan).__name__),
+        "transfers": getattr(chan, "transfers", 0),
+    }
+    stats = getattr(chan, "stats", None)
+    if stats is not None:
+        row.update(
+            transfers=stats.transfers,
+            push_attempts=stats.push_attempts,
+            pop_attempts=stats.pop_attempts,
+            push_rejections=stats.push_rejections,
+            pop_rejections=stats.pop_rejections,
+            injected_stall_cycles=stats.stall_cycles,
+            mean_occupancy=round(stats.mean_occupancy, 4),
+        )
+    if tel is not None:
+        snap = tel.snapshot()
+        snap.pop("name", None)
+        snap.pop("kind", None)
+        row.update(snap)
+    return row
+
+
+def _router_row(router) -> dict:
+    return {
+        "name": getattr(router, "name", "router"),
+        "node": getattr(router, "node", -1),
+        "flits_forwarded": getattr(router, "flits_forwarded", 0),
+        "packets_forwarded": getattr(router, "packets_forwarded", 0),
+        "output_stall_cycles": getattr(router, "output_stall_cycles", 0),
+    }
+
+
+def _link_row(src: int, dst: int, name: str, chan) -> dict:
+    stats = getattr(chan, "stats", None)
+    transfers = stats.transfers if stats is not None else getattr(
+        chan, "transfers", 0)
+    cycles = stats.cycles if stats is not None else 0
+    return {
+        "name": name,
+        "src": src,
+        "dst": dst,
+        "transfers": transfers,
+        "cycles": cycles,
+        "utilization": round(transfers / cycles, 4) if cycles else 0.0,
+    }
+
+
+def _clock_row(clock, *, domain: Optional[dict] = None) -> dict:
+    row = {
+        "name": clock.name,
+        "period": clock.period,
+        "cycles": clock.cycles,
+        "paused_edges": clock.paused_edges,
+        "total_pause_time": clock.total_pause_time,
+    }
+    if domain:
+        row.update(domain)
+    return row
+
+
+def collect(sim, *, label: str = "sim", meshes: Sequence = (),
+            clock_generators: Sequence = ()) -> TelemetryReport:
+    """Snapshot one simulator into a :class:`TelemetryReport`.
+
+    Reads the simulator's telemetry hub when present (kernel counters,
+    channel histograms, registered meshes and clock generators) and the
+    always-on counters (clock cycles, router flit counts) either way.
+    Extra ``meshes`` / ``clock_generators`` are merged with the hub's
+    registrations, so the function also works on telemetry-disabled
+    simulators given explicit sources.
+    """
+    hub = getattr(sim, "telemetry", None)
+    report = TelemetryReport(label=label, simulators=1)
+
+    if hub is not None:
+        report.kernel = hub.kernel.snapshot()
+        report.events = list(hub.log.records)
+        report.channels = [_channel_row(chan, tel)
+                           for chan, tel in hub.channels]
+    else:
+        report.kernel = {f: 0 for f in _KERNEL_INT_FIELDS}
+        report.kernel["proc_seconds"] = {}
+
+    all_meshes: List[Any] = list(meshes)
+    all_gens: List[Any] = list(clock_generators)
+    if hub is not None:
+        seen = {id(m) for m in all_meshes}
+        all_meshes += [m for m in hub.meshes if id(m) not in seen]
+        seen = {id(g) for g in all_gens}
+        all_gens += [g for g in hub.clock_generators if id(g) not in seen]
+
+    gen_by_clock = {id(g.clock): g for g in all_gens}
+    for clock in getattr(sim, "_clocks", ()):
+        gen = gen_by_clock.get(id(clock))
+        domain = gen.activity() if gen is not None else None
+        report.clocks.append(_clock_row(clock, domain=domain))
+
+    for mesh in all_meshes:
+        report.routers += [_router_row(r) for r in mesh.routers]
+        report.links += [_link_row(src, dst, name, chan)
+                         for src, dst, name, chan in getattr(mesh, "links", ())]
+    return report
+
+
+def merge(reports: Iterable[TelemetryReport], *,
+          label: str = "telemetry") -> TelemetryReport:
+    """Combine per-simulator reports into one (sums, max-of-max, unions)."""
+    out = TelemetryReport(label=label)
+    out.kernel = {f: 0 for f in _KERNEL_INT_FIELDS}
+    out.kernel["proc_seconds"] = {}
+    for rep in reports:
+        out.simulators += rep.simulators
+        for f in _KERNEL_INT_FIELDS:
+            if f == "max_deltas_per_step":
+                out.kernel[f] = max(out.kernel[f], rep.kernel.get(f, 0))
+            else:
+                out.kernel[f] += rep.kernel.get(f, 0)
+        for name, secs in rep.kernel.get("proc_seconds", {}).items():
+            ps = out.kernel["proc_seconds"]
+            ps[name] = ps.get(name, 0.0) + secs
+        out.clocks += rep.clocks
+        out.channels += rep.channels
+        out.routers += rep.routers
+        out.links += rep.links
+        out.events += rep.events
+    return out
+
+
+# ----------------------------------------------------------------------
+# text rendering
+# ----------------------------------------------------------------------
+def format_report(report: TelemetryReport, *, top: int = 12) -> str:
+    """Render a report as an aligned plain-text summary.
+
+    Channel, router, and link tables are truncated to the ``top`` rows
+    with the most traffic; the headline above each table always counts
+    every instrumented object, so truncation is visible, not silent.
+    """
+    k = report.kernel
+    lines = [f"telemetry report — {report.label}",
+             f"  simulators: {report.simulators}",
+             "",
+             "kernel",
+             f"  events fired        {k.get('events_fired', 0):>12}",
+             f"  timesteps           {k.get('timesteps', 0):>12}",
+             f"  delta cycles        {k.get('delta_cycles', 0):>12}"
+             f"   (max {k.get('max_deltas_per_step', 0)} per timestep)",
+             f"  thread wakeups      {k.get('thread_wakeups', 0):>12}",
+             f"  method invocations  {k.get('method_invocations', 0):>12}",
+             f"  signal commits      {k.get('signal_commits', 0):>12}"]
+    proc_seconds = k.get("proc_seconds", {})
+    if proc_seconds:
+        busiest = sorted(proc_seconds.items(), key=lambda kv: -kv[1])[:top]
+        lines.append(f"  busiest threads (of {len(proc_seconds)}):")
+        for name, secs in busiest:
+            lines.append(f"    {name:<28} {secs * 1e3:>9.2f} ms")
+
+    if report.channels:
+        chans = sorted(report.channels, key=lambda c: -c.get("transfers", 0))
+        lines += ["",
+                  f"channels ({len(chans)} instrumented, "
+                  f"top {min(top, len(chans))} by transfers)",
+                  f"  {'name':<22} {'kind':<14} {'xfers':>8} {'stall':>7} "
+                  f"{'bkprs':>7} {'occ μ':>6} {'occ max':>7}"]
+        for c in chans[:top]:
+            lines.append(
+                f"  {c['name']:<22} {c.get('kind', '?'):<14} "
+                f"{c.get('transfers', 0):>8} "
+                f"{c.get('valid_not_ready_cycles', 0):>7} "
+                f"{c.get('backpressure_cycles', 0):>7} "
+                f"{c.get('mean_occupancy', 0.0):>6.2f} "
+                f"{c.get('max_occupancy', 0):>7}")
+        total_stall = sum(c.get("valid_not_ready_cycles", 0) for c in chans)
+        total_xfer = sum(c.get("transfers", 0) for c in chans)
+        lines.append(f"  total: {total_xfer} transfers, "
+                     f"{total_stall} valid-but-not-ready stall cycles")
+
+    if report.routers:
+        routers = sorted(report.routers,
+                         key=lambda r: -r.get("flits_forwarded", 0))
+        total_flits = sum(r.get("flits_forwarded", 0) for r in routers)
+        lines += ["",
+                  f"noc routers ({len(routers)}, {total_flits} flits total, "
+                  f"top {min(top, len(routers))})",
+                  f"  {'name':<16} {'flits':>8} {'packets':>8} {'out-stall':>10}"]
+        for r in routers[:top]:
+            lines.append(f"  {r['name']:<16} {r['flits_forwarded']:>8} "
+                         f"{r['packets_forwarded']:>8} "
+                         f"{r['output_stall_cycles']:>10}")
+
+    if report.links:
+        links = sorted(report.links, key=lambda l: -l.get("utilization", 0.0))
+        lines += ["",
+                  f"noc links ({len(links)}, top {min(top, len(links))} "
+                  f"by utilization)",
+                  f"  {'link':<22} {'xfers':>8} {'cycles':>9} {'util':>6}"]
+        for l in links[:top]:
+            lines.append(f"  {l['name']:<22} {l['transfers']:>8} "
+                         f"{l['cycles']:>9} {l['utilization']:>6.3f}")
+
+    if report.clocks:
+        lines += ["",
+                  f"clock domains ({len(report.clocks)})",
+                  f"  {'name':<16} {'cycles':>9} {'period μ':>9} "
+                  f"{'pauses':>7} {'pause ps':>9} {'margin':>7}"]
+        for c in report.clocks[:top]:
+            mean_period = c.get("mean_period", float(c.get("period", 0)))
+            margin = c.get("effective_margin")
+            lines.append(
+                f"  {c['name']:<16} {c['cycles']:>9} {mean_period:>9.1f} "
+                f"{c['paused_edges']:>7} {c['total_pause_time']:>9} "
+                + (f"{margin:>6.1%}" if margin is not None else f"{'—':>7}"))
+        if len(report.clocks) > top:
+            lines.append(f"  ... and {len(report.clocks) - top} more domains")
+
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# JSONL round trip
+# ----------------------------------------------------------------------
+_SECTION_LISTS = {"clock": "clocks", "channel": "channels",
+                  "router": "routers", "link": "links", "event": "events"}
+
+
+def to_records(report: TelemetryReport) -> List[dict]:
+    """Flatten a report into JSONL-ready records (one dict per line)."""
+    records = [{"section": "meta", "label": report.label,
+                "simulators": report.simulators},
+               {"section": "kernel", **report.kernel}]
+    for section, attr in _SECTION_LISTS.items():
+        for row in getattr(report, attr):
+            records.append({"section": section, **row})
+    return records
+
+
+def from_records(records: Iterable[dict]) -> TelemetryReport:
+    """Rebuild a :class:`TelemetryReport` from :func:`to_records` output."""
+    report = TelemetryReport()
+    for record in records:
+        record = dict(record)
+        section = record.pop("section")
+        if section == "meta":
+            report.label = record.get("label", report.label)
+            report.simulators = record.get("simulators", 0)
+        elif section == "kernel":
+            report.kernel = record
+        elif section in _SECTION_LISTS:
+            getattr(report, _SECTION_LISTS[section]).append(record)
+        else:
+            raise ValueError(f"unknown report section {section!r}")
+    return report

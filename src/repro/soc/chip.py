@@ -189,3 +189,25 @@ class PrototypeSoC:
     @property
     def total_pe_elements(self) -> int:
         return sum(pe.elements_processed for pe in self.pes)
+
+    def telemetry_report(self, *, label: str = "soc"):
+        """Snapshot this chip into a :class:`~repro.observe.TelemetryReport`.
+
+        Always includes NoC router/link counters and clock-domain
+        activity (they are maintained unconditionally); kernel counters
+        and per-channel occupancy histograms additionally require the
+        simulator to have been built with telemetry enabled — either
+        ``PrototypeSoC(sim=Simulator(telemetry=True), ...)`` or
+        construction inside an :func:`repro.observe.capture` window.
+
+        Usage::
+
+            from repro import observe
+            with observe.capture():
+                soc = run_workload(conv2d_workload())
+            print(observe.format_report(soc.telemetry_report()))
+        """
+        from ..observe.report import collect
+
+        return collect(self.sim, label=label, meshes=(self.mesh,),
+                       clock_generators=self.clock_generators)

@@ -4,7 +4,14 @@ import io
 import time
 
 from repro.connections import BufferSignal, stream_consumer, stream_producer
-from repro.kernel import BusSignal, Simulator, Trace, WallClock, write_vcd
+from repro.kernel import (
+    BusSignal,
+    Signal,
+    Simulator,
+    Trace,
+    WallClock,
+    write_vcd,
+)
 
 
 def test_trace_of_a_real_handshake():
@@ -70,3 +77,86 @@ def test_wall_clock_context_manager():
     with WallClock() as wc:
         time.sleep(0.01)
     assert wc.elapsed >= 0.005
+
+
+def test_values_at_with_out_of_order_changes():
+    """values_at must sort by time: records may arrive out of order."""
+    sim = Simulator()
+    sig = BusSignal(sim, width=8, name="s")
+    trace = Trace([sig])
+    # Simulate out-of-time-order recording (e.g. a signal watched
+    # mid-run seeds at t=0 after later changes were already recorded).
+    trace.changes.append((50, "s", 7))
+    trace.changes.append((10, "s", 3))
+    trace.changes.append((30, "s", 5))
+    assert trace.values_at(5)["s"] == 0    # the seed value
+    assert trace.values_at(10)["s"] == 3
+    assert trace.values_at(40)["s"] == 5
+    assert trace.values_at(99)["s"] == 7
+
+
+def test_values_at_same_time_last_write_wins():
+    sim = Simulator()
+    sig = BusSignal(sim, width=8, name="s")
+    trace = Trace([sig])
+    trace.changes.append((10, "s", 1))
+    trace.changes.append((10, "s", 2))
+    assert trace.values_at(10)["s"] == 2
+
+
+def test_vcd_masks_negative_ints_to_declared_width():
+    sim = Simulator()
+    sig = BusSignal(sim, width=4, name="neg")
+    trace = Trace([sig])
+    trace.changes.append((10, "neg", -1))
+    trace.changes.append((20, "neg", -3))
+    out = io.StringIO()
+    write_vcd(trace, out)
+    text = out.getvalue()
+    assert "b1111 !" in text   # -1 masked to 4 bits
+    assert "b1101 !" in text   # -3 masked to 4 bits
+    # No unmasked (arbitrarily wide) two's complement leaked through.
+    assert "b" + "1" * 32 not in text
+
+
+def test_vcd_string_values_with_spaces_are_legal():
+    """Regression: spaces inside string values must be replaced, or the
+    value token ends early and the VCD is malformed."""
+    sim = Simulator()
+    sig = Signal(sim, init="idle", name="state")
+    trace = Trace([sig])
+    trace.changes.append((10, "state", "wait for grant"))
+    out = io.StringIO()
+    write_vcd(trace, out)
+    body = out.getvalue().split("$enddefinitions $end\n", 1)[1]
+    for line in body.splitlines():
+        if line.startswith("s"):
+            # Exactly one separator: value token, identifier.
+            assert line.count(" ") == 1, line
+    assert "swait_for_grant !" in body
+
+
+def test_trace_autowatch_records_signals_created_later():
+    sim = Simulator()
+    sim.trace = Trace(autowatch=True)
+    clk = sim.add_clock("clk", period=10)
+    sig = BusSignal(sim, width=8, name="auto")  # created after the trace
+
+    def driver():
+        for i in range(4):
+            sig.write(i + 1)
+            yield
+
+    sim.add_thread(driver(), clk, name="d")
+    sim.run(until=200)
+    assert sig in sim.trace.signals
+    values = [v for _, n, v in sim.trace.changes if n == "auto"]
+    assert values[-1] == 4
+
+
+def test_trace_watch_is_idempotent():
+    sim = Simulator()
+    sig = BusSignal(sim, width=8, name="s")
+    trace = Trace([sig])
+    trace.watch(sig)
+    assert trace.signals.count(sig) == 1

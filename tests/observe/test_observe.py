@@ -1,0 +1,212 @@
+"""Tests for the observability layer (repro.observe)."""
+
+import io
+
+import pytest
+
+from repro import observe
+from repro.connections import Buffer, In, Out
+from repro.gals import LocalClockGenerator
+from repro.kernel import Simulator
+from repro.noc import Mesh
+
+
+def _producer_consumer(sim, clk, n=40, consumer_stall_every=10):
+    chan = Buffer(sim, clk, capacity=4, name="demo")
+    src, dst = Out(chan), In(chan)
+
+    def producer():
+        for i in range(n):
+            yield from src.push(i)
+
+    def consumer():
+        for i in range(n):
+            yield from dst.pop()
+            if consumer_stall_every and i % consumer_stall_every == 0:
+                yield 3  # periodic consumer stall -> backpressure upstream
+
+    sim.add_thread(producer(), clk, name="p")
+    sim.add_thread(consumer(), clk, name="c")
+    return chan
+
+
+# ----------------------------------------------------------------------
+# zero-overhead default
+# ----------------------------------------------------------------------
+def test_telemetry_disabled_by_default():
+    sim = Simulator()
+    assert sim.telemetry is None
+    clk = sim.add_clock("clk", period=10)
+    chan = _producer_consumer(sim, clk)
+    sim.run(until=10_000)
+    # The opt-in layer never attached: no hub, no histogram objects.
+    assert chan.telemetry is None
+    # The always-on counters still work.
+    assert chan.stats.transfers == 40
+
+
+def test_no_capture_leaks_between_sessions():
+    with observe.capture() as session:
+        sim = Simulator()
+        assert sim.telemetry is not None
+    assert observe.active_session() is None
+    assert Simulator().telemetry is None
+    assert session.hubs and session.hubs[0].sim is sim
+
+
+# ----------------------------------------------------------------------
+# kernel counters
+# ----------------------------------------------------------------------
+def test_kernel_counters_count_scheduler_work():
+    sim = Simulator(telemetry=True)
+    clk = sim.add_clock("clk", period=10)
+    _producer_consumer(sim, clk)
+    sim.run(until=5_000)
+    k = sim.telemetry.kernel
+    assert k.events_fired > 0
+    assert k.timesteps > 0
+    assert k.delta_cycles > 0
+    assert k.max_deltas_per_step >= 1
+    assert k.thread_wakeups > 0
+    # Per-thread wall-time profile covers both threads.
+    assert set(k.proc_seconds) == {"p", "c"}
+    assert all(t >= 0.0 for t in k.proc_seconds.values())
+
+
+def test_explicit_opt_out_inside_capture():
+    with observe.capture():
+        sim = Simulator(telemetry=False)
+        assert sim.telemetry is None
+
+
+# ----------------------------------------------------------------------
+# channel telemetry
+# ----------------------------------------------------------------------
+def test_channel_occupancy_histogram_and_stalls():
+    sim = Simulator(telemetry=True)
+    clk = sim.add_clock("clk", period=10)
+    chan = _producer_consumer(sim, clk, n=40, consumer_stall_every=8)
+    sim.run(until=10_000)
+    tel = chan.telemetry
+    assert tel is not None
+    # Histogram accounts for every observed cycle.
+    assert sum(tel.occupancy_hist.values()) == tel.cycles
+    assert tel.max_occupancy <= chan.capacity
+    # Consumer stalls show up on both sides of the handshake.
+    assert tel.valid_not_ready_cycles > 0
+    assert tel.backpressure_cycles > 0
+    assert chan.stats.push_rejections > 0
+    assert chan.stats.pop_rejections > 0
+
+
+def test_mesh_registers_links_and_routers():
+    sim = Simulator(telemetry=True)
+    clk = sim.add_clock("clk", period=10)
+    mesh = Mesh(sim, clk, width=2, height=2)
+    mesh.ni(0).send(3, ["ping", "pong"])
+    mesh.ni(3).send(0, ["back"])
+    sim.run(until=3_000)
+    assert mesh.ni(3).received and mesh.ni(0).received
+    assert mesh in sim.telemetry.meshes
+    # 2x2 mesh: 4 bidirectional edges -> 8 directed links.
+    assert len(mesh.links) == 8
+    util = mesh.link_utilization()
+    assert len(util) == 8
+    assert any(u > 0 for u in util.values())
+    assert mesh.total_flits_forwarded > 0
+    assert all(r.output_stall_cycles >= 0 for r in mesh.routers)
+
+
+def test_clock_generator_registers_and_reports_activity():
+    sim = Simulator(telemetry=True)
+    gen = LocalClockGenerator(sim, "dom0", nominal_period=909)
+    sim.add_thread(iter([]), gen.clock, name="t")
+    sim.run(until=50_000)
+    assert gen in sim.telemetry.clock_generators
+    act = gen.activity()
+    assert act["edges"] > 0
+    assert act["mean_period"] == pytest.approx(909.0)
+    assert act["effective_margin"] >= 0.0
+    assert act["paused_edges"] == 0
+
+
+# ----------------------------------------------------------------------
+# reports
+# ----------------------------------------------------------------------
+def _small_report():
+    with observe.capture() as session:
+        sim = Simulator()
+        clk = sim.add_clock("clk", period=10)
+        _producer_consumer(sim, clk)
+        sim.run(until=5_000)
+    return session.report(label="unit")
+
+
+def test_report_collects_all_sections():
+    report = _small_report()
+    assert report.label == "unit" and report.simulators == 1
+    assert report.kernel["events_fired"] > 0
+    [chan_row] = report.channels
+    assert chan_row["name"] == "demo" and chan_row["transfers"] == 40
+    assert chan_row["valid_not_ready_cycles"] >= 0
+    [clock_row] = report.clocks
+    assert clock_row["name"] == "clk" and clock_row["cycles"] > 0
+    assert any(e["event"] == "channel-registered" for e in report.events)
+
+
+def test_format_report_mentions_key_counters():
+    text = observe.format_report(_small_report())
+    assert "events fired" in text
+    assert "demo" in text
+    assert "valid-but-not-ready" in text
+    assert "clock domains" in text
+
+
+def test_merge_sums_kernel_counters():
+    r1, r2 = _small_report(), _small_report()
+    merged = observe.merge([r1, r2], label="both")
+    assert merged.simulators == 2
+    assert (merged.kernel["events_fired"]
+            == r1.kernel["events_fired"] + r2.kernel["events_fired"])
+    assert len(merged.channels) == 2
+
+
+def test_report_jsonl_round_trip():
+    report = _small_report()
+    buf = io.StringIO()
+    n = observe.write_jsonl(observe.to_records(report), buf)
+    assert n == len(observe.to_records(report))
+    buf.seek(0)
+    restored = observe.from_records(observe.read_jsonl(buf))
+    assert restored == report
+
+
+def test_collect_on_disabled_sim_gives_zeroed_kernel():
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=10)
+    _producer_consumer(sim, clk)
+    sim.run(until=5_000)
+    report = observe.collect(sim, label="off")
+    assert report.kernel["events_fired"] == 0
+    assert report.channels == []          # no hub -> no channel registry
+    assert report.clocks[0]["cycles"] > 0  # always-on counters still there
+
+
+# ----------------------------------------------------------------------
+# event log
+# ----------------------------------------------------------------------
+def test_event_log_emit_and_jsonl():
+    log = observe.EventLog()
+    log.emit("run-complete", now=123, events=7)
+    log.emit("note", text="hello world")
+    assert len(log) == 2
+    assert [r["seq"] for r in log] == [0, 1]
+    buf = io.StringIO()
+    observe.write_jsonl(log.records, buf)
+    buf.seek(0)
+    assert observe.read_jsonl(buf) == log.records
+
+
+def test_from_records_rejects_unknown_section():
+    with pytest.raises(ValueError):
+        observe.from_records([{"section": "bogus"}])

@@ -54,3 +54,43 @@ def test_adaptive_clocking_command(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_stats_command_prints_telemetry_report(capsys):
+    assert main(["stats", "fig3", "--ports", "2", "--txns", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "cycles per transaction" in out        # the experiment output
+    assert "telemetry report — fig3" in out       # plus the stats report
+    assert "events fired" in out
+    assert "valid-but-not-ready" in out
+    assert "clock domains" in out
+
+
+def test_stats_command_writes_jsonl(tmp_path, capsys):
+    path = tmp_path / "report.jsonl"
+    assert main(["stats", "fig3", "--ports", "2", "--txns", "5",
+                 "--json", str(path)]) == 0
+    from repro.observe import from_records, read_jsonl
+
+    with open(path) as fh:
+        report = from_records(read_jsonl(fh))
+    assert report.label == "fig3"
+    assert report.kernel["events_fired"] > 0
+    assert report.channels and report.clocks
+
+
+def test_trace_vcd_flag_writes_gtkwave_file(tmp_path, capsys):
+    path = tmp_path / "out.vcd"
+    assert main(["fig3", "--ports", "2", "--txns", "5",
+                 "--trace-vcd", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert f"wrote {path}" in out
+    text = path.read_text()
+    assert text.startswith("$timescale")
+    assert "$var wire" in text and "$enddefinitions $end" in text
+    assert "#" in text  # at least one timestamped change block
+
+
+def test_stats_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["stats", "frobnicate"])

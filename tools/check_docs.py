@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Check that the documentation stays truthful.
+
+Two checks over the repo's markdown docs:
+
+1. **Runnable snippets** — every fenced ``python`` code block in
+   ``docs/*.md`` is executed (with ``src/`` on ``sys.path``) and must
+   run to completion.  A doc snippet that raises is a doc bug.
+2. **Link/heading lint** — every relative markdown link in the checked
+   files (including ``README.md``) must point at a file that exists;
+   intra-document ``#fragment`` links must match a heading.
+
+Usage::
+
+    python tools/check_docs.py            # check docs/*.md + README.md
+    python tools/check_docs.py FILE...    # check specific files
+
+README.md python blocks are NOT executed (the quickstart builds the
+full SoC, which is deliberately slow); they are link-linted only.
+Exit status is non-zero on any failure.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+EXEC_DIRS = {REPO / "docs"}  # only execute snippets from these dirs
+
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def python_blocks(text: str):
+    """Yield (start_line, source) for each fenced ``python`` block."""
+    lines = text.splitlines()
+    block, lang, start = None, None, 0
+    for i, line in enumerate(lines, 1):
+        m = FENCE_RE.match(line)
+        if m and block is None:
+            block, lang, start = [], m.group(1), i + 1
+        elif line.strip() == "```" and block is not None:
+            if lang == "python":
+                yield start, "\n".join(block)
+            block, lang = None, None
+        elif block is not None:
+            block.append(line)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a markdown heading."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def check_links(path: Path, text: str) -> list:
+    headings = {slugify(m.group(1))
+                for m in map(HEADING_RE.match, text.splitlines()) if m}
+    errors = []
+    for m in LINK_RE.finditer(text):
+        target = m.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.name}: broken link -> {target}")
+                continue
+        if fragment:
+            frag_headings = headings
+            if base:
+                frag_text = (path.parent / base).resolve().read_text()
+                frag_headings = {
+                    slugify(h.group(1))
+                    for h in map(HEADING_RE.match, frag_text.splitlines())
+                    if h}
+            if fragment not in frag_headings:
+                errors.append(f"{path.name}: dangling anchor -> {target}")
+    return errors
+
+
+def run_block(path: Path, line: int, source: str) -> str | None:
+    scope = {"__name__": f"docsnippet:{path.name}:{line}"}
+    try:
+        exec(compile(source, f"{path.name}:{line}", "exec"), scope)
+    except Exception as exc:  # noqa: BLE001 - report, don't crash
+        return f"{path.name}:{line}: snippet raised {type(exc).__name__}: {exc}"
+    return None
+
+
+def main(argv: list) -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    if argv:
+        files = [Path(a).resolve() for a in argv]
+    else:
+        files = sorted((REPO / "docs").glob("*.md")) + [REPO / "README.md"]
+
+    errors, ran = [], 0
+    for path in files:
+        text = path.read_text()
+        errors.extend(check_links(path, text))
+        if path.parent in EXEC_DIRS:
+            for line, source in python_blocks(text):
+                err = run_block(path, line, source)
+                ran += 1
+                status = "FAIL" if err else "ok"
+                print(f"  [{status}] {path.name}:{line}")
+                if err:
+                    errors.append(err)
+
+    print(f"checked {len(files)} files, executed {ran} python snippets")
+    if errors:
+        print("\n".join(f"ERROR: {e}" for e in errors), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
