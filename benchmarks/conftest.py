@@ -5,11 +5,26 @@ the rendered table under ``benchmarks/results/`` so the numbers quoted
 in EXPERIMENTS.md can be re-derived from a run.
 """
 
+import json
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def bench_snapshots():
+    """The committed (baseline, current) ``BENCH_kernel`` snapshot pair.
+
+    Produced by ``tools/bench_compare.py run`` before and after the
+    scheduler overhaul; skips when the pair is not checked in.
+    """
+    base = RESULTS_DIR / "BENCH_kernel_baseline.json"
+    cur = RESULTS_DIR / "BENCH_kernel.json"
+    if not (base.exists() and cur.exists()):
+        pytest.skip("BENCH_kernel snapshot pair not present")
+    return json.loads(base.read_text()), json.loads(cur.read_text())
 
 
 @pytest.fixture

@@ -1,0 +1,47 @@
+"""Before/after table for the scheduler hot-path overhaul.
+
+Renders ``benchmarks/results/kernel_speedup.txt`` from the committed
+``BENCH_kernel_baseline.json`` / ``BENCH_kernel.json`` pair (see
+``docs/PERFORMANCE.md``), so the speedup is a reproducible artifact.
+Speedups are calibration-normalized, making the assertion meaningful
+even if one snapshot is ever regenerated on a different machine.
+"""
+
+
+def _norm(snapshot: dict, name: str) -> float:
+    return (snapshot["benches"][name]["min"]
+            / snapshot["calibration_seconds"])
+
+
+def test_kernel_speedup_table(bench_snapshots, save_result):
+    base, cur = bench_snapshots
+    shared = sorted(set(base["benches"]) & set(cur["benches"]))
+    assert shared, "snapshots share no benches"
+    lines = [
+        "Scheduler hot-path overhaul: wall-clock speedup per bench",
+        "(min over rounds, calibration-normalized; raw seconds in",
+        " parentheses; from BENCH_kernel_baseline.json vs BENCH_kernel.json)",
+        "",
+    ]
+    total_base = total_cur = 0.0
+    for name in shared:
+        b, c = _norm(base, name), _norm(cur, name)
+        total_base += b
+        total_cur += c
+        raw_b = base["benches"][name]["min"]
+        raw_c = cur["benches"][name]["min"]
+        lines.append(f"  {b / c:5.2f}x  {name}"
+                     f"  ({raw_b:.3f}s -> {raw_c:.3f}s)")
+    suite = total_base / total_cur
+    lines += ["", f"  {suite:5.2f}x  full suite (sum of bench minima)"]
+    save_result("kernel_speedup", "\n".join(lines))
+
+    pe = [n for n in shared if "pe_scaling" in n]
+    assert pe, "pe_scaling bench missing from snapshots"
+    assert _norm(base, pe[0]) / _norm(cur, pe[0]) >= 2.0
+    assert suite >= 1.5
+
+    # Telemetry-disabled overhead on the channel micro-benches stays
+    # within noise (the channels benches run with the hub off).
+    chan = [n for n in shared if "test_bench_fast_channel" in n]
+    assert chan, "channel benches missing from snapshots"

@@ -12,6 +12,7 @@ Usage::
     python -m repro stalls
     python -m repro backend
     python -m repro productivity
+    python -m repro bench [--subset quick|full] [--baseline BENCH_kernel.json]
 
 Observability (see ``docs/OBSERVABILITY.md``):
 
@@ -130,6 +131,27 @@ def _cmd_productivity(args) -> str:
             + productivity_report(efforts, RTL_METHODOLOGY).to_text())
 
 
+def _cmd_bench(args) -> int:
+    """Quick local benchmark loop: wraps ``tools/bench_compare.py``."""
+    import pathlib
+    import subprocess
+
+    root = pathlib.Path(__file__).resolve().parents[2]
+    script = root / "tools" / "bench_compare.py"
+    if not script.exists():
+        print("bench: tools/bench_compare.py not found "
+              "(run from a repository checkout)", file=sys.stderr)
+        return 2
+    if args.baseline:
+        cmd = [sys.executable, str(script), "check",
+               "--baseline", args.baseline, "--subset", args.subset,
+               "--threshold", str(args.threshold), "-o", args.output]
+    else:
+        cmd = [sys.executable, str(script), "run",
+               "--subset", args.subset, "-o", args.output]
+    return subprocess.run(cmd, cwd=root).returncode
+
+
 _COMMANDS = {
     "fig3": (_cmd_fig3, "Figure 3: crossbar modelling accuracy"),
     "fig6": (_cmd_fig6, "Figure 6: SoC speedup vs cycle error (slow!)"),
@@ -190,6 +212,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             _add_fig3_args(p)
         p.add_argument("--trace-vcd", metavar="PATH", default=None,
                        help="record signal waveforms and write a VCD file")
+    bench = sub.add_parser(
+        "bench",
+        help="run kernel benchmarks; optionally gate vs a baseline JSON")
+    bench.add_argument("--subset", choices=("quick", "full"), default="quick",
+                       help="which benches to run (default: quick)")
+    bench.add_argument("--baseline", metavar="PATH", default=None,
+                       help="compare against this BENCH_kernel.json and "
+                            "fail on >threshold wall-time regression or "
+                            "any kernel-counter drift")
+    bench.add_argument("--threshold", type=float, default=0.10,
+                       help="wall-time regression threshold (default 0.10)")
+    bench.add_argument("-o", "--output", metavar="PATH",
+                       default="BENCH_kernel.json",
+                       help="where to write the snapshot")
     stats = sub.add_parser(
         "stats",
         help="run an experiment with telemetry enabled, print a report")
@@ -208,8 +244,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             lines.append(f"  {name:20s} {help_text}")
         lines.append(f"  {'stats <experiment>':20s} "
                      "re-run with telemetry, print a stats report")
+        lines.append(f"  {'bench':20s} "
+                     "run kernel benchmarks (see tools/bench_compare.py)")
         print("\n".join(lines))
         return 0
+
+    if args.command == "bench":
+        return _cmd_bench(args)
 
     want_stats = args.command == "stats"
     target = args.experiment if want_stats else args.command

@@ -154,19 +154,26 @@ class FastChannel:
     # per-cycle update (runs before module threads at every posedge)
     # ------------------------------------------------------------------
     def _tick(self, clock) -> None:
-        while self._transit and self._transit[0][0] <= clock.cycles:
-            self._queue.append(self._transit.popleft()[1])
+        # Hot path: runs once per channel per posedge; keep attribute
+        # loads hoisted and branches cheap.
+        queue = self._queue
+        transit = self._transit
+        if transit:
+            cycles = clock.cycles
+            while transit and transit[0][0] <= cycles:
+                queue.append(transit.popleft()[1])
         if self.telemetry is not None:
-            self.telemetry.on_cycle(len(self._queue), self._popped)
-        self._occ_start = len(self._queue) + len(self._transit)
+            self.telemetry.on_cycle(len(queue), self._popped)
+        self._occ_start = len(queue) + len(transit)
         self._pushed = False
         self._popped = False
+        stats = self.stats
         if self._stall_probability > 0.0:
             self._stalled = self._stall_rng.random() < self._stall_probability
             if self._stalled:
-                self.stats.stall_cycles += 1
-        self.stats.cycles += 1
-        self.stats.occupancy_sum += len(self._queue)
+                stats.stall_cycles += 1
+        stats.cycles += 1
+        stats.occupancy_sum += len(queue)
 
     # ------------------------------------------------------------------
     # port-side operations (called by In/Out ports inside module threads)

@@ -79,6 +79,11 @@ class LocalClockGenerator:
         self.period_max = nominal_period
         self.samples = 0
         self.retargets = 0
+        # Passing a generator deliberately puts this clock on the
+        # kernel's general (heap-scheduled) lane: every edge consults
+        # _next_period, so adaptive/jittered GALS clocking behaves
+        # bit-identically to the pre-fast-lane scheduler.  See
+        # docs/PERFORMANCE.md.
         self.clock = sim.add_clock(name, nominal_period,
                                    generator=self._next_period)
         # Observability: registered generators annotate their domain's

@@ -1,6 +1,6 @@
 """Clocks, including pausible/adaptive clocks for fine-grained GALS.
 
-A :class:`Clock` schedules its own posedge events in the simulator.  Two
+A :class:`Clock` produces posedge events for the simulator.  Two
 features beyond a plain synchronous clock support the paper's GALS
 methodology (section 3.1):
 
@@ -10,6 +10,23 @@ methodology (section 3.1):
 * :meth:`pause_until` lets pausible-synchronizer logic stretch the next
   edge past a metastability window, the core mechanism of the pausible
   bisynchronous FIFO [Keller ASYNC'15].
+
+Scheduling lanes (see ``docs/PERFORMANCE.md``):
+
+* **fast lane** — periodic clocks (``generator is None``) keep their
+  next-edge time in :attr:`next_edge`; the simulator consults it
+  directly against the event-heap top, so a posedge costs no heap
+  push/pop and no closure allocation.  Pauses are handled inline.
+* **general lane** — clocks with a ``generator`` reschedule themselves
+  through the simulator's timed-event heap exactly as a delayed
+  callback would, because every edge needs the generator to compute the
+  next period.  This keeps adaptive/pausible GALS clocking behaviour
+  bit-identical to the pre-fast-lane kernel.
+
+Sleeping threads are filed in per-clock *wakeup buckets* keyed by the
+absolute cycle number at which they resume (``cycles + n`` for a thread
+yielding ``n``), so a sleeping thread costs zero work per edge.  Both
+lanes share the buckets.
 """
 
 from __future__ import annotations
@@ -31,7 +48,10 @@ class Clock:
         "period",
         "cycles",
         "generator",
-        "_waiting",
+        "next_edge",
+        "_seq",
+        "_wakeups",
+        "_next_wakeup",
         "_callbacks",
         "_pause_until",
         "_stopped",
@@ -47,32 +67,64 @@ class Clock:
         self.period = period
         self.cycles = 0
         self.generator: Optional[Callable[["Clock"], int]] = generator
-        self._waiting: list = []
+        #: Wakeup buckets: absolute cycle number -> threads resuming there.
+        self._wakeups: dict[int, list] = {}
+        self._next_wakeup: Optional[int] = None  # min key of _wakeups
         self._callbacks: list[Callable[["Clock"], None]] = []
         self._pause_until = 0
         self._stopped = False
         self.paused_edges = 0
         self.total_pause_time = 0
-        sim.schedule(start, self._edge)
+        if generator is None:
+            # Fast lane: the simulator polls next_edge, no heap events.
+            self.next_edge = sim.now + start
+            self._seq = next(sim._seq)
+            sim._fast_clocks.append(self)
+        else:
+            self.next_edge = None
+            self._seq = 0
+            sim.schedule(start, self._edge)
 
     # ------------------------------------------------------------------
     # subscription
     # ------------------------------------------------------------------
-    def _subscribe(self, thread) -> None:
-        self._waiting.append(thread)
+    def _subscribe(self, thread, edges: int = 1) -> None:
+        """File ``thread`` to resume ``edges`` posedges from now."""
+        at = self.cycles + edges
+        bucket = self._wakeups.get(at)
+        if bucket is None:
+            self._wakeups[at] = [thread]
+            if self._next_wakeup is None or at < self._next_wakeup:
+                self._next_wakeup = at
+        else:
+            bucket.append(thread)
 
     def on_edge(self, fn: Callable[["Clock"], None]) -> None:
         """Register a callback invoked at every posedge, before threads.
 
         Used for per-cycle bookkeeping (channel cores, stall injectors,
         statistics) that must observe state ahead of thread wakeups.
+        A clock with callbacks executes every posedge individually and
+        is never bulk-skipped.
         """
         self._callbacks.append(fn)
 
     # ------------------------------------------------------------------
     # edge machinery
     # ------------------------------------------------------------------
+    def _wake_bucket(self) -> None:
+        """Make every thread due at the current cycle runnable."""
+        waiters = self._wakeups.pop(self.cycles, None)
+        if waiters is None:
+            return
+        make_runnable = self.sim._make_runnable
+        for thread in waiters:
+            make_runnable(thread)
+        if self._next_wakeup == self.cycles:
+            self._next_wakeup = min(self._wakeups) if self._wakeups else None
+
     def _edge(self) -> None:
+        """General-lane posedge: a timed event popped off the heap."""
         if self._stopped:
             return
         if self.sim.now < self._pause_until:
@@ -85,15 +137,7 @@ class Clock:
         self.cycles += 1
         for fn in self._callbacks:
             fn(self)
-        if self._waiting:
-            still_waiting = []
-            for thread in self._waiting:
-                thread._edges_left -= 1
-                if thread._edges_left <= 0:
-                    self.sim._make_runnable(thread)
-                else:
-                    still_waiting.append(thread)
-            self._waiting = still_waiting
+        self._wake_bucket()
         next_period = self.period
         if self.generator is not None:
             next_period = int(self.generator(self))
@@ -102,6 +146,69 @@ class Clock:
                     f"clock {self.name!r} generator produced period {next_period}"
                 )
         self.sim.schedule(next_period, self._edge)
+
+    def _fast_edge(self) -> None:
+        """Fast-lane posedge: fired by the simulator at ``next_edge``."""
+        sim = self.sim
+        if self._stopped:
+            return
+        if sim.now < self._pause_until:
+            self.paused_edges += 1
+            self.total_pause_time += self._pause_until - sim.now
+            self.next_edge = self._pause_until
+            self._seq = next(sim._seq)
+            return
+        self.cycles += 1
+        for fn in self._callbacks:
+            fn(self)
+        if self._wakeups:
+            self._wake_bucket()
+        self.next_edge = sim.now + self.period
+        self._seq = next(sim._seq)
+
+    def _next_time(self) -> Optional[int]:
+        """Next timestamp at which this fast clock needs the simulator.
+
+        ``None`` means "never" (stopped, or idle with no pending wakeup
+        — the simulator bulk-advances the cycle counter as time passes,
+        see :meth:`_advance_idle`).  A clock with edge callbacks, or a
+        pending pause to resolve, needs every posedge executed.
+        """
+        if self._stopped:
+            return None
+        if self._callbacks or self._pause_until > self.next_edge:
+            return self.next_edge
+        nw = self._next_wakeup
+        if nw is None:
+            return None
+        # Idle-skip: the next interesting edge is the wakeup bucket's.
+        return self.next_edge + (nw - self.cycles - 1) * self.period
+
+    def _advance_idle(self, last: int, kstats) -> None:
+        """Bulk-advance every posedge with timestamp <= ``last``.
+
+        Only called for fast-lane clocks with no edge callbacks when no
+        wakeup bucket falls inside the range, so the skipped edges have
+        no observable work: the cycle counter, pause bookkeeping, and
+        (when telemetry is on) the per-edge event/timestep counters
+        advance exactly as if each edge had executed individually.
+        """
+        n = 0
+        while not self._stopped and self.next_edge <= last:
+            if self._pause_until > self.next_edge:
+                # The edge at next_edge defers itself to the pause end.
+                self.paused_edges += 1
+                self.total_pause_time += self._pause_until - self.next_edge
+                self.next_edge = self._pause_until
+                n += 1
+                continue
+            k = (last - self.next_edge) // self.period + 1
+            self.cycles += k
+            self.next_edge += k * self.period
+            n += k
+        if kstats is not None and n:
+            kstats.events_fired += n
+            kstats.timesteps += n
 
     # ------------------------------------------------------------------
     # GALS controls
@@ -112,19 +219,33 @@ class Clock:
             self._pause_until = time
 
     def set_period(self, period: int) -> None:
-        """Change the nominal period for subsequent cycles (DVFS)."""
+        """Change the nominal period for subsequent cycles (DVFS).
+
+        The already-committed next edge keeps its time; the new period
+        applies from the edge after it, as with the heap-scheduled
+        kernel.
+        """
         if period <= 0:
             raise ValueError(f"clock period must be positive, got {period}")
         self.period = period
 
     def stop(self) -> None:
-        """Permanently stop this clock (drains the event queue faster)."""
+        """Permanently stop this clock (drains the event queue faster).
+
+        Threads still filed in wakeup buckets never resume — exactly the
+        pre-fast-lane behaviour of threads waiting on a stopped clock.
+        """
         self._stopped = True
 
     @property
     def frequency_ghz(self) -> float:
         """Nominal frequency assuming 1 tick = 1 ps."""
         return 1000.0 / self.period
+
+    @property
+    def pending_wakeups(self) -> int:
+        """Threads currently filed in this clock's wakeup buckets."""
+        return sum(len(b) for b in self._wakeups.values())
 
     def activity(self) -> dict:
         """Per-domain activity counters as a serializable dict

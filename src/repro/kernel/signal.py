@@ -18,7 +18,8 @@ T = TypeVar("T")
 class Signal(Generic[T]):
     """A single driver/multi-reader signal with deferred update."""
 
-    __slots__ = ("sim", "name", "_value", "_next", "_dirty", "_has_watchers")
+    __slots__ = ("sim", "name", "_value", "_next", "_dirty", "_watchers",
+                 "_dirty_list")
 
     def __init__(self, sim, init: T = 0, name: str = "sig"):
         self.sim = sim
@@ -26,7 +27,15 @@ class Signal(Generic[T]):
         self._value: T = init
         self._next: T = init
         self._dirty = False
-        self._has_watchers = False
+        # Methods sensitive to this signal (None until the first one is
+        # registered).  The list lives on the signal itself, so the link
+        # is a strong reference keyed by identity — a dropped signal can
+        # never alias another signal's sensitivity list.
+        self._watchers = None
+        # Direct reference to the simulator's dirty list; its identity is
+        # stable for the simulator's lifetime (the delta loop clears it in
+        # place), so ``write`` can append without a method call.
+        self._dirty_list = sim._dirty_signals
         # Elaboration-time only: auto-watching traces (--trace-vcd) pick
         # up every signal as it is created.
         trace = getattr(sim, "trace", None)
@@ -42,7 +51,7 @@ class Signal(Generic[T]):
         self._next = value
         if not self._dirty:
             self._dirty = True
-            self.sim._mark_dirty(self)
+            self._dirty_list.append(self)
 
     def _commit(self) -> bool:
         """Commit the pending write.  Returns True if the value changed."""
@@ -71,7 +80,11 @@ class BitSignal(Signal[int]):
         super().__init__(sim, int(bool(init)), name)
 
     def write(self, value: int) -> None:
-        super().write(int(bool(value)))
+        # Flattened (no super() hop): this is the RTL-mode hot path.
+        self._next = 1 if value else 0
+        if not self._dirty:
+            self._dirty = True
+            self._dirty_list.append(self)
 
 
 class BusSignal(Signal[int]):
@@ -87,4 +100,8 @@ class BusSignal(Signal[int]):
         super().__init__(sim, init & self._mask, name)
 
     def write(self, value: int) -> None:
-        super().write(value & self._mask)
+        # Flattened (no super() hop): this is the RTL-mode hot path.
+        self._next = value & self._mask
+        if not self._dirty:
+            self._dirty = True
+            self._dirty_list.append(self)

@@ -19,6 +19,26 @@ Signals live in :mod:`repro.kernel.signal` and clocks in
 The kernel deliberately uses integer timestamps (abstract "ticks", by
 convention 1 tick = 1 ps) so that globally-asynchronous clock domains with
 irrational-looking period ratios still compare exactly.
+
+Scheduler hot path (see ``docs/PERFORMANCE.md`` for the design):
+
+* periodic clocks (no generator) live on a **fast lane** — a flat list
+  whose next-edge times are compared against the heap top each timestep,
+  so a posedge costs no heap churn and no closure allocation;
+* threads yielding ``n`` cycles are filed in per-clock **wakeup
+  buckets** keyed by absolute cycle number — a sleeping thread costs
+  zero work per edge;
+* method sensitivity is stored **on the signal objects themselves**
+  (``Signal._watchers``), so a commit wakes its methods without a dict
+  lookup — and without the use-after-free hazard of an ``id()``-keyed
+  side table;
+* an **idle-skip** bulk-advances callback-free clocks over edges where
+  no thread wakes, no method runs, and no timed event fires.
+
+All fast paths are semantics-preserving: firing order is kept identical
+to the heap-scheduled kernel by stamping fast-lane edges with the same
+monotonic sequence numbers timed events use and merging the two sources
+per timestamp.
 """
 
 from __future__ import annotations
@@ -26,7 +46,6 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
-from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..observe.core import attach_if_enabled
@@ -94,7 +113,7 @@ class Thread:
     Subroutines compose with ``yield from``.
     """
 
-    __slots__ = ("sim", "gen", "clock", "name", "done", "_edges_left")
+    __slots__ = ("sim", "gen", "clock", "name", "done")
 
     def __init__(self, sim: "Simulator", gen: Generator, clock, name: str):
         self.sim = sim
@@ -102,7 +121,6 @@ class Thread:
         self.clock = clock
         self.name = name
         self.done = False
-        self._edges_left = 0
 
     def _resume(self) -> None:
         """Advance the generator to its next wait point."""
@@ -113,8 +131,9 @@ class Thread:
             self.sim._thread_finished(self)
             return
         if request is None:
-            request = 1
-        if isinstance(request, int):
+            self.clock._subscribe(self)
+            return
+        if type(request) is int:
             if request <= 0:
                 raise SimulationError(
                     f"thread {self.name!r} yielded non-positive wait {request}"
@@ -123,10 +142,11 @@ class Thread:
                 raise SimulationError(
                     f"thread {self.name!r} has no clock but yielded a cycle wait"
                 )
-            self._edges_left = request
-            self.clock._subscribe(self)
+            self.clock._subscribe(self, request)
         elif isinstance(request, Event):
             request._subscribe(self)
+        elif isinstance(request, int):  # bool/IntEnum yields
+            self.clock._subscribe(self, int(request))
         else:
             raise SimulationError(
                 f"thread {self.name!r} yielded unsupported value {request!r}"
@@ -167,7 +187,7 @@ class Simulator:
     Timestep execution order (mirrors SystemC):
 
     1. fire all timed events scheduled for the current timestamp
-       (clock edges, delayed notifications),
+       (clock edges, delayed notifications) in scheduling order,
     2. delta loop: run runnable threads and methods, then commit signal
        updates; signals that changed wake their sensitive methods in the
        next delta; repeat until quiescent.
@@ -188,12 +208,16 @@ class Simulator:
         self.now: int = 0
         self._queue: list[tuple[int, int, Callable[[], None]]] = []
         self._seq = itertools.count()
-        self._runnable: deque = deque()
+        self._runnable: list = []
         self._runnable_set: set = set()
+        # Signals cache a direct reference to this list (Signal._dirty_list),
+        # so its identity must stay stable: the delta loop clears it in
+        # place instead of rebinding it.
         self._dirty_signals: list = []
         self._threads: list[Thread] = []
         self._clocks: list = []
-        self._sensitivity: dict[int, list[Method]] = {}
+        #: Periodic clocks on the fast lane (no per-edge heap events).
+        self._fast_clocks: list = []
         self._started = False
         self._finished_threads = 0
         self.trace = None  # optional Trace object (see tracing.py)
@@ -207,7 +231,9 @@ class Simulator:
         """Create and register a :class:`~repro.kernel.clock.Clock`.
 
         ``generator`` optionally supplies a per-edge period callback used
-        by GALS local clock generators (jitter, adaptation, pausing).
+        by GALS local clock generators (jitter, adaptation, pausing);
+        such clocks take the general heap-scheduled path, while plain
+        periodic clocks ride the fast lane.
         """
         from .clock import Clock
 
@@ -223,7 +249,6 @@ class Simulator:
         """
         thread = Thread(self, gen, clock, name)
         self._threads.append(thread)
-        thread._edges_left = 1
         if clock is not None:
             clock._subscribe(thread)
         else:
@@ -234,11 +259,18 @@ class Simulator:
     def add_method(
         self, fn: Callable[[], None], sensitive: Iterable, *, name: str = "method"
     ) -> Method:
-        """Register a combinational method with a sensitivity list."""
+        """Register a combinational method with a sensitivity list.
+
+        The sensitivity link lives on the signal objects themselves
+        (each keeps a strong reference to its methods), so dropping a
+        signal can never alias another signal's watcher list.
+        """
         method = Method(fn, name)
         for sig in sensitive:
-            self._sensitivity.setdefault(id(sig), []).append(method)
-            sig._has_watchers = True
+            if sig._watchers is None:
+                sig._watchers = [method]
+            else:
+                sig._watchers.append(method)
         # Run once at time zero to settle initial combinational state.
         self.schedule(0, lambda m=method: self._queue_method(m))
         return method
@@ -262,9 +294,11 @@ class Simulator:
             self._runnable.append(proc)
 
     def _queue_method(self, method: Method) -> None:
+        # ``_queued`` alone dedupes methods (it is set exactly while the
+        # method sits in the pending runnable list), so no set lookup.
         if not method._queued:
             method._queued = True
-            self._make_runnable(method)
+            self._runnable.append(method)
 
     def _mark_dirty(self, signal) -> None:
         self._dirty_signals.append(signal)
@@ -280,21 +314,97 @@ class Simulator:
 
         Returns the final simulation time.
         """
+        return self._run(until, max_steps, None, 0)
+
+    def run_cycles(self, clock, cycles: int) -> int:
+        """Run until ``clock`` has ticked ``cycles`` more posedges.
+
+        A single bounded run with an edge-count stop condition: the
+        scheduler loop exits as soon as the target cycle count is
+        reached (or the simulation runs out of work — e.g. the clock
+        was stopped), without re-entering :meth:`run` per timestep.
+        """
+        if cycles <= 0:
+            return self.now
+        target = clock.cycles + cycles
+        # Sentinel wakeup bucket: gives the idle-skip an exact horizon,
+        # so even a clock with no waiters executes its target edge.
+        if target not in clock._wakeups:
+            clock._wakeups[target] = []
+            if clock._next_wakeup is None or target < clock._next_wakeup:
+                clock._next_wakeup = target
+        return self._run(None, None, clock, target)
+
+    def _run(self, until: Optional[int], max_steps: Optional[int],
+             stop_clock, stop_cycles: int) -> int:
+        """Core scheduler loop shared by :meth:`run` / :meth:`run_cycles`.
+
+        Each iteration executes one timestep: the earliest timestamp
+        owed by the timed-event heap or by a fast-lane clock edge.  All
+        firings at that timestamp are merged in sequence-number order
+        (identical to the fully heap-scheduled kernel), then delta
+        cycles run until quiescent.
+        """
         steps = 0
         kstats = self.telemetry.kernel if self.telemetry is not None else None
+        queue = self._queue
+        fast = self._fast_clocks
+        pop = heapq.heappop
         # Flush writes/wakeups performed outside any process before running.
         self._delta_loop()
-        while self._queue:
-            now = self._queue[0][0]
-            if until is not None and now > until:
-                self.now = until
+        while True:
+            t = queue[0][0] if queue else None
+            for clk in fast:
+                ct = clk._next_time()
+                if ct is not None and (t is None or ct < t):
+                    t = ct
+            if t is None:
+                # No executable work left.  Idle periodic clocks still
+                # tick silently up to the requested horizon.
+                if until is not None:
+                    for clk in fast:
+                        if not clk._stopped:
+                            self.now = until
+                    for clk in fast:
+                        clk._advance_idle(until, kstats)
                 break
-            self.now = now
-            # Fire every timed event at this timestamp, interleaving delta
-            # loops so that zero-delay notifications land in fresh deltas.
-            while self._queue and self._queue[0][0] == now:
-                while self._queue and self._queue[0][0] == now:
-                    _, _, fn = heapq.heappop(self._queue)
+            if until is not None and t > until:
+                self.now = until
+                for clk in fast:
+                    clk._advance_idle(until, kstats)
+                break
+            self.now = t
+            due = None
+            for clk in fast:
+                ne = clk.next_edge
+                if ne <= t and not clk._stopped:
+                    if ne < t:
+                        # Idle-skip: edges strictly before this timestep
+                        # had no observable work by construction.
+                        clk._advance_idle(t - 1, kstats)
+                        ne = clk.next_edge
+                    if ne == t:
+                        if due is None:
+                            due = [(clk._seq, clk._fast_edge)]
+                        else:
+                            due.append((clk._seq, clk._fast_edge))
+            if due is not None:
+                while queue and queue[0][0] == t:
+                    item = pop(queue)
+                    due.append((item[1], item[2]))
+                if len(due) > 1:
+                    due.sort()
+                if kstats is not None:
+                    kstats.events_fired += len(due)
+                for _, fn in due:
+                    fn()
+                self._delta_loop()
+            # Fire every remaining timed event at this timestamp,
+            # interleaving delta loops so that zero-delay notifications
+            # land in fresh deltas.
+            while queue and queue[0][0] == t:
+                while queue and queue[0][0] == t:
+                    _, _, fn = pop(queue)
                     if kstats is not None:
                         kstats.events_fired += 1
                     fn()
@@ -304,26 +414,66 @@ class Simulator:
                 kstats.timesteps += 1
             if max_steps is not None and steps >= max_steps:
                 break
-        return self.now
-
-    def run_cycles(self, clock, cycles: int) -> int:
-        """Run until ``clock`` has ticked ``cycles`` more posedges."""
-        target = clock.cycles + cycles
-        while self._queue and clock.cycles < target:
-            self.run(max_steps=1)
+            if stop_clock is not None and stop_clock.cycles >= stop_cycles:
+                break
         return self.now
 
     def _delta_loop(self) -> None:
+        dirty = self._dirty_signals
+        if not self._runnable and not dirty:
+            return
+        if self.telemetry is None and self.trace is None:
+            # Fast variant: identical evaluate/update semantics with the
+            # per-proc instrumentation branches and the _commit /
+            # _queue_method calls flattened away.
+            deltas = 0
+            max_deltas = self.MAX_DELTAS_PER_STEP
+            while self._runnable or dirty:
+                deltas += 1
+                if deltas > max_deltas:
+                    raise DeltaOverflow(
+                        f"timestep at t={self.now} did not converge after "
+                        f"{max_deltas} delta cycles"
+                    )
+                current = self._runnable
+                self._runnable = runnable = []
+                self._runnable_set.clear()
+                append = runnable.append
+                for proc in current:
+                    if proc.__class__ is Method:
+                        proc._queued = False
+                        proc.fn()
+                    elif not proc.done:
+                        proc._resume()
+                # Update phase: commit signal writes, wake sensitive
+                # methods.  No process runs here, so nothing appends to
+                # ``dirty`` while it is iterated; clear it in place to
+                # preserve its identity (signals cache a reference).
+                if dirty:
+                    for sig in dirty:
+                        sig._dirty = False
+                        nxt = sig._next
+                        if nxt != sig._value:
+                            sig._value = nxt
+                            watchers = sig._watchers
+                            if watchers:
+                                for method in watchers:
+                                    if not method._queued:
+                                        method._queued = True
+                                        append(method)
+                    dirty.clear()
+            return
         deltas = 0
         kstats = self.telemetry.kernel if self.telemetry is not None else None
-        while self._runnable or self._dirty_signals:
+        trace = self.trace
+        while self._runnable or dirty:
             deltas += 1
             if deltas > self.MAX_DELTAS_PER_STEP:
                 raise DeltaOverflow(
                     f"timestep at t={self.now} did not converge after "
                     f"{self.MAX_DELTAS_PER_STEP} delta cycles"
                 )
-            current, self._runnable = self._runnable, deque()
+            current, self._runnable = self._runnable, []
             self._runnable_set.clear()
             for proc in current:
                 if isinstance(proc, Thread):
@@ -343,15 +493,18 @@ class Simulator:
                         kstats.method_invocations += 1
                     proc.fn()
             # Update phase: commit signal writes, wake sensitive methods.
-            dirty, self._dirty_signals = self._dirty_signals, []
-            for sig in dirty:
-                if sig._commit():
-                    if kstats is not None:
-                        kstats.signal_commits += 1
-                    if self.trace is not None:
-                        self.trace.record(self.now, sig)
-                    for method in self._sensitivity.get(id(sig), ()):
-                        self._queue_method(method)
+            if dirty:
+                for sig in dirty:
+                    if sig._commit():
+                        if kstats is not None:
+                            kstats.signal_commits += 1
+                        if trace is not None:
+                            trace.record(self.now, sig)
+                        watchers = sig._watchers
+                        if watchers:
+                            for method in watchers:
+                                self._queue_method(method)
+                dirty.clear()
         if kstats is not None and deltas:
             kstats.delta_cycles += deltas
             if deltas > kstats.max_deltas_per_step:

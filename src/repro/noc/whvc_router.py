@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from ..connections.channel import FastChannel
 from ..connections.ports import In, Out
 from ..matchlib.arbiter import RoundRobinArbiter
 from ..matchlib.fifo import Fifo
@@ -51,6 +52,8 @@ class WHVCRouter:
                           for _ in range(N_PORTS)]
         # Per-output wormhole lock: (in_port, vc) or None.
         self._locks: list[Optional[tuple[int, int]]] = [None] * N_PORTS
+        self._active_locks = 0  # outputs with a wormhole in flight
+        self._buffered = 0  # flits across all VC queues
         self.flits_forwarded = 0
         self.packets_forwarded = 0
         #: Cycles a granted wormhole could not advance (downstream full
@@ -63,7 +66,23 @@ class WHVCRouter:
         return xy_route(self.node, flit.dest, self.mesh_width)
 
     def _run(self) -> Generator:
+        # Ports are bound at mesh elaboration, before the first posedge;
+        # boundary ports stay unbound forever, so snapshot the channels.
+        # The idle-exit reads FastChannel._queue directly; custom link
+        # kinds (GALS links, RTL signal links) run the full body always.
+        in_channels = [p._channel for p in self.ins if p._channel is not None]
+        fast_links = all(isinstance(ch, FastChannel) for ch in in_channels)
         while True:
+            # Idle-exit: nothing buffered, no wormhole holding an output,
+            # nothing arriving on any input link.  The full body would be
+            # a provable no-op (peeks fail, arbiters see no requests, no
+            # stall counting without a lock), so skip it.  Any held lock
+            # forces the full body: a starved wormhole must keep counting
+            # output_stall_cycles.
+            if (fast_links and self._buffered == 0 and self._active_locks == 0
+                    and all(not ch._queue for ch in in_channels)):
+                yield
+                continue
             self._accept_flits()
             self._forward_flits()
             yield
@@ -82,6 +101,7 @@ class WHVCRouter:
             ok, flit = port.pop_nb()
             if ok:
                 queue.push(flit)
+                self._buffered += 1
 
     def _forward_flits(self) -> None:
         """Arbitrate each output and forward one flit per output."""
@@ -106,6 +126,7 @@ class WHVCRouter:
                 continue
             p, v = divmod(winner, self.n_vcs)
             self._locks[out_port] = (p, v)
+            self._active_locks += 1
             self._advance_wormhole(out_port, p, v)
 
     def _advance_wormhole(self, out_port: int, p: int, v: int) -> None:
@@ -116,9 +137,11 @@ class WHVCRouter:
         flit = queue.peek()
         if self.outs[out_port].push_nb(flit):
             queue.pop()
+            self._buffered -= 1
             self.flits_forwarded += 1
             if flit.is_tail:
                 self._locks[out_port] = None
+                self._active_locks -= 1
                 self.packets_forwarded += 1
         else:
             self.output_stall_cycles += 1

@@ -54,8 +54,11 @@ class KernelStats:
     Counts the scheduler's own work — the numbers a simulator must report
     about itself before its performance claims can be trusted:
 
-    * ``events_fired`` — timed events popped off the heap,
-    * ``timesteps`` — distinct timestamps executed,
+    * ``events_fired`` — timed events fired (heap pops plus fast-lane
+      clock edges, including edges the idle-skip advances over —
+      identical to executing every edge individually),
+    * ``timesteps`` — distinct timestamps executed (idle-skipped clock
+      edges count one timestep each, matching per-edge execution),
     * ``delta_cycles`` / ``max_deltas_per_step`` — evaluate/update
       iterations (convergence effort per timestep),
     * ``thread_wakeups`` / ``method_invocations`` — process activations,

@@ -161,7 +161,12 @@ class ProcessingElement:
         b = (yield from self._spad_read(b_base, length)) if needs_b else None
         result = self._kernel_fp(base_kernel, a, b, param) if is_fp \
             else self._kernel_int(base_kernel, a, b, param)
-        # Datapath cost: lanes elements per cycle.
+        # Datapath cost: lanes elements per cycle.  Kept as per-cycle
+        # yields: a single bucketed `yield n` would subscribe the thread
+        # n edges early and wake it ahead of threads that resubscribed in
+        # the interim, shifting same-cycle arbitration order — measurably
+        # different finish times on multi-PE workloads.  Cycle-exactness
+        # with the recorded experiment tables wins over the speedup here.
         for _ in range(-(-length // self.lanes)):
             yield
         self.elements_processed += length

@@ -52,25 +52,33 @@ class RtlActivity:
                 [self._regs[-1]]
 
             def drive(comb=comb, srcs=srcs):
+                # ``s._value`` is ``read()`` without the call (hot path:
+                # this method re-runs every cycle for every fanout group).
                 acc = 0
                 for s in srcs:
-                    acc ^= s.read()
+                    acc ^= s._value
                 comb.write(acc)
 
             sim.add_method(drive, sensitive=srcs, name=f"{name}.m{i}")
         sim.add_thread(self._run(), clock, name=name)
 
     def _run(self):
+        # Prebind the per-register accessors once: the loop below runs
+        # n_regs reads and writes every cycle, so the attribute lookups
+        # dominate if left inline.
         regs = self._regs
-        n = self.n_regs
+        head_read = regs[0].read
+        head_write = regs[0].write
+        tail_read = regs[-1].read
+        shift = [(regs[i].write, regs[i - 1].read)
+                 for i in range(self.n_regs - 1, 0, -1)]
         while True:
             # Shift pipeline with an LFSR feedback head: every register
             # changes every cycle, so every write commits and re-triggers
             # its combinational fanout — worst-case but realistic toggle
             # activity for a busy datapath.
-            head = regs[0].read()
-            feedback = ((head << 1) ^ (head >> 27) ^ regs[n - 1].read() ^ 1)
-            regs[0].write(feedback)
-            for i in range(n - 1, 0, -1):
-                regs[i].write(regs[i - 1].read())
+            head = head_read()
+            head_write((head << 1) ^ (head >> 27) ^ tail_read() ^ 1)
+            for w, r in shift:
+                w(r())
             yield
