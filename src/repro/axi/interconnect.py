@@ -15,6 +15,7 @@ from typing import Generator, List, Optional
 
 from ..connections.channel import Buffer
 from ..connections.ports import In, Out
+from ..design.hierarchy import component_scope
 from .master import AxiMaster
 from .slave import _SlaveBase
 from .types import AxiAR, AxiAW, AxiB, AxiR, AxiResp, AxiW
@@ -50,46 +51,63 @@ class AxiInterconnect:
     def __init__(self, sim, clock, *, name: str = "axix", channel_depth: int = 2):
         self._sim = sim
         self._clock = clock
-        self.name = name
         self._depth = channel_depth
-        # Per-master channel bundles (fabric side).
-        self._m_aw: List[In] = []
-        self._m_w: List[In] = []
-        self._m_b: List[Out] = []
-        self._m_ar: List[In] = []
-        self._m_r: List[Out] = []
-        # Per-slave channel bundles (fabric side) and ranges.
-        self._s_aw: List[Out] = []
-        self._s_w: List[Out] = []
-        self._s_b: List[In] = []
-        self._s_ar: List[Out] = []
-        self._s_r: List[In] = []
-        self.ranges: List[AddressRange] = []
-        self.transactions = 0
-        self.decode_errors = 0
-        sim.add_thread(self._run(), clock, name=name)
+        # One outstanding transaction per master per direction means the
+        # fabric's request/response loops always drain, so channel-cycle
+        # lint waives cycles through the fabric instance.
+        with component_scope(sim, name, kind="AxiInterconnect", obj=self,
+                             clock=clock,
+                             attrs={"deadlock_free":
+                                    "single outstanding txn per master"}
+                             ) as inst:
+            self._inst = inst
+            self.name = inst.name if inst is not None else name
+            # Per-master channel bundles (fabric side).
+            self._m_aw: List[In] = []
+            self._m_w: List[In] = []
+            self._m_b: List[Out] = []
+            self._m_ar: List[In] = []
+            self._m_r: List[Out] = []
+            # Per-slave channel bundles (fabric side) and ranges.
+            self._s_aw: List[Out] = []
+            self._s_w: List[Out] = []
+            self._s_b: List[In] = []
+            self._s_ar: List[Out] = []
+            self._s_r: List[In] = []
+            self.ranges: List[AddressRange] = []
+            self.transactions = 0
+            self.decode_errors = 0
+            sim.add_thread(self._run(), clock, name="ctl")
 
     # ------------------------------------------------------------------
     # wiring
     # ------------------------------------------------------------------
+    def _enter(self):
+        """Re-enter the fabric's scope for post-construction wiring."""
+        design = getattr(self._sim, "design", None)
+        if design is None or self._inst is None:
+            from contextlib import nullcontext
+            return nullcontext()
+        return design.enter(self._inst)
+
     def _chan(self, tag: str) -> Buffer:
-        return Buffer(self._sim, self._clock, capacity=self._depth,
-                      name=f"{self.name}.{tag}")
+        return Buffer(self._sim, self._clock, capacity=self._depth, name=tag)
 
     def connect_master(self, master: AxiMaster) -> int:
         """Attach a master; returns its index."""
         idx = len(self._m_aw)
-        for tag, m_port, lst, fabric_end in (
-            ("aw", master.aw, self._m_aw, In),
-            ("w", master.w, self._m_w, In),
-            ("b", master.b, self._m_b, Out),
-            ("ar", master.ar, self._m_ar, In),
-            ("r", master.r, self._m_r, Out),
-        ):
-            chan = self._chan(f"m{idx}.{tag}")
-            m_port.bind(chan)
-            end = fabric_end(chan, name=f"{self.name}.m{idx}.{tag}")
-            lst.append(end)
+        with self._enter():
+            for tag, m_port, lst, fabric_end in (
+                ("aw", master.aw, self._m_aw, In),
+                ("w", master.w, self._m_w, In),
+                ("b", master.b, self._m_b, Out),
+                ("ar", master.ar, self._m_ar, In),
+                ("r", master.r, self._m_r, Out),
+            ):
+                chan = self._chan(f"m{idx}.{tag}")
+                m_port.bind(chan)
+                end = fabric_end(chan, name=f"m{idx}.{tag}")
+                lst.append(end)
         return idx
 
     def connect_slave(self, slave: _SlaveBase, range_: AddressRange) -> int:
@@ -99,17 +117,18 @@ class AxiInterconnect:
                     and existing.base < range_.base + range_.size):
                 raise ValueError("overlapping slave address ranges")
         idx = len(self._s_aw)
-        for tag, s_port, lst, fabric_end in (
-            ("aw", slave.aw, self._s_aw, Out),
-            ("w", slave.w, self._s_w, Out),
-            ("b", slave.b, self._s_b, In),
-            ("ar", slave.ar, self._s_ar, Out),
-            ("r", slave.r, self._s_r, In),
-        ):
-            chan = self._chan(f"s{idx}.{tag}")
-            end = fabric_end(chan, name=f"{self.name}.s{idx}.{tag}")
-            s_port.bind(chan)
-            lst.append(end)
+        with self._enter():
+            for tag, s_port, lst, fabric_end in (
+                ("aw", slave.aw, self._s_aw, Out),
+                ("w", slave.w, self._s_w, Out),
+                ("b", slave.b, self._s_b, In),
+                ("ar", slave.ar, self._s_ar, Out),
+                ("r", slave.r, self._s_r, In),
+            ):
+                chan = self._chan(f"s{idx}.{tag}")
+                end = fabric_end(chan, name=f"s{idx}.{tag}")
+                s_port.bind(chan)
+                lst.append(end)
         self.ranges.append(range_)
         return idx
 

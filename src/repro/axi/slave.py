@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Generator, Optional
 
 from ..connections.ports import In, Out
+from ..design.hierarchy import component_scope
 from ..matchlib.mem_array import MemArray
 from .types import AxiAR, AxiAW, AxiB, AxiR, AxiResp, AxiW
 
@@ -24,16 +25,18 @@ class _SlaveBase:
     def __init__(self, sim, clock, *, name: str, latency: int = 1):
         if latency < 0:
             raise ValueError("latency must be >= 0")
-        self.name = name
         self.latency = latency
-        self.aw: In = In(name=f"{name}.aw")
-        self.w: In = In(name=f"{name}.w")
-        self.b: Out = Out(name=f"{name}.b")
-        self.ar: In = In(name=f"{name}.ar")
-        self.r: Out = Out(name=f"{name}.r")
-        self.reads_served = 0
-        self.writes_served = 0
-        sim.add_thread(self._run(), clock, name=name)
+        with component_scope(sim, name, kind=type(self).__name__, obj=self,
+                             clock=clock) as inst:
+            self.name = inst.name if inst is not None else name
+            self.aw: In = In(name="aw")
+            self.w: In = In(name="w")
+            self.b: Out = Out(name="b")
+            self.ar: In = In(name="ar")
+            self.r: Out = Out(name="r")
+            self.reads_served = 0
+            self.writes_served = 0
+            sim.add_thread(self._run(), clock, name="ctl")
 
     def _run(self) -> Generator:
         while True:

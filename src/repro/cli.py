@@ -22,6 +22,15 @@ Observability (see ``docs/OBSERVABILITY.md``):
 
       python -m repro fig3 --ports 2 --txns 10 --trace-vcd out.vcd
 
+* ``inspect <experiment>`` builds (without running) the experiment's
+  design, elaborates it, and prints the instance hierarchy with ports,
+  threads, channels and clock domains; ``lint <experiment>`` runs the
+  static design checks over the same graph and exits non-zero on any
+  finding (see ``docs/DESIGN_GRAPH.md``)::
+
+      python -m repro inspect fig6 --max-depth 2
+      python -m repro lint fig6
+
 * ``stats <experiment>`` re-runs any experiment with telemetry enabled
   and appends a summary report (kernel event counts, per-channel
   stall/occupancy statistics, NoC utilization, clock-domain activity);
@@ -131,6 +140,38 @@ def _cmd_productivity(args) -> str:
             + productivity_report(efforts, RTL_METHODOLOGY).to_text())
 
 
+def _cmd_inspect(args) -> int:
+    """Elaborate an experiment's design and print its hierarchy tree."""
+    from .design import elaborate
+    from .experiments.designs import build_design
+
+    try:
+        sim = build_design(args.experiment)
+    except ValueError as exc:
+        print(f"inspect: {exc}")
+        return 0
+    graph = elaborate(sim)
+    print(graph.tree(max_depth=args.max_depth,
+                     channels=not args.no_channels))
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    """Elaborate an experiment's design and run the static lint rules."""
+    from .design import format_findings, lint
+    from .experiments.designs import build_design
+
+    try:
+        sim = build_design(args.experiment)
+    except ValueError as exc:
+        print(f"lint: {exc}")
+        return 0
+    rules = args.rules.split(",") if args.rules else None
+    findings = lint(sim, rules=rules)
+    print(f"{args.experiment}: {format_findings(findings)}")
+    return 1 if findings else 0
+
+
 def _cmd_bench(args) -> int:
     """Quick local benchmark loop: wraps ``tools/bench_compare.py``."""
     import pathlib
@@ -226,6 +267,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench.add_argument("-o", "--output", metavar="PATH",
                        default="BENCH_kernel.json",
                        help="where to write the snapshot")
+    inspect_p = sub.add_parser(
+        "inspect",
+        help="elaborate an experiment's design, print the hierarchy tree")
+    inspect_p.add_argument("experiment", choices=sorted(_COMMANDS),
+                           help="which experiment's design to elaborate")
+    inspect_p.add_argument("--max-depth", type=int, default=None,
+                           help="truncate the tree below this depth")
+    inspect_p.add_argument("--no-channels", action="store_true",
+                           help="omit channel rows from the tree")
+    lint_p = sub.add_parser(
+        "lint",
+        help="run static design lint on an experiment (exit 1 on findings)")
+    lint_p.add_argument("experiment", choices=sorted(_COMMANDS),
+                        help="which experiment's design to lint")
+    lint_p.add_argument("--rules", default=None,
+                        help="comma-separated rule subset (default: all)")
     stats = sub.add_parser(
         "stats",
         help="run an experiment with telemetry enabled, print a report")
@@ -242,6 +299,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         lines = ["available experiments:"]
         for name, (_, help_text) in _COMMANDS.items():
             lines.append(f"  {name:20s} {help_text}")
+        lines.append(f"  {'inspect <experiment>':20s} "
+                     "elaborate the design, print the hierarchy tree")
+        lines.append(f"  {'lint <experiment>':20s} "
+                     "static design checks (exit 1 on findings)")
         lines.append(f"  {'stats <experiment>':20s} "
                      "re-run with telemetry, print a stats report")
         lines.append(f"  {'bench':20s} "
@@ -251,6 +312,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "inspect":
+        return _cmd_inspect(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
 
     want_stats = args.command == "stats"
     target = args.experiment if want_stats else args.command

@@ -109,11 +109,21 @@ class FastChannel:
     the paper.
     """
 
+    #: Constructor-chosen default names per kind: collisions between
+    #: these dedup silently; collisions between *explicit* names are
+    #: recorded for the duplicate-name lint rule.
+    DEFAULT_NAMES = {
+        "Combinational": "comb",
+        "Bypass": "bypass",
+        "Pipeline": "pipe",
+        "Buffer": "buf",
+    }
+
     __slots__ = (
         "sim", "clock", "name", "kind", "capacity", "extra_latency",
         "_queue", "_transit", "_occ_start", "_pushed", "_popped",
         "_stall_probability", "_stall_rng", "_stalled", "stats",
-        "telemetry",
+        "telemetry", "_design_owner",
     )
 
     def __init__(
@@ -124,7 +134,7 @@ class FastChannel:
         kind: str,
         capacity: int,
         extra_latency: int = 0,
-        name: str = "chan",
+        name: Optional[str] = None,
     ):
         if capacity < 1:
             raise ValueError(f"channel capacity must be >= 1, got {capacity}")
@@ -132,8 +142,18 @@ class FastChannel:
             raise ValueError("extra_latency must be >= 0")
         self.sim = sim
         self.clock = clock
+        default = name is None
+        if default:
+            name = self.DEFAULT_NAMES.get(kind, "chan")
         self.name = name
         self.kind = kind
+        # Register into the owning scope of the design hierarchy; the
+        # claim dedups the name (``chan``, ``chan_1``, …) so telemetry
+        # and VCD keys never silently merge two channels' stats.
+        self._design_owner = None
+        design = getattr(sim, "design", None)
+        if design is not None:
+            self.name = design.register_channel(self, name, default=default)
         self.capacity = capacity
         self.extra_latency = extra_latency
         self._queue: deque = deque()
@@ -237,14 +257,21 @@ class FastChannel:
         """Messages currently stored (committed + in transit)."""
         return len(self._queue) + len(self._transit)
 
+    @property
+    def path(self) -> str:
+        """Full hierarchical dotted path (equals ``name`` at root scope)."""
+        owner = self._design_owner
+        return owner.join(self.name) if owner is not None else self.name
+
     def __len__(self) -> int:
         return len(self._queue)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"FastChannel({self.name!r}, kind={self.kind}, occ={self.occupancy})"
+        return f"FastChannel({self.path!r}, kind={self.kind}, occ={self.occupancy})"
 
 
-def Combinational(sim, clock, *, name: str = "comb", extra_latency: int = 0) -> FastChannel:
+def Combinational(sim, clock, *, name: Optional[str] = None,
+                  extra_latency: int = 0) -> FastChannel:
     """Combinationally connects ports (Table 1).
 
     Zero storage in hardware; the fast model uses a 2-entry skid so that
@@ -254,21 +281,21 @@ def Combinational(sim, clock, *, name: str = "comb", extra_latency: int = 0) -> 
                        extra_latency=extra_latency, name=name)
 
 
-def Bypass(sim, clock, *, capacity: int = 1, name: str = "bypass",
+def Bypass(sim, clock, *, capacity: int = 1, name: Optional[str] = None,
            extra_latency: int = 0) -> FastChannel:
     """Enables DEQ when empty (Table 1): cuts the ready timing path."""
     return FastChannel(sim, clock, kind="Bypass", capacity=max(capacity, 2),
                        extra_latency=extra_latency, name=name)
 
 
-def Pipeline(sim, clock, *, capacity: int = 1, name: str = "pipe",
+def Pipeline(sim, clock, *, capacity: int = 1, name: Optional[str] = None,
              extra_latency: int = 0) -> FastChannel:
     """Enables ENQ when full (Table 1): cuts the valid timing path."""
     return FastChannel(sim, clock, kind="Pipeline", capacity=capacity + 1,
                        extra_latency=extra_latency, name=name)
 
 
-def Buffer(sim, clock, *, capacity: int = 8, name: str = "buf",
+def Buffer(sim, clock, *, capacity: int = 8, name: Optional[str] = None,
            extra_latency: int = 0) -> FastChannel:
     """FIFO channel of ``capacity`` entries (Table 1)."""
     return FastChannel(sim, clock, kind="Buffer", capacity=capacity,

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Generic, Optional, TypeVar
 
+from ..design.hierarchy import current_scope
 from .channel import FastChannel
 
 __all__ = ["In", "Out", "PortError"]
@@ -37,13 +38,38 @@ class PortError(RuntimeError):
 
 
 class _Port(Generic[T]):
-    """Common endpoint machinery: late binding to a channel."""
+    """Common endpoint machinery: late binding to a channel.
 
-    __slots__ = ("name", "_channel")
+    Ports register into the ambient design-hierarchy scope (if one is
+    open), which is how elaboration resolves channel endpoints and the
+    ``unbound-port`` lint knows what to check.  A port constructed
+    outside any scope but *with* a channel registers at the root of that
+    channel's hierarchy (the testbench-driver compatibility path); one
+    constructed with neither stays invisible to elaboration.
+    ``optional=True`` marks boundary terminals that legitimately stay
+    unbound (e.g. mesh-edge router ports) so lint skips them.
+    """
 
-    def __init__(self, channel: Optional[FastChannel] = None, *, name: str = "port"):
+    __slots__ = ("name", "_channel", "_owner", "optional")
+
+    def __init__(self, channel: Optional[FastChannel] = None, *,
+                 name: str = "port", optional: bool = False):
         self.name = name
+        self.optional = optional
         self._channel: Optional[FastChannel] = None
+        scope = current_scope()
+        if scope is None and channel is not None:
+            # Unscoped but bound: attach to the root of the hierarchy
+            # the channel lives in, so elaboration still sees the
+            # endpoint (loose testbench drivers and sinks).
+            owner = getattr(channel, "_design_owner", None) \
+                or getattr(channel, "_design_instance", None)
+            while owner is not None and owner.parent is not None:
+                owner = owner.parent
+            scope = owner
+        self._owner = scope
+        if scope is not None:
+            scope.ports.append(self)
         if channel is not None:
             self.bind(channel)
 
@@ -62,6 +88,12 @@ class _Port(Generic[T]):
     @property
     def bound(self) -> bool:
         return self._channel is not None
+
+    @property
+    def path(self) -> str:
+        """Hierarchical dotted path (equals ``name`` outside any scope)."""
+        owner = self._owner
+        return owner.join(self.name) if owner is not None else self.name
 
 
 class Out(_Port[T]):

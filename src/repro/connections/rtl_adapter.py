@@ -24,6 +24,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Generator, Optional
 
+from ..design.hierarchy import component_scope
 from .signal_channel import BufferSignal
 
 __all__ = ["RtlChannel"]
@@ -32,16 +33,17 @@ __all__ = ["RtlChannel"]
 class RtlChannel:
     """Signal-level channel behind the fast-channel protocol."""
 
-    def __init__(self, sim, clock, *, capacity: int = 8, name: str = "rtlchan",
-                 buffer_depth: int = 2):
+    #: Channel-kind tag reported by elaboration/telemetry.
+    kind = "Rtl"
+
+    def __init__(self, sim, clock, *, capacity: int = 8,
+                 name: Optional[str] = None, buffer_depth: int = 2):
         if buffer_depth < 1:
             raise ValueError("buffer_depth must be >= 1")
+        requested = name if name is not None else "rtlchan"
         self.sim = sim
         self.clock = clock
-        self.name = name
         self.capacity = capacity
-        self.core = BufferSignal(sim, clock, name=f"{name}.core",
-                                 capacity=capacity)
         self._tx: deque = deque()
         self._rx: deque = deque()
         self._depth = buffer_depth
@@ -49,8 +51,18 @@ class RtlChannel:
         self._rx_ready = False
         self._pushed = False
         self._popped = False
-        sim.add_thread(self._tx_run(), clock, name=f"{name}.tx")
-        sim.add_thread(self._rx_run(), clock, name=f"{name}.rx")
+        with component_scope(sim, requested, kind="RtlChannel", obj=self,
+                             clock=clock, default_name=name is None) as inst:
+            self.name = inst.name if inst is not None else requested
+            self.core = BufferSignal(sim, clock, name="core",
+                                     capacity=capacity)
+            sim.add_thread(self._tx_run(), clock, name="tx")
+            sim.add_thread(self._rx_run(), clock, name="rx")
+        # Register the adapter as a channel-like endpoint of its parent
+        # scope (it shares the instance name claimed above).
+        design = getattr(sim, "design", None)
+        if design is not None and inst is not None:
+            design.register_channel(self, requested, instance=inst)
         clock.on_edge(self._tick)
 
     def _tick(self, clock) -> None:
@@ -121,3 +133,11 @@ class RtlChannel:
     @property
     def occupancy(self) -> int:
         return len(self._tx) + self.core.occupancy + len(self._rx)
+
+    @property
+    def path(self) -> str:
+        inst = getattr(self, "_design_instance", None)
+        return inst.path if inst is not None else self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RtlChannel({self.path!r}, occ={self.occupancy})"

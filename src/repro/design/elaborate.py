@@ -1,0 +1,250 @@
+"""Elaboration: compile the constructed hierarchy into a design graph.
+
+Elaboration is a **one-time, pre-run pass** (the LightningSimV2 move:
+build an explicit graph first, then analyze/simulate against it).  It
+walks a :class:`~repro.design.hierarchy.Hierarchy` and resolves:
+
+* every registered port to its bound channel (**endpoints**),
+* every channel to its producer/consumer port sets,
+* every port and channel to a **clock domain** (the owning instance's
+  clock, inherited down the tree),
+
+yielding a :class:`DesignGraph` the lint passes (and ``python -m repro
+inspect``) query.  The graph holds live object references — it is a
+view, not a copy — so it must be (re)built after construction completes
+and before conclusions are drawn from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .hierarchy import Hierarchy, Instance
+
+__all__ = ["PortRecord", "ChannelRecord", "DesignGraph", "elaborate"]
+
+
+@dataclass
+class PortRecord:
+    """One registered In/Out terminal, resolved against the hierarchy."""
+
+    port: Any
+    owner: Instance
+    name: str
+    direction: str               # "in" | "out"
+    optional: bool               # boundary ports that may stay unbound
+    channel: Any                 # bound channel-like object or None
+    clock: Any                   # owning instance's effective clock domain
+
+    @property
+    def path(self) -> str:
+        return self.owner.join(self.name)
+
+
+@dataclass
+class ChannelRecord:
+    """One channel-like object with its resolved endpoints."""
+
+    channel: Any
+    owner: Instance
+    name: str
+    kind: str
+    capacity: Optional[int]
+    clock: Any                   # the clock the channel ticks on (or None)
+    cdc_safe: bool               # mediates clock-domain crossings by design
+    producers: List[PortRecord] = field(default_factory=list)
+    consumers: List[PortRecord] = field(default_factory=list)
+
+    @property
+    def path(self) -> str:
+        # A component that is itself a channel (GALS link) shares its
+        # instance name, so owner.join() already yields its full path.
+        return self.owner.join(self.name)
+
+
+@dataclass
+class DesignGraph:
+    """The queryable result of one elaboration pass."""
+
+    hierarchy: Hierarchy
+    instances: List[Instance] = field(default_factory=list)
+    channels: List[ChannelRecord] = field(default_factory=list)
+    ports: List[PortRecord] = field(default_factory=list)
+    clocks: List[Any] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def channel(self, path: str) -> ChannelRecord:
+        for rec in self.channels:
+            if rec.path == path:
+                return rec
+        raise KeyError(f"no channel at path {path!r}")
+
+    def instance(self, path: str) -> Instance:
+        for inst in self.instances:
+            if inst.path == path:
+                return inst
+        raise KeyError(f"no instance at path {path!r}")
+
+    def crossings(self) -> List[ChannelRecord]:
+        """Channels whose endpoints span more than one clock domain."""
+        out = []
+        for rec in self.channels:
+            domains = {id(p.clock) for p in rec.producers + rec.consumers
+                       if p.clock is not None}
+            if rec.clock is not None:
+                domains.add(id(rec.clock))
+            if len(domains) > 1:
+                out.append(rec)
+        return out
+
+    def instance_edges(self) -> List[tuple]:
+        """``(producer_instance, consumer_instance, channel)`` per flow.
+
+        The structural dataflow graph channel-cycle lint runs on: one
+        edge for every (producer port, consumer port) pair of every
+        channel.
+        """
+        edges = []
+        for rec in self.channels:
+            for src in rec.producers:
+                for dst in rec.consumers:
+                    edges.append((src.owner, dst.owner, rec))
+        return edges
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Headline counts as a plain dict (JSON-friendly)."""
+        n_threads = sum(len(i.threads) for i in self.instances)
+        n_signals = sum(len(i.signals) for i in self.instances)
+        bound = sum(1 for p in self.ports if p.channel is not None)
+        return {
+            "instances": len(self.instances),
+            "channels": len(self.channels),
+            "ports": len(self.ports),
+            "ports_bound": bound,
+            "threads": n_threads,
+            "clocks": len(self.clocks),
+            "signals": n_signals,
+            "crossings": len(self.crossings()),
+        }
+
+    def tree(self, *, max_depth: Optional[int] = None,
+             channels: bool = True) -> str:
+        """Render the hierarchy as an indented tree (``inspect`` output)."""
+        lines: List[str] = []
+        chan_by_owner: Dict[int, List[ChannelRecord]] = {}
+        for rec in self.channels:
+            chan_by_owner.setdefault(id(rec.owner), []).append(rec)
+
+        def label(inst: Instance) -> str:
+            bits = [f"{inst.name or 'design'}  ({inst.kind})"]
+            if inst.clock is not None:
+                bits.append(f"@{inst.clock.name}")
+            counts = []
+            if inst.ports:
+                counts.append(f"{len(inst.ports)}p")
+            if inst.threads:
+                counts.append(f"{len(inst.threads)}t")
+            if inst.signals:
+                counts.append(f"{len(inst.signals)}s")
+            if counts:
+                bits.append(f"[{'/'.join(counts)}]")
+            if inst.attrs.get("deadlock_free"):
+                bits.append(f"(deadlock-free: {inst.attrs['deadlock_free']})")
+            return " ".join(bits)
+
+        def emit(inst: Instance, prefix: str, depth: int) -> None:
+            rows: List[tuple] = [("inst", c) for c in inst.children.values()]
+            if channels:
+                # Channel-likes that opened their own scope (GALS links)
+                # render as child instances, not as channel rows.
+                own = [r for r in chan_by_owner.get(id(inst), ())
+                       if getattr(r.channel, "_design_instance", None)
+                       not in inst.children.values()]
+                rows += [("chan", r) for r in own]
+            if max_depth is not None and depth >= max_depth:
+                if rows:
+                    lines.append(f"{prefix}└─ … {len(rows)} more")
+                return
+            for i, (what, row) in enumerate(rows):
+                last = i == len(rows) - 1
+                tee = "└─ " if last else "├─ "
+                ext = "   " if last else "│  "
+                if what == "inst":
+                    lines.append(prefix + tee + label(row))
+                    emit(row, prefix + ext, depth + 1)
+                else:
+                    cap = f"/{row.capacity}" if row.capacity is not None else ""
+                    clk = f" @{row.clock.name}" if row.clock is not None else ""
+                    lines.append(f"{prefix}{tee}{row.name}  "
+                                 f"<{row.kind}{cap}>{clk}")
+        lines.append(label(self.hierarchy.root))
+        emit(self.hierarchy.root, "", 0)
+        s = self.stats()
+        lines.append("")
+        lines.append(
+            f"{s['instances']} instances, {s['channels']} channels, "
+            f"{s['ports_bound']}/{s['ports']} ports bound, "
+            f"{s['threads']} threads, {s['clocks']} clock domains"
+            + (f", {s['crossings']} clock-domain crossings"
+               if s["crossings"] else ""))
+        return "\n".join(lines)
+
+
+def elaborate(target) -> DesignGraph:
+    """Build the :class:`DesignGraph` of a simulator (or hierarchy).
+
+    Accepts a :class:`~repro.kernel.simulator.Simulator` (uses
+    ``sim.design``) or a :class:`Hierarchy` directly.
+    """
+    hierarchy: Hierarchy = getattr(target, "design", target)
+    graph = DesignGraph(hierarchy=hierarchy)
+
+    chan_map: Dict[int, ChannelRecord] = {}
+    for inst in hierarchy.root.walk():
+        graph.instances.append(inst)
+        graph.clocks.extend(inst.clocks)
+        for chan in inst.channels:
+            # A channel that opened its own scope is both an Instance
+            # and a channel; its record keeps the instance's name.
+            sub = getattr(chan, "_design_instance", None)
+            if sub is not None and sub.parent is inst:
+                owner, name = inst, sub.name
+            else:
+                owner, name = inst, getattr(chan, "name", type(chan).__name__)
+            rec = ChannelRecord(
+                channel=chan,
+                owner=owner,
+                name=name,
+                kind=getattr(chan, "kind", type(chan).__name__),
+                capacity=getattr(chan, "capacity", None),
+                clock=getattr(chan, "clock", None),
+                cdc_safe=id(chan) in hierarchy.cdc_safe,
+            )
+            chan_map[id(chan)] = rec
+            graph.channels.append(rec)
+
+    for inst in graph.instances:
+        for port in inst.ports:
+            direction = "out" if hasattr(port, "push_nb") else "in"
+            record = PortRecord(
+                port=port,
+                owner=inst,
+                name=port.name,
+                direction=direction,
+                optional=getattr(port, "optional", False),
+                channel=port._channel,
+                clock=inst.effective_clock,
+            )
+            graph.ports.append(record)
+            if record.channel is not None:
+                rec = chan_map.get(id(record.channel))
+                if rec is not None:
+                    (rec.producers if direction == "out"
+                     else rec.consumers).append(record)
+    return graph

@@ -1,0 +1,299 @@
+"""The design hierarchy: parent-scoped instances with stable dotted paths.
+
+Every :class:`~repro.kernel.simulator.Simulator` owns a
+:class:`Hierarchy` (``sim.design``).  Component constructors open a
+scope::
+
+    with sim.design.scope("pe3", kind="ProcessingElement", clock=clk):
+        buf = Buffer(sim, clk, name="weight_buf")   # path: pe3.weight_buf
+
+and everything registered while the scope is active — channels, ports,
+threads, signals, child scopes — becomes part of that instance.  The
+scope stack is global (components don't thread a parent argument
+around), but each registration lands in the hierarchy of the simulator
+that owns the object, so independent simulators never share state.
+
+Compatibility: objects built with the pre-hierarchy call style (no
+scope anywhere on the stack) register into the hierarchy's root
+instance.  Their paths equal their names, so nothing changes for
+existing code or tests.
+
+Naming discipline (the telemetry-key guarantee):
+
+* names are **unique within a scope**.  A collision is resolved by
+  suffixing (``chan``, ``chan_1``, ``chan_2`` …), so two channels can
+  never silently merge their stats under one telemetry/VCD key;
+* default names (the ones a constructor picks when the caller passed
+  none) dedup silently;
+* *explicit* names that collide are deduped too, but recorded — the
+  ``duplicate-name`` lint rule reports them, because two components
+  explicitly given the same name is a design bug, not a convenience.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, List, Optional
+
+__all__ = ["Hierarchy", "Instance", "component_scope", "current_scope",
+           "design_path"]
+
+#: The global scope stack.  Innermost scope last.  Construction-time
+#: only — never consulted on the simulation hot path.
+_SCOPE_STACK: List["Instance"] = []
+
+
+def current_scope() -> Optional["Instance"]:
+    """The innermost open scope, or ``None`` outside any scope."""
+    return _SCOPE_STACK[-1] if _SCOPE_STACK else None
+
+
+def design_path(obj: Any) -> str:
+    """Best-effort hierarchical path of a design object.
+
+    Prefers the object's registered instance path, then a ``path``
+    attribute, then its plain ``name``.
+    """
+    inst = getattr(obj, "_design_instance", None)
+    if inst is not None:
+        return inst.path
+    path = getattr(obj, "path", None)
+    if path:
+        return path
+    return getattr(obj, "name", type(obj).__name__)
+
+
+@contextmanager
+def component_scope(sim, name: str, *, kind: str = "module", obj: Any = None,
+                    clock: Any = None, attrs: Optional[dict] = None,
+                    default_name: bool = False) -> Iterator[Optional["Instance"]]:
+    """Open a design scope on ``sim``'s hierarchy — or no-op without one.
+
+    The standard constructor idiom::
+
+        with component_scope(sim, name, kind="Router", obj=self,
+                             clock=clock) as inst:
+            self.name = inst.name if inst is not None else name
+            ... build ports/channels/threads ...
+
+    Yields the claimed :class:`Instance` (``None`` when ``sim`` has no
+    hierarchy, e.g. a test double), so components work unchanged against
+    bare simulator stand-ins.
+    """
+    design = getattr(sim, "design", None)
+    if design is None:
+        yield None
+        return
+    with design.scope(name, kind=kind, obj=obj, clock=clock, attrs=attrs,
+                      default_name=default_name) as inst:
+        yield inst
+
+
+class Instance:
+    """One node of the design hierarchy.
+
+    Holds the sub-instances and the resources (channels, ports, threads,
+    clocks, signals) registered while its scope was active.  ``clock``
+    is the instance's clock domain (inherited by descendants that don't
+    declare their own); ``attrs`` carries structural annotations the
+    lint passes understand — most importantly ``deadlock_free=<reason>``,
+    which waives the instance from channel-cycle detection.
+    """
+
+    def __init__(self, hierarchy: "Hierarchy", name: str,
+                 parent: Optional["Instance"], *, kind: str = "module",
+                 obj: Any = None, clock: Any = None,
+                 attrs: Optional[dict] = None):
+        self.hierarchy = hierarchy
+        self.name = name
+        self.parent = parent
+        self.kind = kind
+        self.obj = obj
+        self.clock = clock
+        self.attrs: dict = dict(attrs) if attrs else {}
+        self.children: dict[str, Instance] = {}
+        self.channels: list = []     # channel-like objects (FastChannel, GalsLink, ...)
+        self.ports: list = []        # In/Out terminals
+        self.threads: list = []      # kernel Thread objects
+        self.clocks: list = []       # kernel Clock objects
+        self.signals: list = []      # kernel Signal objects
+        self._taken: set[str] = set()
+        if parent is None:
+            self.path = ""
+        elif parent.path:
+            self.path = f"{parent.path}.{name}"
+        else:
+            self.path = name
+
+    # ------------------------------------------------------------------
+    # naming
+    # ------------------------------------------------------------------
+    def claim(self, requested: str, *, default: bool = False,
+              category: str = "object") -> str:
+        """Reserve a unique name in this scope's namespace.
+
+        Returns ``requested`` unchanged when free, otherwise the first
+        free ``requested_<n>``.  Non-default collisions are recorded for
+        the ``duplicate-name`` lint rule.
+        """
+        name = requested
+        if name in self._taken:
+            n = 1
+            while f"{requested}_{n}" in self._taken:
+                n += 1
+            name = f"{requested}_{n}"
+            if not default:
+                self.hierarchy.collisions.append(
+                    (self.path, requested, name, category))
+        self._taken.add(name)
+        return name
+
+    def join(self, name: str) -> str:
+        """Dotted path of a leaf named ``name`` under this instance."""
+        return f"{self.path}.{name}" if self.path else name
+
+    @property
+    def effective_clock(self) -> Any:
+        """This instance's clock domain, inherited from ancestors."""
+        inst: Optional[Instance] = self
+        while inst is not None:
+            if inst.clock is not None:
+                return inst.clock
+            inst = inst.parent
+        return None
+
+    def walk(self) -> Iterator["Instance"]:
+        """Depth-first iteration over this instance and its descendants."""
+        yield self
+        for child in self.children.values():
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Instance({self.path or '<root>'!r}, kind={self.kind}, "
+                f"children={len(self.children)})")
+
+
+class Hierarchy:
+    """Per-simulator registry of the design under construction.
+
+    Created by ``Simulator.__init__`` as ``sim.design``.  All methods
+    are construction-time only; the simulation hot path never touches
+    this object.
+    """
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.root = Instance(self, "", None, kind="root")
+        #: ``(scope_path, requested, assigned, category)`` per non-default
+        #: name collision — the duplicate-name lint rule's evidence.
+        self.collisions: list[tuple[str, str, str, str]] = []
+        #: Channel-likes that mediate clock-domain crossings by design
+        #: (GALS links, bisynchronous FIFOs), by ``id``.
+        self.cdc_safe: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # scoping
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Instance:
+        """Innermost open scope belonging to *this* hierarchy, else root."""
+        for inst in reversed(_SCOPE_STACK):
+            if inst.hierarchy is self:
+                return inst
+        return self.root
+
+    @contextmanager
+    def scope(self, name: str, *, kind: str = "module", obj: Any = None,
+              clock: Any = None, attrs: Optional[dict] = None,
+              default_name: bool = False) -> Iterator[Instance]:
+        """Open a child instance of the current scope and enter it."""
+        parent = self.current
+        claimed = parent.claim(name, default=default_name, category="instance")
+        inst = Instance(self, claimed, parent, kind=kind, obj=obj,
+                        clock=clock, attrs=attrs)
+        parent.children[claimed] = inst
+        if obj is not None:
+            try:
+                obj._design_instance = inst
+            except (AttributeError, TypeError):
+                pass  # __slots__ without the attribute: path via hierarchy only
+        _SCOPE_STACK.append(inst)
+        try:
+            yield inst
+        finally:
+            _SCOPE_STACK.pop()
+
+    @contextmanager
+    def enter(self, inst: Instance) -> Iterator[Instance]:
+        """Re-enter an existing instance's scope (post-construction wiring).
+
+        Lets components that wire up after ``__init__`` — e.g. an AXI
+        fabric's ``connect_master`` — register late-created ports under
+        their own instance instead of whichever scope the caller holds.
+        """
+        if inst.hierarchy is not self:
+            raise ValueError("instance belongs to a different hierarchy")
+        _SCOPE_STACK.append(inst)
+        try:
+            yield inst
+        finally:
+            _SCOPE_STACK.pop()
+
+    # ------------------------------------------------------------------
+    # registration (called from constructors across the library)
+    # ------------------------------------------------------------------
+    def register_channel(self, channel, requested: str, *,
+                         default: bool = False, cdc_safe: bool = False,
+                         instance: Optional[Instance] = None) -> str:
+        """Register a channel-like object; returns its final (deduped) name.
+
+        ``instance`` lets a component that is *itself* a channel (e.g. a
+        GALS link, which opens its own scope for internal buffers) share
+        its already-claimed instance name instead of claiming a second
+        one in the parent namespace.
+        """
+        if instance is not None:
+            owner, name = instance.parent or self.root, instance.name
+        else:
+            owner = self.current
+            name = owner.claim(requested, default=default, category="channel")
+        owner.channels.append(channel)
+        if cdc_safe:
+            self.cdc_safe.add(id(channel))
+        try:
+            channel._design_owner = owner
+        except (AttributeError, TypeError):
+            pass  # slotted channels store the owner in their own slot
+        return name
+
+    def register_thread(self, thread, requested: str) -> None:
+        """Record a kernel thread; hierarchical threads get path names."""
+        owner = self.current
+        name = owner.claim(requested, default=(requested == "thread"),
+                           category="thread")
+        owner.threads.append(thread)
+        if owner is not self.root:
+            # Hierarchical rename: telemetry per-thread profiles and error
+            # messages report the full dotted path.  Root-scope threads
+            # keep their caller-chosen names (compatibility).
+            thread.name = owner.join(name)
+
+    def register_clock(self, clock) -> None:
+        self.current.clocks.append(clock)
+
+    def register_signal(self, signal) -> Optional[Instance]:
+        """Record a signal under the ambient scope (if any).
+
+        Signals built outside any scope are deliberately *not* retained:
+        testbench-local signals stay collectable and keep their flat
+        names.
+        """
+        scope = current_scope()
+        if scope is None or scope.hierarchy is not self:
+            return None
+        scope.signals.append(signal)
+        return scope
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        n = sum(1 for _ in self.root.walk())
+        return f"Hierarchy(instances={n})"

@@ -1,0 +1,261 @@
+"""Static lint over the elaborated design graph.
+
+Each rule is a pure function ``rule(graph) -> list[LintFinding]`` run
+against the :class:`~repro.design.elaborate.DesignGraph` — no
+simulation, no side effects.  The bundled experiments must all lint
+clean (the ``lint-designs`` CI job enforces it), so every rule carries
+an explicit escape hatch for the structural patterns that are *correct*
+but would otherwise look suspicious:
+
+``unbound-port``
+    A port that never got ``bind()``-ed is a wiring bug — unless it was
+    declared ``optional=True`` (router boundary ports on mesh edges).
+``dangling-channel``
+    A channel with endpoints on exactly one side never moves data.
+    Channels with *zero* registered endpoints are testbench-driven
+    (pushed/popped directly) and are skipped.
+``duplicate-name``
+    Two components *explicitly* given the same name in one scope.  The
+    hierarchy already deduped them (``_1`` suffix) so nothing merged,
+    but the intent was almost certainly a copy-paste bug.  Default
+    constructor names dedup silently and never report.
+``multi-driver``
+    More than one Out port pushing into one channel: last-writer-wins
+    races in simulation, multi-driver nets in RTL.
+``unsynchronized-crossing``
+    A channel whose endpoints sit in different clock domains without a
+    CDC-safe mediator (GALS link / bisynchronous FIFO).  Endpoints with
+    unknown domains are skipped.
+``channel-cycle``
+    A cycle in the instance-level dataflow graph is a potential
+    protocol deadlock (every hop blocked on the next).  Instances
+    annotated ``attrs["deadlock_free"]=<reason>`` — e.g. routers whose
+    XY dimension-order routing is deadlock-free by construction — are
+    removed, with their subtrees, before the SCC search; so is the root
+    instance, where unrelated testbench drivers and sinks land.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from .elaborate import DesignGraph, elaborate
+from .hierarchy import Instance
+
+__all__ = ["LintFinding", "LINT_RULES", "lint", "lint_graph",
+           "format_findings"]
+
+
+@dataclass
+class LintFinding:
+    """One lint diagnostic, anchored to a hierarchical path."""
+
+    rule: str
+    path: str
+    message: str
+
+    def __str__(self) -> str:
+        where = self.path or "<root>"
+        return f"[{self.rule}] {where}: {self.message}"
+
+
+# ----------------------------------------------------------------------
+# rules
+# ----------------------------------------------------------------------
+
+def _rule_unbound_port(graph: DesignGraph) -> List[LintFinding]:
+    findings = []
+    for rec in graph.ports:
+        if rec.channel is None and not rec.optional:
+            findings.append(LintFinding(
+                "unbound-port", rec.path,
+                f"{rec.direction}-port was never bound to a channel"))
+    return findings
+
+
+def _rule_dangling_channel(graph: DesignGraph) -> List[LintFinding]:
+    findings = []
+    for rec in graph.channels:
+        n_prod, n_cons = len(rec.producers), len(rec.consumers)
+        if n_prod == 0 and n_cons == 0:
+            continue  # testbench-driven: pushed/popped without ports
+        if n_prod == 0:
+            findings.append(LintFinding(
+                "dangling-channel", rec.path,
+                f"{n_cons} consumer port(s) but no producer — "
+                "data can never arrive"))
+        elif n_cons == 0:
+            findings.append(LintFinding(
+                "dangling-channel", rec.path,
+                f"{n_prod} producer port(s) but no consumer — "
+                "data can never drain"))
+    return findings
+
+
+def _rule_duplicate_name(graph: DesignGraph) -> List[LintFinding]:
+    findings = []
+    for scope_path, requested, assigned, category in \
+            graph.hierarchy.collisions:
+        where = f"{scope_path}.{requested}" if scope_path else requested
+        findings.append(LintFinding(
+            "duplicate-name", where,
+            f"explicit {category} name {requested!r} already taken in "
+            f"scope; auto-renamed to {assigned!r}"))
+    return findings
+
+
+def _rule_multi_driver(graph: DesignGraph) -> List[LintFinding]:
+    findings = []
+    for rec in graph.channels:
+        if len(rec.producers) > 1:
+            drivers = ", ".join(p.path for p in rec.producers)
+            findings.append(LintFinding(
+                "multi-driver", rec.path,
+                f"{len(rec.producers)} producer ports drive one "
+                f"channel ({drivers})"))
+    return findings
+
+
+def _rule_unsynchronized_crossing(graph: DesignGraph) -> List[LintFinding]:
+    findings = []
+    for rec in graph.crossings():
+        if rec.cdc_safe:
+            continue
+        domains = sorted({p.clock.name for p in rec.producers + rec.consumers
+                          if p.clock is not None}
+                         | ({rec.clock.name} if rec.clock is not None
+                            else set()))
+        findings.append(LintFinding(
+            "unsynchronized-crossing", rec.path,
+            f"endpoints span clock domains {domains} without a GALS "
+            "link or bisynchronous FIFO"))
+    return findings
+
+
+def _waived(inst: Instance) -> bool:
+    node: Instance | None = inst
+    while node is not None:
+        if node.attrs.get("deadlock_free"):
+            return True
+        node = node.parent
+    return False
+
+
+def _rule_channel_cycle(graph: DesignGraph) -> List[LintFinding]:
+    # Instance-level dataflow graph, minus deadlock-free-waived subtrees.
+    # The root instance is also excluded: it is the compatibility scope
+    # where unrelated testbench drivers and sinks land, so folding them
+    # into one node would fabricate cycles (src -> dut -> sink reads as
+    # root -> dut -> root).
+    root = graph.hierarchy.root
+    edges: Dict[int, set] = {}
+    nodes: Dict[int, Instance] = {}
+    for src, dst, _rec in graph.instance_edges():
+        if src is dst or src is root or dst is root:
+            continue
+        if _waived(src) or _waived(dst):
+            continue
+        nodes[id(src)] = src
+        nodes[id(dst)] = dst
+        edges.setdefault(id(src), set()).add(id(dst))
+
+    # Tarjan SCC, iterative (designs can be deep).
+    index: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    on_stack: set = set()
+    stack: List[int] = []
+    sccs: List[List[int]] = []
+    counter = [0]
+
+    def strongconnect(v: int) -> None:
+        work = [(v, iter(edges.get(v, ())))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(edges.get(w, ()))))
+                    advanced = True
+                    break
+                elif w in on_stack:
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == node:
+                        break
+                sccs.append(scc)
+
+    for v in nodes:
+        if v not in index:
+            strongconnect(v)
+
+    findings = []
+    for scc in sccs:
+        cyclic = len(scc) > 1 or (scc[0] in edges.get(scc[0], ()))
+        if not cyclic:
+            continue
+        members = sorted(nodes[v].path or "<root>" for v in scc)
+        findings.append(LintFinding(
+            "channel-cycle", members[0],
+            "potential deadlock: channel cycle through instances "
+            f"{{{', '.join(members)}}} (annotate deadlock_free=<reason> "
+            "if the protocol guarantees progress)"))
+    return findings
+
+
+#: Ordered registry of every lint rule, keyed by rule name.
+LINT_RULES: Dict[str, Callable[[DesignGraph], List[LintFinding]]] = {
+    "unbound-port": _rule_unbound_port,
+    "dangling-channel": _rule_dangling_channel,
+    "duplicate-name": _rule_duplicate_name,
+    "multi-driver": _rule_multi_driver,
+    "unsynchronized-crossing": _rule_unsynchronized_crossing,
+    "channel-cycle": _rule_channel_cycle,
+}
+
+
+def lint_graph(graph: DesignGraph, *, rules=None) -> List[LintFinding]:
+    """Run lint rules over an already-elaborated graph."""
+    selected = LINT_RULES if rules is None else {
+        name: LINT_RULES[name] for name in rules}
+    findings: List[LintFinding] = []
+    for rule in selected.values():
+        findings.extend(rule(graph))
+    return findings
+
+
+def lint(target, *, rules=None) -> List[LintFinding]:
+    """Elaborate ``target`` (simulator or hierarchy) and lint it."""
+    return lint_graph(elaborate(target), rules=rules)
+
+
+def format_findings(findings: List[LintFinding]) -> str:
+    """Human-readable lint report (the ``python -m repro lint`` output)."""
+    if not findings:
+        return "clean: 0 findings"
+    lines = [str(f) for f in findings]
+    by_rule: Dict[str, int] = {}
+    for f in findings:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    summary = ", ".join(f"{n}× {rule}" for rule, n in sorted(by_rule.items()))
+    lines.append(f"{len(findings)} finding(s): {summary}")
+    return "\n".join(lines)

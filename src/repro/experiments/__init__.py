@@ -25,7 +25,15 @@ from .crossbar_qor import (
     crossbar_qor_sweep,
     format_qor_table,
 )
-from .fig3_crossbar import Fig3Point, figure3, format_figure3, run_crossbar_accuracy
+from .designs import DESIGN_BUILDERS, build_design
+from .fig3_crossbar import (
+    CrossbarTestbench,
+    Fig3Point,
+    build_crossbar_testbench,
+    figure3,
+    format_figure3,
+    run_crossbar_accuracy,
+)
 from .fig6_soc import (
     Fig6Point,
     fig6_workloads_small,
@@ -49,12 +57,15 @@ from .hls_qor import (
 from .stall_verification import (
     CampaignResult,
     LeakyForwarder,
+    build_stall_testbench,
     format_campaign,
     stall_campaign,
 )
 
 __all__ = [
-    "Fig3Point", "run_crossbar_accuracy", "figure3", "format_figure3",
+    "DESIGN_BUILDERS", "build_design",
+    "Fig3Point", "CrossbarTestbench", "build_crossbar_testbench",
+    "run_crossbar_accuracy", "figure3", "format_figure3",
     "Fig6Point", "run_fig6_test", "figure6", "format_figure6",
     "fig6_workloads_small",
     "QorPoint", "crossbar_qor_sweep", "crossbar_clock_sweep",
@@ -63,7 +74,8 @@ __all__ = [
     "format_qor_results",
     "OverheadPoint", "partition_size_sweep", "testchip_partitions",
     "testchip_overhead", "format_overhead_table",
-    "LeakyForwarder", "stall_campaign", "CampaignResult", "format_campaign",
+    "LeakyForwarder", "build_stall_testbench", "stall_campaign",
+    "CampaignResult", "format_campaign",
     "AdaptiveClockingResult", "adaptive_clocking_experiment",
     "format_adaptive_clocking",
 ]

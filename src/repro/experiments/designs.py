@@ -1,0 +1,103 @@
+"""Design builders: construct each experiment's design without running it.
+
+``python -m repro inspect <experiment>`` and ``python -m repro lint
+<experiment>`` need a *constructed* simulator — elaboration and lint are
+pre-run passes over the design hierarchy, never a simulation.  This
+registry maps every CLI experiment verb to a builder that assembles a
+representative instance of that experiment's design (cheap: construction
+only, no ``sim.run``) and returns the :class:`~repro.kernel.Simulator`.
+
+Experiments that are purely analytic (QoR models, flow-runtime models)
+have no simulated design; their entry is ``None`` and the CLI reports
+that instead of failing.
+
+Usage::
+
+    from repro.design import elaborate, lint
+    from repro.experiments.designs import build_design
+
+    sim = build_design("fig3")
+    print(elaborate(sim).tree())
+    assert not lint(sim)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+__all__ = ["DESIGN_BUILDERS", "build_design"]
+
+
+def _build_fig3():
+    """Figure 3's sim-accurate crossbar testbench (4 ports)."""
+    from .fig3_crossbar import build_crossbar_testbench
+
+    return build_crossbar_testbench("sim-accurate", 4).sim
+
+
+def _build_fig6():
+    """A small Figure 6 SoC in fast mode (2x2 PE array)."""
+    from ..soc.chip import PrototypeSoC
+
+    return PrototypeSoC(mode="fast", pe_columns=2, pe_rows=2, lanes=4,
+                        spad_words=256, gmem_words=1024).sim
+
+
+def _build_gals():
+    """A GALS SoC: per-node clock generators + pausible-FIFO links."""
+    from ..soc.chip import PrototypeSoC
+
+    return PrototypeSoC(mode="fast", gals=True, pe_columns=2, pe_rows=2,
+                        lanes=4, spad_words=256, gmem_words=1024).sim
+
+
+def _build_adaptive():
+    """The adaptive-clocking duel: one noisy local clock, one static."""
+    from ..gals.clock_generator import LocalClockGenerator, SupplyNoise
+    from ..kernel import Simulator
+
+    sim = Simulator()
+    LocalClockGenerator(sim, "adaptive", nominal_period=909,
+                        noise=SupplyNoise(amplitude=0.08, seed=3))
+    sim.add_clock("sync", period=1000)
+    return sim
+
+
+def _build_stalls():
+    """One stall-injection trial around the LeakyForwarder DUT."""
+    from .stall_verification import build_stall_testbench
+
+    sim, _received = build_stall_testbench(0.3, 100)
+    return sim
+
+
+#: Experiment verb -> design builder (``None`` = analytic, no design).
+DESIGN_BUILDERS: Dict[str, Optional[Callable[[], object]]] = {
+    "fig3": _build_fig3,
+    "fig6": _build_fig6,
+    "crossbar-qor": None,      # analytic QoR model
+    "hls-qor": None,           # analytic QoR model
+    "gals": _build_gals,
+    "adaptive-clocking": _build_adaptive,
+    "stalls": _build_stalls,
+    "backend": None,           # flow-runtime model
+    "productivity": None,      # effort model
+}
+
+
+def build_design(experiment: str):
+    """Construct the named experiment's design; returns its Simulator.
+
+    Raises ``KeyError`` for unknown experiments and ``ValueError`` for
+    analytic experiments that have no simulated design.
+    """
+    try:
+        builder = DESIGN_BUILDERS[experiment]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment!r}; one of "
+            f"{sorted(DESIGN_BUILDERS)}") from None
+    if builder is None:
+        raise ValueError(f"experiment {experiment!r} is analytic — "
+                         "it builds no simulated design")
+    return builder()

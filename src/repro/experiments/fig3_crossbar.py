@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass
 
 from ..connections import Buffer, In, Out, stream_consumer, stream_producer
+from ..design.hierarchy import component_scope
 from ..kernel import Simulator
 from ..matchlib import (
     ArbitratedCrossbarModule,
@@ -28,7 +29,8 @@ from ..matchlib import (
     ArbitratedCrossbarSA,
 )
 
-__all__ = ["Fig3Point", "run_crossbar_accuracy", "figure3", "MODELS"]
+__all__ = ["Fig3Point", "CrossbarTestbench", "build_crossbar_testbench",
+           "run_crossbar_accuracy", "figure3", "MODELS"]
 
 MODELS = ("rtl", "sim-accurate", "signal-accurate")
 
@@ -59,85 +61,115 @@ def _uniform_traffic(n_ports: int, per_port: int, seed: int) -> list[list[tuple]
     ]
 
 
+class CrossbarTestbench:
+    """One (model, port-count) testbench, constructed but not yet run.
+
+    Construction builds the entire design — crossbar, channels, all
+    testbench threads with their ports created **eagerly** — so the
+    simulator can be elaborated and linted (``python -m repro inspect
+    fig3``) before, or without, ever running it.  Call :meth:`run` to
+    measure the Figure 3 data point.
+    """
+
+    def __init__(self, model: str, n_ports: int, *, txns_per_port: int = 200,
+                 seed: int = 1):
+        if model not in MODELS:
+            raise ValueError(f"model must be one of {MODELS}, got {model!r}")
+        self.model = model
+        self.n_ports = n_ports
+        self.total = n_ports * txns_per_port
+        self.done: dict = {}
+        self.counter = {"n": 0}
+        traffic = _uniform_traffic(n_ports, txns_per_port, seed)
+        self.sim = sim = Simulator()
+        self.clock = clk = sim.add_clock("clk", period=_PERIOD)
+
+        if model == "sim-accurate":
+            self.xbar = xbar = ArbitratedCrossbarModule(sim, clk,
+                                                        n_ports, n_ports)
+            in_chans = [Buffer(sim, clk, capacity=2, name=f"i{i}")
+                        for i in range(n_ports)]
+            out_chans = [Buffer(sim, clk, capacity=2, name=f"o{o}")
+                         for o in range(n_ports)]
+            for i in range(n_ports):
+                xbar.ins[i].bind(in_chans[i])
+                xbar.outs[i].bind(out_chans[i])
+
+            def producer(src, msgs):
+                for m in msgs:
+                    yield from src.push(m)
+
+            def consumer(dst):
+                while self.counter["n"] < self.total:
+                    ok, _ = dst.pop_nb()
+                    if ok:
+                        self.counter["n"] += 1
+                        if self.counter["n"] >= self.total:
+                            self.done["time"] = sim.now
+                    yield
+
+            for i in range(n_ports):
+                with component_scope(sim, f"src{i}", kind="StreamSource",
+                                     clock=clk):
+                    src = Out(in_chans[i], name="out")
+                    sim.add_thread(producer(src, traffic[i]), clk, name="ctl")
+                with component_scope(sim, f"snk{i}", kind="StreamSink",
+                                     clock=clk):
+                    dst = In(out_chans[i], name="in")
+                    sim.add_thread(consumer(dst), clk, name="ctl")
+        else:
+            cls = (ArbitratedCrossbarRTL if model == "rtl"
+                   else ArbitratedCrossbarSA)
+            self.xbar = xbar = cls(sim, clk, n_ports, n_ports)
+            sinks: list[list] = [[] for _ in range(n_ports)]
+
+            def counting_consumer(o):
+                iface = xbar.deq[o]
+                iface.ready.write(1)
+                while True:
+                    yield
+                    if iface.valid.read() and iface.ready.read():
+                        sinks[o].append(iface.msg.read())
+                        self.counter["n"] += 1
+                        if self.counter["n"] >= self.total:
+                            self.done["time"] = sim.now
+
+            for i in range(n_ports):
+                sim.add_thread(stream_producer(xbar.enq[i], traffic[i]), clk,
+                               name=f"p{i}")
+                sim.add_thread(counting_consumer(i), clk, name=f"c{i}")
+
+    def run(self) -> Fig3Point:
+        """Run to completion and return the measured data point."""
+        start = time.perf_counter()
+        # Generous cap: signal-accurate at 16 ports is very slow per txn.
+        self.sim.run(until=self.total * self.n_ports * 40 * _PERIOD)
+        wall = time.perf_counter() - start
+        if "time" not in self.done:
+            raise RuntimeError(
+                f"{self.model} crossbar with {self.n_ports} ports did not "
+                f"finish ({self.counter['n']}/{self.total} transactions)"
+            )
+        return Fig3Point(
+            model=self.model,
+            n_ports=self.n_ports,
+            transactions=self.total,
+            elapsed_cycles=self.done["time"] // _PERIOD,
+            wall_seconds=wall,
+        )
+
+
+def build_crossbar_testbench(model: str = "sim-accurate", n_ports: int = 4,
+                             **kw) -> CrossbarTestbench:
+    """Construct (without running) a Figure 3 testbench."""
+    return CrossbarTestbench(model, n_ports, **kw)
+
+
 def run_crossbar_accuracy(model: str, n_ports: int, *, txns_per_port: int = 200,
                           seed: int = 1) -> Fig3Point:
     """Measure one (model, port-count) point of Figure 3."""
-    if model not in MODELS:
-        raise ValueError(f"model must be one of {MODELS}, got {model!r}")
-    traffic = _uniform_traffic(n_ports, txns_per_port, seed)
-    total = n_ports * txns_per_port
-    sim = Simulator()
-    clk = sim.add_clock("clk", period=_PERIOD)
-    done: dict = {}
-
-    if model == "sim-accurate":
-        xbar = ArbitratedCrossbarModule(sim, clk, n_ports, n_ports)
-        in_chans = [Buffer(sim, clk, capacity=2, name=f"i{i}")
-                    for i in range(n_ports)]
-        out_chans = [Buffer(sim, clk, capacity=2, name=f"o{o}")
-                     for o in range(n_ports)]
-        for i in range(n_ports):
-            xbar.ins[i].bind(in_chans[i])
-            xbar.outs[i].bind(out_chans[i])
-
-        def producer(i):
-            src = Out(in_chans[i])
-            for m in traffic[i]:
-                yield from src.push(m)
-
-        counter = {"n": 0}
-
-        def consumer(o):
-            dst = In(out_chans[o])
-            while counter["n"] < total:
-                ok, _ = dst.pop_nb()
-                if ok:
-                    counter["n"] += 1
-                    if counter["n"] >= total:
-                        done["time"] = sim.now
-                yield
-
-        for i in range(n_ports):
-            sim.add_thread(producer(i), clk, name=f"p{i}")
-            sim.add_thread(consumer(i), clk, name=f"c{i}")
-    else:
-        cls = ArbitratedCrossbarRTL if model == "rtl" else ArbitratedCrossbarSA
-        xbar = cls(sim, clk, n_ports, n_ports)
-        counter = {"n": 0}
-        sinks: list[list] = [[] for _ in range(n_ports)]
-
-        def counting_consumer(o):
-            iface = xbar.deq[o]
-            iface.ready.write(1)
-            while True:
-                yield
-                if iface.valid.read() and iface.ready.read():
-                    sinks[o].append(iface.msg.read())
-                    counter["n"] += 1
-                    if counter["n"] >= total:
-                        done["time"] = sim.now
-
-        for i in range(n_ports):
-            sim.add_thread(stream_producer(xbar.enq[i], traffic[i]), clk,
-                           name=f"p{i}")
-            sim.add_thread(counting_consumer(i), clk, name=f"c{i}")
-
-    start = time.perf_counter()
-    # Generous cap: signal-accurate at 16 ports is very slow per txn.
-    sim.run(until=total * n_ports * 40 * _PERIOD)
-    wall = time.perf_counter() - start
-    if "time" not in done:
-        raise RuntimeError(
-            f"{model} crossbar with {n_ports} ports did not finish "
-            f"({counter['n']}/{total} transactions)"
-        )
-    return Fig3Point(
-        model=model,
-        n_ports=n_ports,
-        transactions=total,
-        elapsed_cycles=done["time"] // _PERIOD,
-        wall_seconds=wall,
-    )
+    return CrossbarTestbench(model, n_ports, txns_per_port=txns_per_port,
+                             seed=seed).run()
 
 
 def figure3(ports=(2, 4, 8, 16), *, txns_per_port: int = 200,

@@ -18,10 +18,11 @@ from dataclasses import dataclass
 from typing import Generator, List
 
 from ..connections import Buffer, In, Out
+from ..design.hierarchy import component_scope
 from ..kernel import Simulator
 
-__all__ = ["LeakyForwarder", "stall_campaign", "CampaignResult",
-           "format_campaign"]
+__all__ = ["LeakyForwarder", "build_stall_testbench", "stall_campaign",
+           "CampaignResult", "format_campaign"]
 
 
 class LeakyForwarder:
@@ -33,13 +34,15 @@ class LeakyForwarder:
     """
 
     def __init__(self, sim, clock, *, bug: bool = True, name: str = "fwd"):
-        self.name = name
         self.bug = bug
-        self.in_port: In = In(name=f"{name}.in")
-        self.out_port: Out = Out(name=f"{name}.out")
-        self.forwarded = 0
-        self.dropped = 0
-        sim.add_thread(self._run(), clock, name=name)
+        with component_scope(sim, name, kind="LeakyForwarder", obj=self,
+                             clock=clock) as inst:
+            self.name = inst.name if inst is not None else name
+            self.in_port: In = In(name="in")
+            self.out_port: Out = Out(name="out")
+            self.forwarded = 0
+            self.dropped = 0
+            sim.add_thread(self._run(), clock, name="ctl")
 
     def _run(self) -> Generator:
         while True:
@@ -70,9 +73,13 @@ class CampaignResult:
         return self.detections / self.trials
 
 
-def _one_trial(stall_probability: float, seed: int, *, n_msgs: int = 60,
-               bug: bool = True) -> bool:
-    """Returns True if the trial *detected* the bug (output mismatch)."""
+def build_stall_testbench(stall_probability: float = 0.3, seed: int = 100, *,
+                          n_msgs: int = 60, bug: bool = True):
+    """Construct (without running) one stall-injection trial.
+
+    Returns ``(sim, received)``: run the simulator, then compare
+    ``received`` against ``list(range(n_msgs))`` to detect the bug.
+    """
     sim = Simulator()
     clk = sim.add_clock("clk", period=10)
     up = Buffer(sim, clk, capacity=2, name="up")
@@ -82,14 +89,13 @@ def _one_trial(stall_probability: float, seed: int, *, n_msgs: int = 60,
     dut = LeakyForwarder(sim, clk, bug=bug)
     dut.in_port.bind(up)
     dut.out_port.bind(down)
-    src, dst = Out(up), In(down)
     received: List[int] = []
 
-    def producer():
+    def producer(src):
         for i in range(n_msgs):
             yield from src.push(i)
 
-    def consumer():
+    def consumer(dst):
         # Fixed test length: LI-correct designs deliver everything.
         for _ in range(n_msgs * 40):
             ok, msg = dst.pop_nb()
@@ -97,8 +103,18 @@ def _one_trial(stall_probability: float, seed: int, *, n_msgs: int = 60,
                 received.append(msg)
             yield
 
-    sim.add_thread(producer(), clk, name="p")
-    sim.add_thread(consumer(), clk, name="c")
+    with component_scope(sim, "src", kind="StreamSource", clock=clk):
+        sim.add_thread(producer(Out(up, name="out")), clk, name="ctl")
+    with component_scope(sim, "snk", kind="StreamSink", clock=clk):
+        sim.add_thread(consumer(In(down, name="in")), clk, name="ctl")
+    return sim, received
+
+
+def _one_trial(stall_probability: float, seed: int, *, n_msgs: int = 60,
+               bug: bool = True) -> bool:
+    """Returns True if the trial *detected* the bug (output mismatch)."""
+    sim, received = build_stall_testbench(stall_probability, seed,
+                                          n_msgs=n_msgs, bug=bug)
     sim.run(until=n_msgs * 1200)
     return received != list(range(n_msgs))
 

@@ -17,6 +17,8 @@ import math
 import random
 from typing import Optional
 
+from ..design.hierarchy import component_scope
+
 __all__ = ["SupplyNoise", "LocalClockGenerator"]
 
 
@@ -67,7 +69,6 @@ class LocalClockGenerator:
                  seed: int = 0):
         if nominal_period < 1:
             raise ValueError("nominal_period must be >= 1 tick")
-        self.name = name
         self.nominal_period = nominal_period
         self.noise = noise
         self.supply_sensitivity = supply_sensitivity
@@ -79,13 +80,16 @@ class LocalClockGenerator:
         self.period_max = nominal_period
         self.samples = 0
         self.retargets = 0
-        # Passing a generator deliberately puts this clock on the
-        # kernel's general (heap-scheduled) lane: every edge consults
-        # _next_period, so adaptive/jittered GALS clocking behaves
-        # bit-identically to the pre-fast-lane scheduler.  See
-        # docs/PERFORMANCE.md.
-        self.clock = sim.add_clock(name, nominal_period,
-                                   generator=self._next_period)
+        with component_scope(sim, name, kind="LocalClockGenerator",
+                             obj=self) as inst:
+            self.name = inst.name if inst is not None else name
+            # Passing a generator deliberately puts this clock on the
+            # kernel's general (heap-scheduled) lane: every edge consults
+            # _next_period, so adaptive/jittered GALS clocking behaves
+            # bit-identically to the pre-fast-lane scheduler.  See
+            # docs/PERFORMANCE.md.
+            self.clock = sim.add_clock(name, nominal_period,
+                                       generator=self._next_period)
         # Observability: registered generators annotate their domain's
         # row in telemetry reports (mean period, margin, pauses).
         hub = getattr(sim, "telemetry", None)

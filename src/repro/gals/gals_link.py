@@ -8,6 +8,11 @@ any code change — the paper's "correct-by-construction top-level
 asynchronous interfaces" (section 3.1).  Internally: a small buffer in
 the transmit domain, the pausible FIFO crossing, and a small buffer in
 the receive domain.
+
+In the design hierarchy a link is both an :class:`Instance` (with
+``tx``/``rx`` domain sub-scopes) and a channel endpoint registered
+``cdc_safe`` — the marker the ``unsynchronized-crossing`` lint rule
+accepts as a legal clock-domain crossing mediator.
 """
 
 from __future__ import annotations
@@ -15,6 +20,8 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from ..connections.channel import Buffer
+from ..connections.ports import In, Out
+from ..design.hierarchy import component_scope
 from .pausible_fifo import PausibleBisyncFIFO
 
 __all__ = ["GalsLink"]
@@ -23,18 +30,38 @@ __all__ = ["GalsLink"]
 class GalsLink:
     """Asynchronous link between two clock domains."""
 
+    #: Channel-kind tag reported by elaboration/telemetry.
+    kind = "Gals"
+
     def __init__(self, sim, tx_clock, rx_clock, *, capacity: int = 4,
                  settle_ps: int = 50, pausible: bool = True,
-                 name: str = "galslink"):
-        self.name = name
-        self._tx_chan = Buffer(sim, tx_clock, capacity=2, name=f"{name}.tx")
-        self._rx_chan = Buffer(sim, rx_clock, capacity=2, name=f"{name}.rx")
-        self.fifo = PausibleBisyncFIFO(
-            sim, tx_clock, rx_clock, capacity=capacity, settle_ps=settle_ps,
-            pausible=pausible, name=f"{name}.pbf",
-        )
-        self.fifo.in_port.bind(self._tx_chan)
-        self.fifo.out_port.bind(self._rx_chan)
+                 name: Optional[str] = None):
+        requested = name if name is not None else "galslink"
+        self.tx_clock = tx_clock
+        self.rx_clock = rx_clock
+        with component_scope(sim, requested, kind="GalsLink", obj=self,
+                             default_name=name is None) as inst:
+            self.name = inst.name if inst is not None else requested
+            # Domain sub-scopes give the facade endpoints honest clocks,
+            # so elaboration sees where each side of the crossing lives.
+            with component_scope(sim, "tx", kind="domain", clock=tx_clock):
+                self._tx_chan = Buffer(sim, tx_clock, capacity=2, name="buf")
+                self._enq: Out = Out(self._tx_chan, name="enq")
+            with component_scope(sim, "rx", kind="domain", clock=rx_clock):
+                self._rx_chan = Buffer(sim, rx_clock, capacity=2, name="buf")
+                self._deq: In = In(self._rx_chan, name="deq")
+            self.fifo = PausibleBisyncFIFO(
+                sim, tx_clock, rx_clock, capacity=capacity,
+                settle_ps=settle_ps, pausible=pausible, name="pbf",
+            )
+            self.fifo.in_port.bind(self._tx_chan)
+            self.fifo.out_port.bind(self._rx_chan)
+        # Register the link itself as a CDC-safe channel-like object in
+        # the parent scope (sharing the instance name claimed above).
+        design = getattr(sim, "design", None)
+        if design is not None and inst is not None:
+            design.register_channel(self, requested, cdc_safe=True,
+                                    instance=inst)
 
     # FastChannel protocol --------------------------------------------
     def can_push(self) -> bool:
@@ -63,3 +90,11 @@ class GalsLink:
     @property
     def transfers(self) -> int:
         return self.fifo.transfers
+
+    @property
+    def path(self) -> str:
+        inst = getattr(self, "_design_instance", None)
+        return inst.path if inst is not None else self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GalsLink({self.path!r}, occ={self.occupancy})"

@@ -29,6 +29,7 @@ from collections import deque
 from typing import Any, Generator, Optional
 
 from ..connections.ports import In, Out
+from ..design.hierarchy import component_scope
 from ..matchlib.encoding import binary_to_gray
 
 __all__ = ["PausibleBisyncFIFO", "BruteForceSyncFIFO"]
@@ -44,20 +45,29 @@ class PausibleBisyncFIFO:
 
     def __init__(self, sim, tx_clock, rx_clock, *, capacity: int = 4,
                  settle_ps: int = 50, pausible: bool = True,
-                 name: str = "pbfifo"):
+                 name: Optional[str] = None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         if settle_ps < 0:
             raise ValueError("settle_ps must be >= 0")
+        requested = name if name is not None else "pbfifo"
         self.sim = sim
         self.tx_clock = tx_clock
         self.rx_clock = rx_clock
         self.capacity = capacity
         self.settle_ps = settle_ps
         self.pausible = pausible
-        self.name = name
-        self.in_port: In = In(name=f"{name}.in")
-        self.out_port: Out = Out(name=f"{name}.out")
+        with component_scope(sim, requested, kind="PausibleBisyncFIFO",
+                             obj=self, default_name=name is None) as inst:
+            self.name = inst.name if inst is not None else requested
+            # Each side of the crossing lives in its own domain sub-scope
+            # so elaboration resolves the ports' clocks correctly.
+            with component_scope(sim, "tx", kind="domain", clock=tx_clock):
+                self.in_port: In = In(name="in")
+                sim.add_thread(self._tx_run(), tx_clock, name="ctl")
+            with component_scope(sim, "rx", kind="domain", clock=rx_clock):
+                self.out_port: Out = Out(name="out")
+                sim.add_thread(self._rx_run(), rx_clock, name="ctl")
         # Entries are (visible_at_ps, msg).
         self._queue: deque = deque()
         # Gray-coded pointers, kept for fidelity/introspection.
@@ -65,8 +75,6 @@ class PausibleBisyncFIFO:
         self._rptr = 0
         self.transfers = 0
         self.metastability_risks = 0
-        sim.add_thread(self._tx_run(), tx_clock, name=f"{name}.tx")
-        sim.add_thread(self._rx_run(), rx_clock, name=f"{name}.rx")
 
     @property
     def wptr_gray(self) -> int:
@@ -126,21 +134,26 @@ class BruteForceSyncFIFO:
     """
 
     def __init__(self, sim, tx_clock, rx_clock, *, capacity: int = 4,
-                 sync_stages: int = 2, name: str = "bffifo"):
+                 sync_stages: int = 2, name: Optional[str] = None):
         if capacity < 1 or sync_stages < 1:
             raise ValueError("capacity and sync_stages must be >= 1")
+        requested = name if name is not None else "bffifo"
         self.sim = sim
         self.rx_clock = rx_clock
         self.capacity = capacity
         self.sync_stages = sync_stages
-        self.name = name
-        self.in_port: In = In(name=f"{name}.in")
-        self.out_port: Out = Out(name=f"{name}.out")
+        with component_scope(sim, requested, kind="BruteForceSyncFIFO",
+                             obj=self, default_name=name is None) as inst:
+            self.name = inst.name if inst is not None else requested
+            with component_scope(sim, "tx", kind="domain", clock=tx_clock):
+                self.in_port: In = In(name="in")
+                sim.add_thread(self._tx_run(), tx_clock, name="ctl")
+            with component_scope(sim, "rx", kind="domain", clock=rx_clock):
+                self.out_port: Out = Out(name="out")
+                sim.add_thread(self._rx_run(), rx_clock, name="ctl")
         # Entries are (rx_edges_seen, msg); visible after sync_stages edges.
         self._queue: deque = deque()
         self.transfers = 0
-        sim.add_thread(self._tx_run(), tx_clock, name=f"{name}.tx")
-        sim.add_thread(self._rx_run(), rx_clock, name=f"{name}.rx")
 
     def _tx_run(self) -> Generator:
         while True:

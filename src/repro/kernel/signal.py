@@ -19,11 +19,17 @@ class Signal(Generic[T]):
     """A single driver/multi-reader signal with deferred update."""
 
     __slots__ = ("sim", "name", "_value", "_next", "_dirty", "_watchers",
-                 "_dirty_list")
+                 "_dirty_list", "_owner")
 
     def __init__(self, sim, init: T = 0, name: str = "sig"):
         self.sim = sim
         self.name = name
+        # Design-hierarchy owner (None when built outside any scope —
+        # such testbench-local signals are not retained by the hierarchy
+        # and stay garbage-collectable).
+        design = getattr(sim, "design", None)
+        self._owner = design.register_signal(self) if design is not None \
+            else None
         self._value: T = init
         self._next: T = init
         self._dirty = False
@@ -65,6 +71,12 @@ class Signal(Generic[T]):
     @property
     def value(self) -> T:
         return self._value
+
+    @property
+    def path(self) -> str:
+        """Hierarchical dotted path (equals ``name`` outside any scope)."""
+        owner = self._owner
+        return owner.join(self.name) if owner is not None else self.name
 
     def __bool__(self) -> bool:
         return bool(self._value)

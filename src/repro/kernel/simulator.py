@@ -48,6 +48,7 @@ import itertools
 import time
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from ..design.hierarchy import Hierarchy
 from ..observe.core import attach_if_enabled
 
 __all__ = [
@@ -221,6 +222,9 @@ class Simulator:
         self._started = False
         self._finished_threads = 0
         self.trace = None  # optional Trace object (see tracing.py)
+        #: Design hierarchy under construction (see repro.design).  All
+        #: registration is construction-time; the scheduler never reads it.
+        self.design = Hierarchy(self)
         # TelemetryHub or None; None keeps every hook at zero overhead.
         self.telemetry = attach_if_enabled(self, telemetry)
 
@@ -239,6 +243,7 @@ class Simulator:
 
         clock = Clock(self, name, period, start=start, generator=generator)
         self._clocks.append(clock)
+        self.design.register_clock(clock)
         return clock
 
     def add_thread(self, gen: Generator, clock, *, name: str = "thread") -> Thread:
@@ -249,6 +254,7 @@ class Simulator:
         """
         thread = Thread(self, gen, clock, name)
         self._threads.append(thread)
+        self.design.register_thread(thread, name)
         if clock is not None:
             clock._subscribe(thread)
         else:

@@ -55,6 +55,7 @@ class Trace:
         self.signals: list = []
         self.autowatch = autowatch
         self._watched: set[int] = set()
+        self._labels: dict[int, str] = {}
         self.changes: list[tuple[int, str, Any]] = []
         for sig in signals:
             self.watch(sig)
@@ -65,13 +66,18 @@ class Trace:
             return
         self.signals.append(signal)
         self._watched.add(id(signal))
+        # Label by full design path ("chip.pe3.r0") when the signal was
+        # created inside a design scope; resolved once here so record()
+        # stays a dict lookup.
+        label = getattr(signal, "path", None) or signal.name
+        self._labels[id(signal)] = label
         # Seed so values_at() is total even before the first change.
-        self.changes.append((0, signal.name, signal.read()))
+        self.changes.append((0, label, signal.read()))
 
     def record(self, now: int, signal) -> None:
         """Called by the kernel's update phase on every committed change."""
         if id(signal) in self._watched:
-            self.changes.append((now, signal.name, signal.read()))
+            self.changes.append((now, self._labels[id(signal)], signal.read()))
 
     def values_at(self, t: int) -> dict[str, Any]:
         """Reconstruct the value of every watched signal at time ``t``.
@@ -115,8 +121,12 @@ def write_vcd(trace: Trace, fh: IO[str], *, timescale: str = "1ps") -> None:
         with open("out.vcd", "w") as fh:
             write_vcd(sim.trace, fh)
     """
-    ids = {sig.name: _vcd_id(i) for i, sig in enumerate(trace.signals)}
-    widths = {sig.name: getattr(sig, "width", 32) for sig in trace.signals}
+    def label(sig):
+        return getattr(sig, "path", None) or sig.name
+
+    ids = {label(sig): _vcd_id(i) for i, sig in enumerate(trace.signals)}
+    widths = {label(sig): getattr(sig, "width", 32)
+              for sig in trace.signals}
     fh.write(f"$timescale {timescale} $end\n$scope module repro $end\n")
     for name, vid in ids.items():
         fh.write(f"$var wire {widths[name]} {vid} {name} $end\n")

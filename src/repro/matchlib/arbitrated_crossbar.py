@@ -25,6 +25,7 @@ from typing import Any, Generator, Optional, Sequence
 from ..connections.ports import In, Out
 from ..connections.signal_accurate import SignalAccurateIn, SignalAccurateOut
 from ..connections.signal_channel import SignalInterface
+from ..design.hierarchy import component_scope
 from .arbiter import RoundRobinArbiter
 from .fifo import Fifo
 
@@ -97,11 +98,13 @@ class ArbitratedCrossbarModule:
 
     def __init__(self, sim, clock, n_in: int, n_out: int, *,
                  queue_depth: int = 2, name: str = "axbar"):
-        self.name = name
         self.kernel = ArbitratedCrossbarKernel(n_in, n_out, queue_depth=queue_depth)
-        self.ins = [In(name=f"{name}.in{i}") for i in range(n_in)]
-        self.outs = [Out(name=f"{name}.out{o}") for o in range(n_out)]
-        sim.add_thread(self._run(), clock, name=name)
+        with component_scope(sim, name, kind="ArbitratedCrossbarModule",
+                             obj=self, clock=clock) as inst:
+            self.name = inst.name if inst is not None else name
+            self.ins = [In(name=f"in{i}") for i in range(n_in)]
+            self.outs = [Out(name=f"out{o}") for o in range(n_out)]
+            sim.add_thread(self._run(), clock, name="ctl")
 
     @property
     def transactions(self) -> int:
@@ -134,12 +137,14 @@ class ArbitratedCrossbarRTL:
 
     def __init__(self, sim, clock, n_in: int, n_out: int, *,
                  queue_depth: int = 2, name: str = "axbar_rtl"):
-        self.name = name
         self.kernel = ArbitratedCrossbarKernel(n_in, n_out, queue_depth=queue_depth)
-        self.enq = [SignalInterface(sim, name=f"{name}.enq{i}")
-                    for i in range(n_in)]
-        self.deq = [SignalInterface(sim, name=f"{name}.deq{o}")
-                    for o in range(n_out)]
+        with component_scope(sim, name, kind="ArbitratedCrossbarRTL",
+                             obj=self, clock=clock) as inst:
+            self.name = inst.name if inst is not None else name
+            self.enq = [SignalInterface(sim, name=f"enq{i}")
+                        for i in range(n_in)]
+            self.deq = [SignalInterface(sim, name=f"deq{o}")
+                        for o in range(n_out)]
         self._out_reg: list[Optional[tuple]] = [None] * n_out
         for iface in self.enq:
             iface.ready.write(1)
@@ -184,16 +189,18 @@ class ArbitratedCrossbarSA:
 
     def __init__(self, sim, clock, n_in: int, n_out: int, *,
                  queue_depth: int = 2, name: str = "axbar_sa"):
-        self.name = name
         self.kernel = ArbitratedCrossbarKernel(n_in, n_out, queue_depth=queue_depth)
-        self.enq = [SignalInterface(sim, name=f"{name}.enq{i}")
-                    for i in range(n_in)]
-        self.deq = [SignalInterface(sim, name=f"{name}.deq{o}")
-                    for o in range(n_out)]
-        self._ins = [SignalAccurateIn(iface) for iface in self.enq]
-        self._outs = [SignalAccurateOut(iface) for iface in self.deq]
-        self._pending: list[Optional[tuple]] = [None] * n_out
-        sim.add_thread(self._run(), clock, name=name)
+        with component_scope(sim, name, kind="ArbitratedCrossbarSA",
+                             obj=self, clock=clock) as inst:
+            self.name = inst.name if inst is not None else name
+            self.enq = [SignalInterface(sim, name=f"enq{i}")
+                        for i in range(n_in)]
+            self.deq = [SignalInterface(sim, name=f"deq{o}")
+                        for o in range(n_out)]
+            self._ins = [SignalAccurateIn(iface) for iface in self.enq]
+            self._outs = [SignalAccurateOut(iface) for iface in self.deq]
+            self._pending: list[Optional[tuple]] = [None] * n_out
+            sim.add_thread(self._run(), clock, name="ctl")
 
     @property
     def transactions(self) -> int:

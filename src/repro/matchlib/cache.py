@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
 from ..connections.ports import In, Out
+from ..design.hierarchy import component_scope
 from .mem_array import MemArray
 
 __all__ = ["Cache", "CacheModule", "CacheRequest", "CacheResponse"]
@@ -206,13 +207,15 @@ class CacheModule:
                  miss_latency: int = 10, name: str = "cache"):
         if hit_latency < 1 or miss_latency < hit_latency:
             raise ValueError("need miss_latency >= hit_latency >= 1")
-        self.name = name
         self.cache = cache
         self.hit_latency = hit_latency
         self.miss_latency = miss_latency
-        self.req: In = In(name=f"{name}.req")
-        self.rsp: Out = Out(name=f"{name}.rsp")
-        sim.add_thread(self._run(), clock, name=name)
+        with component_scope(sim, name, kind="CacheModule", obj=self,
+                             clock=clock) as inst:
+            self.name = inst.name if inst is not None else name
+            self.req: In = In(name="req")
+            self.rsp: Out = Out(name="rsp")
+            sim.add_thread(self._run(), clock, name="ctl")
 
     def _run(self) -> Generator:
         while True:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Generator, Optional, Sequence
 
 from ..connections.ports import In, Out
+from ..design.hierarchy import component_scope
 from .arbitrated_scratchpad import ArbitratedScratchpad, SpRequest, SpResponse
 
 __all__ = ["ScratchpadModule"]
@@ -30,16 +31,18 @@ class ScratchpadModule:
     def __init__(self, sim, clock, *, n_lanes: int, n_banks: int,
                  bank_entries: int, width: Optional[int] = None,
                  name: str = "spad"):
-        self.name = name
         self.n_lanes = n_lanes
         self.core = ArbitratedScratchpad(
             n_requesters=n_lanes, n_banks=n_banks,
             bank_entries=bank_entries, width=width,
         )
-        self.req: In = In(name=f"{name}.req")
-        self.rsp: Out = Out(name=f"{name}.rsp")
-        self.requests_served = 0
-        sim.add_thread(self._run(), clock, name=name)
+        with component_scope(sim, name, kind="ScratchpadModule", obj=self,
+                             clock=clock) as inst:
+            self.name = inst.name if inst is not None else name
+            self.req: In = In(name="req")
+            self.rsp: Out = Out(name="rsp")
+            self.requests_served = 0
+            sim.add_thread(self._run(), clock, name="ctl")
 
     def _run(self) -> Generator:
         core = self.core

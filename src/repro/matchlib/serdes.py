@@ -12,6 +12,7 @@ from typing import Generator
 
 from ..connections.packet import int_deserializer, int_serializer
 from ..connections.ports import In, Out
+from ..design.hierarchy import component_scope
 
 __all__ = ["Serializer", "Deserializer"]
 
@@ -27,15 +28,17 @@ class Serializer:
                  name: str = "ser"):
         if width < flit_width:
             raise ValueError("width must be >= flit_width")
-        self.name = name
         self.width = width
         self.flit_width = flit_width
         self.factor = -(-width // flit_width)
         self._slice = int_serializer(width, flit_width)
-        self.wide_in: In = In(name=f"{name}.wide_in")
-        self.narrow_out: Out = Out(name=f"{name}.narrow_out")
-        self.messages = 0
-        sim.add_thread(self._run(), clock, name=name)
+        with component_scope(sim, name, kind="Serializer", obj=self,
+                             clock=clock) as inst:
+            self.name = inst.name if inst is not None else name
+            self.wide_in: In = In(name="wide_in")
+            self.narrow_out: Out = Out(name="narrow_out")
+            self.messages = 0
+            sim.add_thread(self._run(), clock, name="ctl")
 
     def _run(self) -> Generator:
         while True:
@@ -56,15 +59,17 @@ class Deserializer:
                  name: str = "des"):
         if width < flit_width:
             raise ValueError("width must be >= flit_width")
-        self.name = name
         self.width = width
         self.flit_width = flit_width
         self.factor = -(-width // flit_width)
         self._join = int_deserializer(width, flit_width)
-        self.narrow_in: In = In(name=f"{name}.narrow_in")
-        self.wide_out: Out = Out(name=f"{name}.wide_out")
-        self.messages = 0
-        sim.add_thread(self._run(), clock, name=name)
+        with component_scope(sim, name, kind="Deserializer", obj=self,
+                             clock=clock) as inst:
+            self.name = inst.name if inst is not None else name
+            self.narrow_in: In = In(name="narrow_in")
+            self.wide_out: Out = Out(name="wide_out")
+            self.messages = 0
+            sim.add_thread(self._run(), clock, name="ctl")
 
     def _run(self) -> Generator:
         while True:

@@ -13,6 +13,7 @@ from typing import Any, Callable, Generator, List, Optional
 
 from ..connections.channel import Buffer
 from ..connections.ports import In, Out
+from ..design.hierarchy import component_scope, design_path
 from .flit import NocFlit, make_packet
 from .routing import Port, node_xy, xy_node
 from .sf_router import SFRouter
@@ -38,11 +39,13 @@ class NetworkInterface:
         self._rx_partial: dict = {}
         self.received: list[tuple[int, list]] = []  # (src, payloads)
         self.handler: Optional[Callable[[int, list], None]] = None
-        self.inject_port: Out = Out(name=f"ni{node}.inject")
-        self.eject_port: In = In(name=f"ni{node}.eject")
-        self.messages_sent = 0
-        self.messages_received = 0
-        sim.add_thread(self._run(), clock, name=f"ni{node}")
+        with component_scope(sim, f"ni{node}", kind="NetworkInterface",
+                             obj=self, clock=clock):
+            self.inject_port: Out = Out(name="inject")
+            self.eject_port: In = In(name="eject")
+            self.messages_sent = 0
+            self.messages_received = 0
+            sim.add_thread(self._run(), clock, name="ctl")
 
     def send(self, dest: int, payloads: list, *, vc: int = 0) -> None:
         """Queue one message (any number of flit payloads) to ``dest``."""
@@ -103,48 +106,51 @@ class Mesh:
         self._link_factory = link_factory
         self._link_depth = link_depth
         self._sim = sim
-        self._name = name
 
-        for node in range(self.n_nodes):
-            node_clock = self._clock_of(node)
-            if router == "whvc":
-                r = WHVCRouter(sim, node_clock, node=node, mesh_width=width,
-                               n_vcs=n_vcs, name=f"{name}.r{node}",
-                               **router_kwargs)
-            else:
-                r = SFRouter(sim, node_clock, node=node, mesh_width=width,
-                             name=f"{name}.r{node}", **router_kwargs)
-            self.routers.append(r)
+        with component_scope(sim, name, kind="Mesh", obj=self,
+                             clock=clock) as inst:
+            self.name = self._name = inst.name if inst is not None else name
 
-        # Inter-router links (one channel per direction per edge).
-        for node in range(self.n_nodes):
-            x, y = node_xy(node, width)
-            if x + 1 < width:
-                east = xy_node(x + 1, y, width)
-                self._link(sim, clock, node, Port.EAST, east, Port.WEST,
-                           link_depth, name)
-                self._link(sim, clock, east, Port.WEST, node, Port.EAST,
-                           link_depth, name)
-            if y + 1 < height:
-                north = xy_node(x, y + 1, width)
-                self._link(sim, clock, node, Port.NORTH, north, Port.SOUTH,
-                           link_depth, name)
-                self._link(sim, clock, north, Port.SOUTH, node, Port.NORTH,
-                           link_depth, name)
+            for node in range(self.n_nodes):
+                node_clock = self._clock_of(node)
+                if router == "whvc":
+                    r = WHVCRouter(sim, node_clock, node=node,
+                                   mesh_width=width, n_vcs=n_vcs,
+                                   name=f"r{node}", **router_kwargs)
+                else:
+                    r = SFRouter(sim, node_clock, node=node, mesh_width=width,
+                                 name=f"r{node}", **router_kwargs)
+                self.routers.append(r)
 
-        # Local ports -> network interfaces (in the node's own domain).
-        for node in range(self.n_nodes):
-            node_clock = self._clock_of(node)
-            ni = NetworkInterface(sim, node_clock, self, node)
-            inject = Buffer(sim, node_clock, capacity=link_depth,
-                            name=f"{name}.inj{node}")
-            eject = Buffer(sim, node_clock, capacity=link_depth,
-                           name=f"{name}.ej{node}")
-            ni.inject_port.bind(inject)
-            self.routers[node].ins[Port.LOCAL].bind(inject)
-            self.routers[node].outs[Port.LOCAL].bind(eject)
-            ni.eject_port.bind(eject)
-            self.nis.append(ni)
+            # Inter-router links (one channel per direction per edge).
+            for node in range(self.n_nodes):
+                x, y = node_xy(node, width)
+                if x + 1 < width:
+                    east = xy_node(x + 1, y, width)
+                    self._link(sim, clock, node, Port.EAST, east, Port.WEST,
+                               link_depth)
+                    self._link(sim, clock, east, Port.WEST, node, Port.EAST,
+                               link_depth)
+                if y + 1 < height:
+                    north = xy_node(x, y + 1, width)
+                    self._link(sim, clock, node, Port.NORTH, north,
+                               Port.SOUTH, link_depth)
+                    self._link(sim, clock, north, Port.SOUTH, node,
+                               Port.NORTH, link_depth)
+
+            # Local ports -> network interfaces (in the node's own domain).
+            for node in range(self.n_nodes):
+                node_clock = self._clock_of(node)
+                ni = NetworkInterface(sim, node_clock, self, node)
+                inject = Buffer(sim, node_clock, capacity=link_depth,
+                                name=f"inj{node}")
+                eject = Buffer(sim, node_clock, capacity=link_depth,
+                               name=f"ej{node}")
+                ni.inject_port.bind(inject)
+                self.routers[node].ins[Port.LOCAL].bind(inject)
+                self.routers[node].outs[Port.LOCAL].bind(eject)
+                ni.eject_port.bind(eject)
+                self.nis.append(ni)
 
         # Observability: registered meshes appear in telemetry reports
         # with per-router flit counts and per-link utilization.
@@ -153,16 +159,18 @@ class Mesh:
             hub.register_mesh(self)
 
     def _link(self, sim, clock, src: int, src_port: Port, dst: int,
-              dst_port: Port, depth: int, name: str) -> None:
-        tag = f"{name}.l{src}p{int(src_port)}"
+              dst_port: Port, depth: int) -> None:
+        local = f"l{src}p{int(src_port)}"
         if self._link_factory is not None:
-            chan = self._link_factory(src, dst, tag)
+            chan = self._link_factory(src, dst, local)
         else:
             # Links live in the destination router's clock domain.
-            chan = Buffer(sim, self._clock_of(dst), capacity=depth, name=tag)
+            chan = Buffer(sim, self._clock_of(dst), capacity=depth,
+                          name=local)
         self.routers[src].outs[src_port].bind(chan)
         self.routers[dst].ins[dst_port].bind(chan)
-        self.links.append((src, dst, tag, chan))
+        # Report keys use the full hierarchical path of the channel.
+        self.links.append((src, dst, design_path(chan), chan))
 
     # ------------------------------------------------------------------
     @property

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from ..connections.ports import In, Out
+from ..design.hierarchy import component_scope
 from ..matchlib.arbiter import RoundRobinArbiter
 from ..matchlib.fifo import Fifo
 from .flit import NocFlit
@@ -30,24 +31,35 @@ class SFRouter:
                  name: Optional[str] = None):
         if packet_capacity < 1:
             raise ValueError("packet_capacity must be >= 1")
-        self.name = name or f"sf{node}"
+        requested = name or f"sf{node}"
         self.node = node
         self.mesh_width = mesh_width
         self.max_packet_flits = max_packet_flits
-        self.ins = [In(name=f"{self.name}.in{p}") for p in range(N_PORTS)]
-        self.outs = [Out(name=f"{self.name}.out{p}") for p in range(N_PORTS)]
-        # Per-input packet assembly buffer and per-input whole-packet queue.
-        self._assembly: list[list[NocFlit]] = [[] for _ in range(N_PORTS)]
-        self._packets = [Fifo(capacity=packet_capacity) for _ in range(N_PORTS)]
-        self._arbiters = [RoundRobinArbiter(N_PORTS) for _ in range(N_PORTS)]
-        # Per-output in-flight packet being streamed out.
-        self._sending: list[Optional[list[NocFlit]]] = [None] * N_PORTS
-        self.packets_forwarded = 0
-        self.flits_forwarded = 0
-        #: Cycles an in-flight packet could not stream its next flit out
-        #: (downstream link full) — link-level backpressure.
-        self.output_stall_cycles = 0
-        sim.add_thread(self._run(), clock, name=self.name)
+        with component_scope(sim, requested, kind="SFRouter", obj=self,
+                             clock=clock, default_name=name is None,
+                             attrs={"deadlock_free":
+                                    "xy dimension-order routing"}) as inst:
+            self.name = inst.name if inst is not None else requested
+            # Boundary ports on mesh edges legitimately stay unbound.
+            self.ins = [In(name=f"in{p}", optional=True)
+                        for p in range(N_PORTS)]
+            self.outs = [Out(name=f"out{p}", optional=True)
+                         for p in range(N_PORTS)]
+            # Per-input packet assembly buffer and per-input whole-packet
+            # queue.
+            self._assembly: list[list[NocFlit]] = [[] for _ in range(N_PORTS)]
+            self._packets = [Fifo(capacity=packet_capacity)
+                             for _ in range(N_PORTS)]
+            self._arbiters = [RoundRobinArbiter(N_PORTS)
+                              for _ in range(N_PORTS)]
+            # Per-output in-flight packet being streamed out.
+            self._sending: list[Optional[list[NocFlit]]] = [None] * N_PORTS
+            self.packets_forwarded = 0
+            self.flits_forwarded = 0
+            #: Cycles an in-flight packet could not stream its next flit out
+            #: (downstream link full) — link-level backpressure.
+            self.output_stall_cycles = 0
+            sim.add_thread(self._run(), clock, name="ctl")
 
     def _run(self) -> Generator:
         while True:

@@ -176,8 +176,14 @@ class TelemetryHub:
         self.log = EventLog()
 
     def register_channel(self, channel) -> ChannelTelemetry:
-        """Attach telemetry to a channel; returns the per-channel recorder."""
-        tel = ChannelTelemetry(getattr(channel, "name", "chan"),
+        """Attach telemetry to a channel; returns the per-channel recorder.
+
+        The telemetry name is the channel's full design path when it was
+        constructed inside a design scope (``chip.mesh.l3p1``), falling
+        back to its bare name.
+        """
+        tel = ChannelTelemetry(getattr(channel, "path", None)
+                               or getattr(channel, "name", "chan"),
                                getattr(channel, "kind", type(channel).__name__))
         self.channels.append((channel, tel))
         self.log.emit("channel-registered", name=tel.name, kind=tel.kind)

@@ -62,7 +62,7 @@ class TelemetryReport:
 def _channel_row(chan, tel) -> dict:
     """One report row per instrumented channel: always-on stats + histogram."""
     row = {
-        "name": getattr(chan, "name", "chan"),
+        "name": getattr(chan, "path", None) or getattr(chan, "name", "chan"),
         "kind": getattr(chan, "kind", type(chan).__name__),
         "transfers": getattr(chan, "transfers", 0),
     }
@@ -86,8 +86,10 @@ def _channel_row(chan, tel) -> dict:
 
 
 def _router_row(router) -> dict:
+    inst = getattr(router, "_design_instance", None)
     return {
-        "name": getattr(router, "name", "router"),
+        "name": inst.path if inst is not None
+        else getattr(router, "name", "router"),
         "node": getattr(router, "node", -1),
         "flits_forwarded": getattr(router, "flits_forwarded", 0),
         "packets_forwarded": getattr(router, "packets_forwarded", 0),

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from ..axi.master import AxiError, AxiMaster
+from ..design.hierarchy import component_scope
 
 __all__ = ["MmioAxiBridge"]
 
@@ -34,15 +35,17 @@ class MmioAxiBridge:
     """Doorbell bridge between the core's MMIO and an AXI master."""
 
     def __init__(self, sim, clock, *, name: str = "mmio_axi"):
-        self.name = name
-        self.master = AxiMaster(name=f"{name}.master")
-        self.addr = 0
-        self.wdata = 0
-        self.rdata = 0
-        self.status = _IDLE
-        self._pending: Optional[int] = None  # 1 = read, 2 = write
-        self.transactions = 0
-        sim.add_thread(self._run(), clock, name=name)
+        with component_scope(sim, name, kind="MmioAxiBridge", obj=self,
+                             clock=clock) as inst:
+            self.name = inst.name if inst is not None else name
+            self.master = AxiMaster(name="master")
+            self.addr = 0
+            self.wdata = 0
+            self.rdata = 0
+            self.status = _IDLE
+            self._pending: Optional[int] = None  # 1 = read, 2 = write
+            self.transactions = 0
+            sim.add_thread(self._run(), clock, name="ctl")
 
     # MMIO side (called synchronously from the core) --------------------
     def mmio_read(self, offset: int) -> int:

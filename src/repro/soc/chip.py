@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..connections.channel import Buffer
 from ..connections.rtl_adapter import RtlChannel
+from ..design.hierarchy import component_scope
 from ..gals.clock_generator import LocalClockGenerator, SupplyNoise
 from ..gals.gals_link import GalsLink
 from ..kernel import Simulator
@@ -65,97 +66,107 @@ class PrototypeSoC:
         self.gmem_right_node = service[2 % len(service)]
         self.io_node = service[3 % len(service)] if len(service) > 3 else None
 
-        # --- clocking -------------------------------------------------
-        self.clock_generators: List[LocalClockGenerator] = []
-        if gals:
-            clocks = []
-            for node in range(n_nodes):
-                noise = (SupplyNoise(amplitude=noise_amplitude,
-                                     seed=seed + node)
-                         if noise_amplitude > 0 else None)
-                # Deterministic per-node period spread (+-2 %): no two
-                # partitions are exactly plesiochronous.
-                period = self.CLOCK_PERIOD + ((node * 7) % 37) - 18
-                gen = LocalClockGenerator(self.sim, f"clkgen{node}",
-                                          nominal_period=period, noise=noise,
-                                          seed=seed + node)
-                self.clock_generators.append(gen)
-                clocks.append(gen.clock)
-            clock_of = lambda node: clocks[node]
-            self.clock = clocks[self.controller_node]
-        else:
-            self.clock = self.sim.add_clock("clk", period=self.CLOCK_PERIOD)
-            clock_of = lambda node: self.clock
+        # The chip is the root of the user design hierarchy: everything
+        # below registers as chip.mesh.*, chip.pe0.*, chip.axix.*, …
+        with component_scope(self.sim, "chip", kind="PrototypeSoC",
+                             obj=self, default_name=True):
+            # --- clocking -------------------------------------------------
+            self.clock_generators: List[LocalClockGenerator] = []
+            if gals:
+                clocks = []
+                for node in range(n_nodes):
+                    noise = (SupplyNoise(amplitude=noise_amplitude,
+                                         seed=seed + node)
+                             if noise_amplitude > 0 else None)
+                    # Deterministic per-node period spread (+-2 %): no two
+                    # partitions are exactly plesiochronous.
+                    period = self.CLOCK_PERIOD + ((node * 7) % 37) - 18
+                    gen = LocalClockGenerator(self.sim, f"clkgen{node}",
+                                              nominal_period=period,
+                                              noise=noise, seed=seed + node)
+                    self.clock_generators.append(gen)
+                    clocks.append(gen.clock)
+                clock_of = lambda node: clocks[node]
+                self.clock = clocks[self.controller_node]
+            else:
+                self.clock = self.sim.add_clock("clk",
+                                                period=self.CLOCK_PERIOD)
+                clock_of = lambda node: self.clock
 
-        # --- interconnect ----------------------------------------------
-        if gals:
-            def link_factory(src, dst, tag):
-                return GalsLink(self.sim, clock_of(src), clock_of(dst),
-                                name=tag)
-        elif mode == "rtl":
-            def link_factory(src, dst, tag):
-                return RtlChannel(self.sim, self.clock, capacity=4, name=tag)
-        else:
-            link_factory = None
+            # --- interconnect --------------------------------------------
+            if gals:
+                def link_factory(src, dst, tag):
+                    return GalsLink(self.sim, clock_of(src), clock_of(dst),
+                                    name=tag)
+            elif mode == "rtl":
+                def link_factory(src, dst, tag):
+                    return RtlChannel(self.sim, self.clock, capacity=4,
+                                      name=tag)
+            else:
+                link_factory = None
 
-        self.mesh = Mesh(self.sim, self.clock, width=width, height=height,
-                         router="whvc", clock_of=clock_of,
-                         link_factory=link_factory, name="soc")
+            self.mesh = Mesh(self.sim, self.clock, width=width,
+                             height=height, router="whvc", clock_of=clock_of,
+                             link_factory=link_factory, name="mesh")
 
-        # --- units -------------------------------------------------------
-        self.pes: List[ProcessingElement] = [
-            ProcessingElement(self.sim, clock_of(node), self.mesh.ni(node),
-                              lanes=lanes, spad_words=spad_words)
-            for node in self.pe_nodes
-        ]
-        self.gmem_left = GlobalMemory(self.sim, clock_of(self.gmem_left_node),
-                                      self.mesh.ni(self.gmem_left_node),
-                                      words=gmem_words, name="gmem_left")
-        self.gmem_right = GlobalMemory(self.sim, clock_of(self.gmem_right_node),
-                                       self.mesh.ni(self.gmem_right_node),
-                                       words=gmem_words, name="gmem_right")
-        # AXI control plane (Figure 5's "AXI Bus"): the controller's MMIO
-        # window drives chip-level CSRs through a doorbell bridge and the
-        # interconnect fabric.
-        from ..axi.interconnect import AddressRange, AxiInterconnect
-        from ..axi.slave import AxiRegisterSlave
-        from .axi_bridge import MmioAxiBridge
+            # --- units ---------------------------------------------------
+            self.pes: List[ProcessingElement] = [
+                ProcessingElement(self.sim, clock_of(node),
+                                  self.mesh.ni(node),
+                                  lanes=lanes, spad_words=spad_words)
+                for node in self.pe_nodes
+            ]
+            self.gmem_left = GlobalMemory(
+                self.sim, clock_of(self.gmem_left_node),
+                self.mesh.ni(self.gmem_left_node),
+                words=gmem_words, name="gmem_left")
+            self.gmem_right = GlobalMemory(
+                self.sim, clock_of(self.gmem_right_node),
+                self.mesh.ni(self.gmem_right_node),
+                words=gmem_words, name="gmem_right")
+            # AXI control plane (Figure 5's "AXI Bus"): the controller's
+            # MMIO window drives chip-level CSRs through a doorbell bridge
+            # and the interconnect fabric.
+            from ..axi.interconnect import AddressRange, AxiInterconnect
+            from ..axi.slave import AxiRegisterSlave
+            from .axi_bridge import MmioAxiBridge
 
-        ctrl_clock = clock_of(self.controller_node)
-        self.axi_bridge = MmioAxiBridge(self.sim, ctrl_clock)
-        self.axi_fabric = AxiInterconnect(self.sim, ctrl_clock, name="axix")
-        self.axi_fabric.connect_master(self.axi_bridge.master)
-        self.csr = AxiRegisterSlave(self.sim, ctrl_clock, n_regs=16,
-                                    name="csr")
-        self.csr.regs[0] = 0xC8AF7  # chip id
-        self.csr.regs[1] = self.n_pes
-        self.axi_fabric.connect_slave(self.csr, AddressRange(0x0, 16))
+            ctrl_clock = clock_of(self.controller_node)
+            self.axi_bridge = MmioAxiBridge(self.sim, ctrl_clock)
+            self.axi_fabric = AxiInterconnect(self.sim, ctrl_clock,
+                                              name="axix")
+            self.axi_fabric.connect_master(self.axi_bridge.master)
+            self.csr = AxiRegisterSlave(self.sim, ctrl_clock, n_regs=16,
+                                        name="csr")
+            self.csr.regs[0] = 0xC8AF7  # chip id
+            self.csr.regs[1] = self.n_pes
+            self.axi_fabric.connect_slave(self.csr, AddressRange(0x0, 16))
 
-        self.controller = Controller(self.sim, ctrl_clock,
-                                     self.mesh.ni(self.controller_node),
-                                     commands=commands,
-                                     axi_bridge=self.axi_bridge)
-        self.finish_time: Optional[int] = None
+            self.controller = Controller(self.sim, ctrl_clock,
+                                         self.mesh.ni(self.controller_node),
+                                         commands=commands,
+                                         axi_bridge=self.axi_bridge)
+            self.finish_time: Optional[int] = None
 
-        # RTL mode: instantiate the per-unit netlist activity that a
-        # Verilog simulator would be evaluating every cycle.
-        self.rtl_activities = []
-        if mode == "rtl":
-            from .rtl_activity import DEFAULT_UNIT_REGS, RtlActivity
+            # RTL mode: instantiate the per-unit netlist activity that a
+            # Verilog simulator would be evaluating every cycle.
+            self.rtl_activities = []
+            if mode == "rtl":
+                from .rtl_activity import DEFAULT_UNIT_REGS, RtlActivity
 
-            def attach(kind, node, index):
-                self.rtl_activities.append(RtlActivity(
-                    self.sim, clock_of(node),
-                    n_regs=DEFAULT_UNIT_REGS[kind],
-                    name=f"rtl.{kind}{index}"))
+                def attach(kind, node, index):
+                    self.rtl_activities.append(RtlActivity(
+                        self.sim, clock_of(node),
+                        n_regs=DEFAULT_UNIT_REGS[kind],
+                        name=f"rtl_{kind}{index}"))
 
-            for i, node in enumerate(self.pe_nodes):
-                attach("pe", node, i)
-            for node in range(n_nodes):
-                attach("router", node, node)
-            attach("gmem", self.gmem_left_node, 0)
-            attach("gmem", self.gmem_right_node, 1)
-            attach("controller", self.controller_node, 0)
+                for i, node in enumerate(self.pe_nodes):
+                    attach("pe", node, i)
+                for node in range(n_nodes):
+                    attach("router", node, node)
+                attach("gmem", self.gmem_left_node, 0)
+                attach("gmem", self.gmem_right_node, 1)
+                attach("controller", self.controller_node, 0)
 
     # ------------------------------------------------------------------
     # convenience API

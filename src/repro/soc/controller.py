@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Generator, List, Optional, Sequence, Tuple, Union
 
+from ..design.hierarchy import component_scope
 from ..matchlib.mem_array import MemArray
 from ..noc.mesh import NetworkInterface
 from .asm import assemble
@@ -108,7 +109,6 @@ class Controller:
                  commands: Sequence[Union[SendCmd, WaitCmd]] = (),
                  dmem_words: int = 4096, name: str = "controller",
                  max_instructions: int = 2_000_000, axi_bridge=None):
-        self.name = name
         self.node = ni.node
         self.ni = ni
         self.axi_bridge = axi_bridge  # MMIO window 0x100.. if present
@@ -125,18 +125,22 @@ class Controller:
                 f"({dmem_words} words)")
         dmem = MemArray(dmem_words, width=32)
         dmem.load(table)
-        self.core = RiscvCore(
-            imem=command_player_firmware(), dmem=dmem,
-            mmio_read=self._mmio_read, mmio_write=self._mmio_write,
-            name=f"{name}.cpu",
-        )
-        self.halt_time: Optional[int] = None
+        with component_scope(sim, name, kind="Controller", obj=self,
+                             clock=clock) as inst:
+            self.name = inst.name if inst is not None else name
+            self.core = RiscvCore(
+                imem=command_player_firmware(), dmem=dmem,
+                mmio_read=self._mmio_read, mmio_write=self._mmio_write,
+                name="cpu",
+            )
+            self.halt_time: Optional[int] = None
 
-        def thread_body():
-            yield from self.core.run_thread(max_instructions=max_instructions)
-            self.halt_time = sim.now
+            def thread_body():
+                yield from self.core.run_thread(
+                    max_instructions=max_instructions)
+                self.halt_time = sim.now
 
-        sim.add_thread(thread_body(), clock, name=name)
+            sim.add_thread(thread_body(), clock, name="cpu")
 
     # ------------------------------------------------------------------
     def _on_message(self, src: int, payloads: List[int]) -> None:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Generator, List, Optional
 
+from ..design.hierarchy import component_scope
 from ..matchlib.arbitrated_scratchpad import ArbitratedScratchpad, SpRequest
 from ..noc.mesh import NetworkInterface
 from .protocol import Cmd, NO_REPLY
@@ -25,19 +26,22 @@ class GlobalMemory:
                  n_banks: int = 8, name: Optional[str] = None):
         if n_banks < 1:
             raise ValueError("n_banks must be >= 1")
-        self.name = name or f"gmem{ni.node}"
+        requested = name or f"gmem{ni.node}"
         self.node = ni.node
         self.n_banks = n_banks
-        self.core = ArbitratedScratchpad(
-            n_requesters=n_banks, n_banks=n_banks,
-            bank_entries=-(-words // n_banks), width=32,
-        )
         self.ni = ni
-        self._inbox: deque = deque()
-        self.reads_served = 0
-        self.writes_served = 0
-        ni.handler = lambda src, payloads: self._inbox.append(payloads)
-        sim.add_thread(self._run(), clock, name=self.name)
+        with component_scope(sim, requested, kind="GlobalMemory",
+                             obj=self, clock=clock) as inst:
+            self.name = inst.name if inst is not None else requested
+            self.core = ArbitratedScratchpad(
+                n_requesters=n_banks, n_banks=n_banks,
+                bank_entries=-(-words // n_banks), width=32,
+            )
+            self._inbox: deque = deque()
+            self.reads_served = 0
+            self.writes_served = 0
+            ni.handler = lambda src, payloads: self._inbox.append(payloads)
+            sim.add_thread(self._run(), clock, name="ctl")
 
     @property
     def words(self) -> int:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Generator, List, Optional
 
+from ..design.hierarchy import component_scope
 from ..matchlib.arbitrated_scratchpad import ArbitratedScratchpad, SpRequest
 from ..matchlib.fp import FP16, fp_add, fp_mul, fp_mul_add
 from ..noc.mesh import NetworkInterface
@@ -40,21 +41,24 @@ class ProcessingElement:
                  spad_words: int = 1024, name: Optional[str] = None):
         if lanes < 1:
             raise ValueError("lanes must be >= 1")
-        self.name = name or f"pe{ni.node}"
+        requested = name or f"pe{ni.node}"
         self.node = ni.node
         self.lanes = lanes
         self.ni = ni
-        self.spad = ArbitratedScratchpad(
-            n_requesters=lanes, n_banks=lanes,
-            bank_entries=-(-spad_words // lanes), width=32,
-        )
-        self._inbox: deque = deque()
-        self._data_msgs: dict[int, List[int]] = {}
-        self._next_tag = 0
-        self.commands_executed = 0
-        self.elements_processed = 0
-        ni.handler = self._on_message
-        sim.add_thread(self._run(), clock, name=self.name)
+        with component_scope(sim, requested, kind="ProcessingElement",
+                             obj=self, clock=clock) as inst:
+            self.name = inst.name if inst is not None else requested
+            self.spad = ArbitratedScratchpad(
+                n_requesters=lanes, n_banks=lanes,
+                bank_entries=-(-spad_words // lanes), width=32,
+            )
+            self._inbox: deque = deque()
+            self._data_msgs: dict[int, List[int]] = {}
+            self._next_tag = 0
+            self.commands_executed = 0
+            self.elements_processed = 0
+            ni.handler = self._on_message
+            sim.add_thread(self._run(), clock, name="ctl")
 
     # ------------------------------------------------------------------
     # router interface

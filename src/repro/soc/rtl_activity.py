@@ -18,6 +18,7 @@ does, while the functional models remain the single source of behaviour.
 
 from __future__ import annotations
 
+from ..design.hierarchy import component_scope
 from ..kernel import BusSignal
 
 __all__ = ["RtlActivity", "DEFAULT_UNIT_REGS"]
@@ -39,28 +40,30 @@ class RtlActivity:
                  comb_fanout: int = 8):
         if n_regs < 4:
             raise ValueError("n_regs must be >= 4")
-        self.name = name
         self.n_regs = n_regs
-        self._regs = [BusSignal(sim, width=32, init=i + 1,
-                                name=f"{name}.r{i}")
-                      for i in range(n_regs)]
-        self._comb = [BusSignal(sim, width=32, name=f"{name}.c{i}")
-                      for i in range(max(1, n_regs // comb_fanout))]
-        # Combinational nets hanging off the register bank.
-        for i, comb in enumerate(self._comb):
-            srcs = self._regs[i * comb_fanout:(i + 1) * comb_fanout] or \
-                [self._regs[-1]]
+        with component_scope(sim, name, kind="RtlActivity", obj=self,
+                             clock=clock) as inst:
+            self.name = inst.name if inst is not None else name
+            self._regs = [BusSignal(sim, width=32, init=i + 1, name=f"r{i}")
+                          for i in range(n_regs)]
+            self._comb = [BusSignal(sim, width=32, name=f"c{i}")
+                          for i in range(max(1, n_regs // comb_fanout))]
+            # Combinational nets hanging off the register bank.
+            for i, comb in enumerate(self._comb):
+                srcs = self._regs[i * comb_fanout:(i + 1) * comb_fanout] or \
+                    [self._regs[-1]]
 
-            def drive(comb=comb, srcs=srcs):
-                # ``s._value`` is ``read()`` without the call (hot path:
-                # this method re-runs every cycle for every fanout group).
-                acc = 0
-                for s in srcs:
-                    acc ^= s._value
-                comb.write(acc)
+                def drive(comb=comb, srcs=srcs):
+                    # ``s._value`` is ``read()`` without the call (hot
+                    # path: this method re-runs every cycle for every
+                    # fanout group).
+                    acc = 0
+                    for s in srcs:
+                        acc ^= s._value
+                    comb.write(acc)
 
-            sim.add_method(drive, sensitive=srcs, name=f"{name}.m{i}")
-        sim.add_thread(self._run(), clock, name=name)
+                sim.add_method(drive, sensitive=srcs, name=f"m{i}")
+            sim.add_thread(self._run(), clock, name="shift")
 
     def _run(self):
         # Prebind the per-register accessors once: the loop below runs

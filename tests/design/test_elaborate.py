@@ -1,0 +1,92 @@
+"""Elaboration: graph contents, queries, and the tree renderer."""
+
+import pytest
+
+from repro.connections import Buffer, In, Out
+from repro.design import component_scope, elaborate
+from repro.kernel import Simulator
+
+
+def _testbench():
+    """dut(in->out) between a root driver and a root sink."""
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=10)
+    up = Buffer(sim, clk, capacity=2, name="up")
+    down = Buffer(sim, clk, capacity=4, name="down")
+    with component_scope(sim, "dut", kind="DUT", clock=clk):
+        In(up, name="in")
+        Out(down, name="out")
+
+        def body():
+            yield
+
+        sim.add_thread(body(), clk, name="ctl")
+    Out(up, name="drive")
+    In(down, name="sink")
+    return sim
+
+
+def test_graph_counts_and_stats():
+    graph = elaborate(_testbench())
+    stats = graph.stats()
+    assert stats["instances"] == 2  # root + dut
+    assert stats["channels"] == 2
+    assert stats["ports"] == 4
+    assert stats["ports_bound"] == 4
+    assert stats["threads"] == 1
+    assert stats["clocks"] == 1
+    assert stats["crossings"] == 0
+
+
+def test_channel_query_resolves_endpoints():
+    graph = elaborate(_testbench())
+    up = graph.channel("up")
+    assert up.capacity == 2
+    assert [p.path for p in up.producers] == ["drive"]
+    assert [p.path for p in up.consumers] == ["dut.in"]
+    down = graph.channel("down")
+    assert [p.path for p in down.producers] == ["dut.out"]
+    with pytest.raises(KeyError):
+        graph.channel("nope")
+
+
+def test_instance_query_by_path():
+    graph = elaborate(_testbench())
+    dut = graph.instance("dut")
+    assert dut.kind == "DUT"
+    with pytest.raises(KeyError):
+        graph.instance("ghost")
+
+
+def test_instance_edges_follow_dataflow():
+    graph = elaborate(_testbench())
+    edges = {(src.path, dst.path) for src, dst, _ in graph.instance_edges()}
+    assert edges == {("", "dut"), ("dut", "")}
+
+
+def test_tree_renders_instances_and_channels():
+    text = elaborate(_testbench()).tree()
+    assert "dut  (DUT) @clk [2p/1t]" in text
+    assert "up  <Buffer/2> @clk" in text
+    assert "2 instances, 2 channels, 4/4 ports bound" in text
+
+
+def test_tree_max_depth_truncates():
+    text = elaborate(_testbench()).tree(max_depth=0)
+    assert "more" in text and "DUT" not in text
+
+
+def test_tree_channels_off():
+    text = elaborate(_testbench()).tree(channels=False)
+    assert "Buffer" not in text
+
+
+def test_crossings_detects_multi_domain_channels():
+    sim = Simulator()
+    a = sim.add_clock("a", period=10)
+    b = sim.add_clock("b", period=13)
+    chan = Buffer(sim, a, capacity=2, name="x")
+    with component_scope(sim, "rx", kind="RX", clock=b):
+        In(chan, name="in")
+    graph = elaborate(sim)
+    assert [rec.path for rec in graph.crossings()] == ["x"]

@@ -1,0 +1,172 @@
+"""Hierarchy construction, naming, dedup, and compatibility behaviour."""
+
+import pytest
+
+from repro.connections import Buffer, In, Out, Pipeline
+from repro.design import component_scope, current_scope, design_path, elaborate
+from repro.kernel import BusSignal, Simulator
+
+
+def _sim_clk():
+    sim = Simulator()
+    return sim, sim.add_clock("clk", period=10)
+
+
+# ----------------------------------------------------------------------
+# scoped construction
+# ----------------------------------------------------------------------
+
+def test_nested_scopes_produce_dotted_paths():
+    sim, clk = _sim_clk()
+    with component_scope(sim, "chip", kind="Chip") as chip:
+        with component_scope(sim, "pe0", kind="PE", clock=clk) as pe:
+            chan = Buffer(sim, clk, capacity=2, name="weight_buf")
+    assert chip.path == "chip"
+    assert pe.path == "chip.pe0"
+    assert chan.path == "chip.pe0.weight_buf"
+    assert "chip.pe0.weight_buf" in repr(chan)
+
+
+def test_component_scope_sets_design_instance_on_obj():
+    sim, _ = _sim_clk()
+
+    class Widget:
+        pass
+
+    w = Widget()
+    with component_scope(sim, "w", kind="Widget", obj=w) as inst:
+        pass
+    assert w._design_instance is inst
+    assert design_path(w) == "w"
+
+
+def test_current_scope_is_none_outside_any_scope():
+    assert current_scope() is None
+
+
+def test_ports_register_into_active_scope():
+    sim, clk = _sim_clk()
+    chan = Buffer(sim, clk, capacity=2, name="c")
+    with component_scope(sim, "dut", kind="DUT", clock=clk) as inst:
+        In(chan, name="in")
+        Out(chan, name="out")
+    assert [p.name for p in inst.ports] == ["in", "out"]
+    assert {p.path for p in inst.ports} == {"dut.in", "dut.out"}
+
+
+def test_threads_renamed_to_full_path_inside_scopes():
+    sim, clk = _sim_clk()
+
+    def body():
+        yield
+
+    with component_scope(sim, "dut", kind="DUT", clock=clk):
+        sim.add_thread(body(), clk, name="ctl")
+    names = [t.name for t in sim._threads]
+    assert "dut.ctl" in names
+
+
+def test_root_threads_keep_bare_names():
+    sim, clk = _sim_clk()
+
+    def body():
+        yield
+
+    sim.add_thread(body(), clk, name="p")
+    assert [t.name for t in sim._threads] == ["p"]
+
+
+def test_signal_paths_follow_scope():
+    sim, clk = _sim_clk()
+    with component_scope(sim, "unit", kind="U", clock=clk):
+        sig = BusSignal(sim, width=8, name="count")
+    loose = BusSignal(sim, width=8, name="loose")
+    assert sig.path == "unit.count"
+    assert loose.path == "loose"
+
+
+# ----------------------------------------------------------------------
+# name deduplication
+# ----------------------------------------------------------------------
+
+def test_default_channel_names_dedup_silently():
+    sim, clk = _sim_clk()
+    with component_scope(sim, "dut", kind="DUT", clock=clk):
+        chans = [Buffer(sim, clk, capacity=2) for _ in range(3)]
+    assert [c.name for c in chans] == ["buf", "buf_1", "buf_2"]
+    assert sim.design.collisions == []
+
+
+def test_default_names_reflect_channel_kind():
+    sim, clk = _sim_clk()
+    assert Buffer(sim, clk, capacity=2).name == "buf"
+    assert Pipeline(sim, clk).name == "pipe"
+
+
+def test_explicit_name_collision_dedups_and_records():
+    sim, clk = _sim_clk()
+    with component_scope(sim, "dut", kind="DUT", clock=clk):
+        a = Buffer(sim, clk, capacity=2, name="q")
+        b = Buffer(sim, clk, capacity=2, name="q")
+    assert a.name == "q" and b.name == "q_1"
+    assert a.path == "dut.q" and b.path == "dut.q_1"
+    [(scope, requested, assigned, category)] = sim.design.collisions
+    assert (scope, requested, assigned) == ("dut", "q", "q_1")
+    assert category == "channel"
+
+
+def test_same_name_in_different_scopes_is_not_a_collision():
+    sim, clk = _sim_clk()
+    with component_scope(sim, "a", kind="A", clock=clk):
+        ca = Buffer(sim, clk, capacity=2, name="q")
+    with component_scope(sim, "b", kind="B", clock=clk):
+        cb = Buffer(sim, clk, capacity=2, name="q")
+    assert ca.path == "a.q" and cb.path == "b.q"
+    assert sim.design.collisions == []
+
+
+def test_instance_name_collision_dedups():
+    sim, clk = _sim_clk()
+    with component_scope(sim, "dup", kind="X") as first:
+        pass
+    with component_scope(sim, "dup", kind="X") as second:
+        pass
+    assert first.name == "dup" and second.name == "dup_1"
+
+
+# ----------------------------------------------------------------------
+# pre-refactor constructor compatibility
+# ----------------------------------------------------------------------
+
+def test_unscoped_channel_registers_at_root_with_bare_name():
+    sim, clk = _sim_clk()
+    chan = Buffer(sim, clk, capacity=4, name="demo")
+    assert chan.name == "demo"
+    assert chan.path == "demo"
+    graph = elaborate(sim)
+    assert graph.channel("demo").kind == "Buffer"
+
+
+def test_channel_on_design_less_simulator_still_works():
+    class BareSim:
+        """A test double without the .design attribute."""
+
+        def __init__(self):
+            self.telemetry = None
+
+    class BareClock:
+        def on_edge(self, cb):
+            pass
+
+    chan = Buffer(BareSim(), BareClock(), capacity=2, name="x")
+    assert chan.name == "x"
+    assert chan.path == "x"
+
+
+def test_elaborate_accepts_simulator_or_hierarchy():
+    sim, clk = _sim_clk()
+    Buffer(sim, clk, capacity=2, name="c")
+    by_sim = elaborate(sim)
+    by_hier = elaborate(sim.design)
+    assert [r.path for r in by_sim.channels] == \
+        [r.path for r in by_hier.channels]

@@ -1,0 +1,255 @@
+"""Each lint rule: one positive (fires) and one negative (clean) case."""
+
+import pytest
+
+from repro.connections import Buffer, In, Out
+from repro.design import (
+    LINT_RULES,
+    component_scope,
+    elaborate,
+    format_findings,
+    lint,
+)
+from repro.kernel import Simulator
+
+
+def _sim_clk(name="clk", period=10):
+    sim = Simulator()
+    return sim, sim.add_clock(name, period=period)
+
+
+def _rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+# ----------------------------------------------------------------------
+# unbound-port
+# ----------------------------------------------------------------------
+
+def test_unbound_port_fires():
+    sim, clk = _sim_clk()
+    with component_scope(sim, "dut", kind="DUT", clock=clk):
+        In(name="in")  # never bound
+    findings = lint(sim, rules=["unbound-port"])
+    assert len(findings) == 1
+    assert findings[0].path == "dut.in"
+
+
+def test_optional_port_may_stay_unbound():
+    sim, clk = _sim_clk()
+    with component_scope(sim, "dut", kind="DUT", clock=clk):
+        In(name="edge", optional=True)
+    assert lint(sim, rules=["unbound-port"]) == []
+
+
+# ----------------------------------------------------------------------
+# dangling-channel
+# ----------------------------------------------------------------------
+
+def test_dangling_channel_fires_on_consumer_only():
+    sim, clk = _sim_clk()
+    with component_scope(sim, "dut", kind="DUT", clock=clk):
+        chan = Buffer(sim, clk, capacity=2, name="q")
+        In(chan, name="in")  # consumer but no producer
+    findings = lint(sim, rules=["dangling-channel"])
+    assert len(findings) == 1 and findings[0].path == "dut.q"
+    assert "no producer" in findings[0].message
+
+
+def test_dangling_channel_fires_on_producer_only():
+    sim, clk = _sim_clk()
+    with component_scope(sim, "dut", kind="DUT", clock=clk):
+        chan = Buffer(sim, clk, capacity=2, name="q")
+        Out(chan, name="out")  # producer but no consumer
+    findings = lint(sim, rules=["dangling-channel"])
+    assert len(findings) == 1 and "no consumer" in findings[0].message
+
+
+def test_fully_wired_or_testbench_channels_are_clean():
+    sim, clk = _sim_clk()
+    wired = Buffer(sim, clk, capacity=2, name="wired")
+    Buffer(sim, clk, capacity=2, name="bare")  # zero endpoints: testbench
+    with component_scope(sim, "a", kind="A", clock=clk):
+        Out(wired, name="out")
+    with component_scope(sim, "b", kind="B", clock=clk):
+        In(wired, name="in")
+    assert lint(sim, rules=["dangling-channel"]) == []
+
+
+# ----------------------------------------------------------------------
+# duplicate-name
+# ----------------------------------------------------------------------
+
+def test_duplicate_name_fires_on_explicit_collision():
+    sim, clk = _sim_clk()
+    with component_scope(sim, "dut", kind="DUT", clock=clk):
+        Buffer(sim, clk, capacity=2, name="q")
+        Buffer(sim, clk, capacity=2, name="q")
+    findings = lint(sim, rules=["duplicate-name"])
+    assert len(findings) == 1
+    assert "auto-renamed to 'q_1'" in findings[0].message
+
+
+def test_duplicate_name_silent_for_default_names():
+    sim, clk = _sim_clk()
+    with component_scope(sim, "dut", kind="DUT", clock=clk):
+        Buffer(sim, clk, capacity=2)
+        Buffer(sim, clk, capacity=2)
+    assert lint(sim, rules=["duplicate-name"]) == []
+
+
+# ----------------------------------------------------------------------
+# multi-driver
+# ----------------------------------------------------------------------
+
+def test_multi_driver_fires():
+    sim, clk = _sim_clk()
+    chan = Buffer(sim, clk, capacity=2, name="shared")
+    with component_scope(sim, "a", kind="A", clock=clk):
+        Out(chan, name="out")
+    with component_scope(sim, "b", kind="B", clock=clk):
+        Out(chan, name="out")
+    with component_scope(sim, "c", kind="C", clock=clk):
+        In(chan, name="in")
+    findings = lint(sim, rules=["multi-driver"])
+    assert len(findings) == 1 and findings[0].path == "shared"
+    assert "a.out" in findings[0].message and "b.out" in findings[0].message
+
+
+def test_single_driver_is_clean():
+    sim, clk = _sim_clk()
+    chan = Buffer(sim, clk, capacity=2, name="one")
+    with component_scope(sim, "a", kind="A", clock=clk):
+        Out(chan, name="out")
+    with component_scope(sim, "b", kind="B", clock=clk):
+        In(chan, name="in")
+    assert lint(sim, rules=["multi-driver"]) == []
+
+
+# ----------------------------------------------------------------------
+# unsynchronized-crossing
+# ----------------------------------------------------------------------
+
+def test_unsynchronized_crossing_fires():
+    sim = Simulator()
+    clk_a = sim.add_clock("clk_a", period=10)
+    clk_b = sim.add_clock("clk_b", period=13)
+    chan = Buffer(sim, clk_a, capacity=2, name="x")
+    with component_scope(sim, "tx", kind="TX", clock=clk_a):
+        Out(chan, name="out")
+    with component_scope(sim, "rx", kind="RX", clock=clk_b):
+        In(chan, name="in")
+    findings = lint(sim, rules=["unsynchronized-crossing"])
+    assert len(findings) == 1
+    assert "clk_a" in findings[0].message and "clk_b" in findings[0].message
+
+
+def test_gals_link_mediated_crossing_is_clean():
+    from repro.gals import GalsLink
+
+    sim = Simulator()
+    clk_a = sim.add_clock("clk_a", period=10)
+    clk_b = sim.add_clock("clk_b", period=13)
+    link = GalsLink(sim, clk_a, clk_b, name="xing")
+    with component_scope(sim, "tx", kind="TX", clock=clk_a):
+        Out(link, name="out")
+    with component_scope(sim, "rx", kind="RX", clock=clk_b):
+        In(link, name="in")
+    assert lint(sim, rules=["unsynchronized-crossing"]) == []
+
+
+def test_same_domain_endpoints_are_clean():
+    sim, clk = _sim_clk()
+    chan = Buffer(sim, clk, capacity=2, name="x")
+    with component_scope(sim, "tx", kind="TX", clock=clk):
+        Out(chan, name="out")
+    with component_scope(sim, "rx", kind="RX", clock=clk):
+        In(chan, name="in")
+    assert lint(sim, rules=["unsynchronized-crossing"]) == []
+
+
+# ----------------------------------------------------------------------
+# channel-cycle
+# ----------------------------------------------------------------------
+
+def _ring(sim, clk, *, waive=False):
+    """a -> b -> a over two channels; optionally waive instance a."""
+    ab = Buffer(sim, clk, capacity=2, name="ab")
+    ba = Buffer(sim, clk, capacity=2, name="ba")
+    attrs = {"deadlock_free": "credit-based"} if waive else None
+    with component_scope(sim, "a", kind="A", clock=clk, attrs=attrs):
+        Out(ab, name="out")
+        In(ba, name="in")
+    with component_scope(sim, "b", kind="B", clock=clk):
+        In(ab, name="in")
+        Out(ba, name="out")
+
+
+def test_channel_cycle_fires_on_ring():
+    sim, clk = _sim_clk()
+    _ring(sim, clk)
+    findings = lint(sim, rules=["channel-cycle"])
+    assert len(findings) == 1
+    assert "{a, b}" in findings[0].message
+
+
+def test_deadlock_free_annotation_waives_cycle():
+    sim, clk = _sim_clk()
+    _ring(sim, clk, waive=True)
+    assert lint(sim, rules=["channel-cycle"]) == []
+
+
+def test_root_testbench_loops_do_not_count_as_cycles():
+    # src (root) -> dut -> sink (root): folding the root scope into one
+    # node must not fabricate a cycle.
+    sim, clk = _sim_clk()
+    up = Buffer(sim, clk, capacity=2, name="up")
+    down = Buffer(sim, clk, capacity=2, name="down")
+    with component_scope(sim, "dut", kind="DUT", clock=clk):
+        In(up, name="in")
+        Out(down, name="out")
+    Out(up)      # testbench driver at root
+    In(down)     # testbench sink at root
+    assert lint(sim, rules=["channel-cycle"]) == []
+
+
+def test_acyclic_pipeline_is_clean():
+    sim, clk = _sim_clk()
+    ab = Buffer(sim, clk, capacity=2, name="ab")
+    bc = Buffer(sim, clk, capacity=2, name="bc")
+    with component_scope(sim, "a", kind="A", clock=clk):
+        Out(ab, name="out")
+    with component_scope(sim, "b", kind="B", clock=clk):
+        In(ab, name="in")
+        Out(bc, name="out")
+    with component_scope(sim, "c", kind="C", clock=clk):
+        In(bc, name="in")
+    assert lint(sim, rules=["channel-cycle"]) == []
+
+
+# ----------------------------------------------------------------------
+# framework
+# ----------------------------------------------------------------------
+
+def test_all_rules_run_by_default():
+    sim, clk = _sim_clk()
+    with component_scope(sim, "dut", kind="DUT", clock=clk):
+        In(name="in")
+    assert _rules_of(lint(sim)) == ["unbound-port"]
+
+
+def test_rule_registry_is_complete():
+    assert sorted(LINT_RULES) == [
+        "channel-cycle", "dangling-channel", "duplicate-name",
+        "multi-driver", "unbound-port", "unsynchronized-crossing",
+    ]
+
+
+def test_format_findings_clean_and_dirty():
+    sim, clk = _sim_clk()
+    assert format_findings(lint(sim)) == "clean: 0 findings"
+    with component_scope(sim, "dut", kind="DUT", clock=clk):
+        In(name="in")
+    text = format_findings(lint(sim))
+    assert "[unbound-port] dut.in" in text
+    assert "1 finding(s): 1× unbound-port" in text

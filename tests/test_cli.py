@@ -94,3 +94,47 @@ def test_trace_vcd_flag_writes_gtkwave_file(tmp_path, capsys):
 def test_stats_rejects_unknown_experiment():
     with pytest.raises(SystemExit):
         main(["stats", "frobnicate"])
+
+
+def test_inspect_prints_hierarchy_tree(capsys):
+    assert main(["inspect", "fig3"]) == 0
+    out = capsys.readouterr().out
+    assert "xbar" in out and "ports bound" in out
+
+
+def test_inspect_fig6_respects_max_depth(capsys):
+    assert main(["inspect", "fig6", "--max-depth", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "chip" in out and "mesh" in out
+    assert "more" in out  # depth-3 routers truncated
+
+
+def test_inspect_no_channels_flag(capsys):
+    assert main(["inspect", "fig3", "--no-channels"]) == 0
+    assert "Buffer" not in capsys.readouterr().out
+
+
+def test_inspect_analytic_experiment_is_a_noop(capsys):
+    assert main(["inspect", "backend"]) == 0
+    assert "analytic" in capsys.readouterr().out
+
+
+def test_lint_clean_experiment_exits_zero(capsys):
+    assert main(["lint", "fig3"]) == 0
+    out = capsys.readouterr().out
+    assert "fig3: clean: 0 findings" in out
+
+
+def test_lint_accepts_rule_subset(capsys):
+    assert main(["lint", "stalls", "--rules", "unbound-port"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_lint_analytic_experiment_exits_zero(capsys):
+    assert main(["lint", "productivity"]) == 0
+    assert "analytic" in capsys.readouterr().out
+
+
+def test_inspect_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["inspect", "frobnicate"])
