@@ -1,0 +1,82 @@
+"""Sweep-engine scaling: parallel speedup, serial identity, warm cache.
+
+Three claims about ``repro.sweep`` on the stall-verification sweep
+(40 independent seeded trials):
+
+* a ``--jobs 4`` run is at least 2x faster than serial wall-clock
+  (requires >= 4 usable CPUs; skipped on smaller machines where the OS
+  cannot physically run 4 workers at once),
+* the parallel run's merged, ordered report is **bit-identical** to the
+  serial run's under the canonical serialization (wall-clock fields
+  excluded, everything else compared byte for byte),
+* a warm-cache rerun completes in < 10 % of the cold run's wall-clock.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.stall_verification import sweep_space
+from repro.sweep import ResultCache, run_sweep
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _space():
+    return sweep_space()  # 4 probabilities x 10 trials = 40 points
+
+
+def test_bench_sweep_parallel_identical_to_serial(benchmark, save_result):
+    points = _space()
+    serial = run_sweep(points, jobs=1)
+    parallel = benchmark.pedantic(
+        lambda: run_sweep(points, jobs=4), rounds=1, iterations=1)
+    assert serial.executed == parallel.executed == len(points)
+    assert serial.errors == parallel.errors == 0
+    # The whole deterministic content — per-point results plus the
+    # merged ordered telemetry report — must match byte for byte.
+    assert serial.canonical() == parallel.canonical()
+    save_result("sweep_scaling",
+                serial.summary() + "\n" + parallel.summary())
+
+
+@pytest.mark.skipif(_usable_cpus() < 4,
+                    reason="needs >= 4 CPUs for a meaningful 4-job speedup")
+def test_bench_sweep_scaling_speedup(benchmark):
+    points = _space()
+    t0 = time.perf_counter()
+    serial = run_sweep(points, jobs=1)
+    serial_wall = time.perf_counter() - t0
+
+    parallel = benchmark.pedantic(
+        lambda: run_sweep(points, jobs=4), rounds=1, iterations=1)
+    assert serial.errors == parallel.errors == 0
+    speedup = serial_wall / parallel.wall_seconds
+    assert speedup >= 2.0, (
+        f"--jobs 4 speedup {speedup:.2f}x < 2x "
+        f"(serial {serial_wall:.2f}s, parallel {parallel.wall_seconds:.2f}s)")
+
+
+def test_bench_sweep_warm_cache_rerun(benchmark, tmp_path):
+    points = _space()
+    cache_dir = str(tmp_path / "cache")
+
+    t0 = time.perf_counter()
+    cold = run_sweep(points, jobs=1, cache=ResultCache(cache_dir))
+    cold_wall = time.perf_counter() - t0
+    assert cold.executed == len(points) and cold.cache_hits == 0
+
+    warm = benchmark.pedantic(
+        lambda: run_sweep(points, jobs=1, cache=ResultCache(cache_dir)),
+        rounds=1, iterations=1)
+    assert warm.cache_hits == len(points) and warm.executed == 0
+    assert warm.canonical() == cold.canonical()
+    assert warm.wall_seconds < 0.10 * cold_wall, (
+        f"warm rerun {warm.wall_seconds:.3f}s not < 10% of "
+        f"cold {cold_wall:.3f}s")

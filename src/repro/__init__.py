@@ -15,6 +15,7 @@ soc          the prototype machine-learning SoC (Figure 5)
 workloads    ML / computer-vision workloads run on the SoC
 flow         front-to-back flow orchestration, backend and productivity models
 observe      simulation observability: telemetry counters, reports, JSONL logs
+sweep        parallel sweep engine with content-addressed result caching
 """
 
 __version__ = "1.0.0"
@@ -31,4 +32,5 @@ __all__ = [
     "workloads",
     "flow",
     "observe",
+    "sweep",
 ]

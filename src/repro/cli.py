@@ -13,6 +13,26 @@ Usage::
     python -m repro backend
     python -m repro productivity
     python -m repro bench [--subset quick|full] [--baseline BENCH_kernel.json]
+    python -m repro sweep <experiment> [--jobs N] [--no-cache] [--cache-dir D]
+
+Every experiment verb also accepts:
+
+* ``--seed N`` — re-seed the experiment's random source (traffic
+  patterns, stall injection, supply noise).  Deterministic/analytic
+  experiments accept and ignore it.
+* ``--json PATH`` — dump the experiment's result dataclasses as JSON
+  through the same canonical serializer the sweep cache and merge layer
+  use (:mod:`repro.sweep.serialize`).
+
+Parameter sweeps (see ``docs/PERFORMANCE.md``):
+
+* ``sweep <experiment>`` enumerates the experiment's parameter space as
+  seeded points and executes them across a process pool, fronted by a
+  disk-backed content-addressed result cache — a warm rerun is served
+  from cache almost entirely::
+
+      python -m repro sweep stall_verification --jobs 4
+      python -m repro sweep fig3_crossbar --jobs 4 --no-cache
 
 Observability (see ``docs/OBSERVABILITY.md``):
 
@@ -43,76 +63,100 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 __all__ = ["main"]
 
+#: Sweep experiments the ``sweep`` verb accepts (kept static so parser
+#: construction stays import-light; validated against the registry at
+#: execution time).
+_SWEEP_EXPERIMENTS = ("stall_verification", "fig3_crossbar",
+                      "gals_overhead", "crossbar_qor", "pe_scaling")
 
-def _cmd_fig3(args) -> str:
+_CmdResult = Tuple[str, object]
+
+
+def _cmd_fig3(args) -> _CmdResult:
     from .experiments import figure3, format_figure3
 
     ports = tuple(int(p) for p in args.ports.split(","))
-    return format_figure3(figure3(ports=ports, txns_per_port=args.txns))
+    points = figure3(ports=ports, txns_per_port=args.txns,
+                     seed=args.seed if args.seed is not None else 1)
+    return format_figure3(points), points
 
 
-def _cmd_fig6(args) -> str:
+def _cmd_fig6(args) -> _CmdResult:
     from .experiments import figure6, format_figure6
 
-    return format_figure6(figure6())
+    points = figure6()
+    return format_figure6(points), points
 
 
-def _cmd_crossbar_qor(args) -> str:
+def _cmd_crossbar_qor(args) -> _CmdResult:
     from .experiments import (
         crossbar_clock_sweep,
         crossbar_qor_sweep,
         format_qor_table,
     )
 
-    return (format_qor_table(crossbar_qor_sweep()) + "\n\n"
-            + format_qor_table(crossbar_clock_sweep()))
+    lanes = crossbar_qor_sweep()
+    clocks = crossbar_clock_sweep()
+    text = format_qor_table(lanes) + "\n\n" + format_qor_table(clocks)
+    return text, {"lane_sweep": lanes, "clock_sweep": clocks}
 
 
-def _cmd_hls_qor(args) -> str:
+def _cmd_hls_qor(args) -> _CmdResult:
     from .experiments import (
         bad_constraint_ablation,
         format_qor_results,
         hls_vs_hand_qor,
     )
 
-    return (format_qor_results(hls_vs_hand_qor(),
+    main_results = hls_vs_hand_qor()
+    ablation = bad_constraint_ablation()
+    text = (format_qor_results(main_results,
                                title="HLS vs hand RTL (paper: ±10 %)")
             + "\n\n"
-            + format_qor_results(bad_constraint_ablation(),
+            + format_qor_results(ablation,
                                  title="...with bad constraints (ablation)"))
+    return text, {"hls_vs_hand": main_results, "bad_constraints": ablation}
 
 
-def _cmd_gals(args) -> str:
+def _cmd_gals(args) -> _CmdResult:
     from .experiments import (
         format_overhead_table,
         partition_size_sweep,
         testchip_overhead,
     )
 
-    return format_overhead_table(partition_size_sweep(), testchip_overhead())
+    points = partition_size_sweep()
+    report = testchip_overhead()
+    return (format_overhead_table(points, report),
+            {"partition_sweep": points, "testchip": report})
 
 
-def _cmd_adaptive(args) -> str:
+def _cmd_adaptive(args) -> _CmdResult:
     from .experiments import (
         adaptive_clocking_experiment,
         format_adaptive_clocking,
     )
 
-    return format_adaptive_clocking(adaptive_clocking_experiment())
+    kwargs = {} if args.seed is None else {"seed": args.seed}
+    result = adaptive_clocking_experiment(**kwargs)
+    return format_adaptive_clocking(result), result
 
 
-def _cmd_stalls(args) -> str:
+def _cmd_stalls(args) -> _CmdResult:
     from .experiments import format_campaign, stall_campaign
+    from .experiments.stall_verification import DEFAULT_BASE_SEED
 
-    results = [stall_campaign(p, trials=10) for p in (0.0, 0.1, 0.3, 0.5)]
-    return format_campaign(results)
+    base_seed = args.seed if args.seed is not None else DEFAULT_BASE_SEED
+    results = [stall_campaign(p, trials=10, base_seed=base_seed)
+               for p in (0.0, 0.1, 0.3, 0.5)]
+    return format_campaign(results), results
 
 
-def _cmd_backend(args) -> str:
+def _cmd_backend(args) -> _CmdResult:
     from .flow import FlowRuntimeModel, inventory_partitions
     from .flow import testchip_inventory as chip_inventory
 
@@ -120,12 +164,15 @@ def _cmd_backend(args) -> str:
     parts = inventory_partitions(chip_inventory())
     gals = model.turnaround(parts, gals=True)
     sync = model.turnaround(parts, gals=False)
-    return (gals.to_text()
+    flat_hours = model.flat_hours(parts)
+    text = (gals.to_text()
             + f"\nsynchronous hierarchical flow: {sync.total_hours:.1f} h"
-            + f"\nflat flow: {model.flat_hours(parts):.1f} h")
+            + f"\nflat flow: {flat_hours:.1f} h")
+    return text, {"gals": gals, "synchronous": sync,
+                  "flat_hours": flat_hours}
 
 
-def _cmd_productivity(args) -> str:
+def _cmd_productivity(args) -> _CmdResult:
     from .flow import (
         OOHLS_METHODOLOGY,
         RTL_METHODOLOGY,
@@ -135,9 +182,10 @@ def _cmd_productivity(args) -> str:
     from .flow import testchip_inventory as chip_inventory
 
     efforts = inventory_efforts(chip_inventory())
-    return (productivity_report(efforts, OOHLS_METHODOLOGY).to_text()
-            + "\n\n"
-            + productivity_report(efforts, RTL_METHODOLOGY).to_text())
+    oohls = productivity_report(efforts, OOHLS_METHODOLOGY)
+    rtl = productivity_report(efforts, RTL_METHODOLOGY)
+    return (oohls.to_text() + "\n\n" + rtl.to_text(),
+            {"oohls": oohls, "rtl": rtl})
 
 
 def _cmd_inspect(args) -> int:
@@ -190,7 +238,50 @@ def _cmd_bench(args) -> int:
     else:
         cmd = [sys.executable, str(script), "run",
                "--subset", args.subset, "-o", args.output]
+    if args.only:
+        cmd += ["--only", args.only]
     return subprocess.run(cmd, cwd=root).returncode
+
+
+def _cmd_sweep(args) -> int:
+    """Run an experiment's parameter sweep: pool + result cache."""
+    from .experiments.sweeps import build_space, get_sweep
+    from .sweep import ResultCache, default_cache_dir, run_sweep
+
+    spec = get_sweep(args.experiment)
+    points = build_space(args.experiment, seed=args.seed)
+    if args.limit is not None:
+        points = points[:args.limit]
+    if not points:
+        print(f"sweep {args.experiment}: empty parameter space")
+        return 2
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    result = run_sweep(points, jobs=args.jobs, cache=cache,
+                       timeout=args.timeout,
+                       telemetry=not args.no_telemetry)
+
+    extras = []
+    if spec.summarize is not None and result.ok_results:
+        extras.append(spec.summarize(result.ok_results))
+    extras.append(result.summary())
+    if cache is not None:
+        s = cache.stats
+        extras.append(f"cache {cache.root}: {s.hits} hits / {s.misses} "
+                      f"misses ({100 * s.hit_rate:.0f}% hit rate)")
+    for outcome in result.outcomes:
+        if outcome.status == "error":
+            extras.append(f"ERROR {outcome.point.label}: {outcome.error} "
+                          f"(after {outcome.attempts} attempts)")
+    if args.json:
+        from .sweep import dump_json
+
+        dump_json(result.to_payload(), args.json)
+        extras.append(f"wrote {args.json}")
+    print("\n\n".join(extras))
+    return 1 if result.errors else 0
 
 
 _COMMANDS = {
@@ -237,6 +328,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         python -m repro <experiment> [experiment flags] [--trace-vcd PATH]
         python -m repro stats <experiment> [...] [--json PATH]
+        python -m repro sweep <experiment> [--jobs N] [--no-cache]
 
     Returns the process exit code (0 on success).
     """
@@ -251,6 +343,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         p = sub.add_parser(name, help=help_text)
         if name == "fig3":
             _add_fig3_args(p)
+        p.add_argument("--seed", type=int, default=None,
+                       help="re-seed the experiment's random source "
+                            "(accepted and ignored by deterministic "
+                            "experiments)")
+        p.add_argument("--json", metavar="PATH", default=None,
+                       help="dump the result dataclasses as JSON via the "
+                            "canonical sweep serializer")
         p.add_argument("--trace-vcd", metavar="PATH", default=None,
                        help="record signal waveforms and write a VCD file")
     bench = sub.add_parser(
@@ -258,6 +357,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run kernel benchmarks; optionally gate vs a baseline JSON")
     bench.add_argument("--subset", choices=("quick", "full"), default="quick",
                        help="which benches to run (default: quick)")
+    bench.add_argument("--only", metavar="NAME", default=None,
+                       help="only run benchmark files whose name contains "
+                            "NAME (e.g. --only sweep)")
     bench.add_argument("--baseline", metavar="PATH", default=None,
                        help="compare against this BENCH_kernel.json and "
                             "fail on >threshold wall-time regression or "
@@ -267,6 +369,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench.add_argument("-o", "--output", metavar="PATH",
                        default="BENCH_kernel.json",
                        help="where to write the snapshot")
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="run an experiment's parameter sweep across a process pool "
+             "with content-addressed result caching")
+    sweep_p.add_argument("experiment", choices=_SWEEP_EXPERIMENTS,
+                         help="which sweep space to run")
+    sweep_p.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (1 = serial, default)")
+    sweep_p.add_argument("--seed", type=int, default=None,
+                         help="re-seed the whole sweep space")
+    sweep_p.add_argument("--limit", type=int, default=None,
+                         help="only run the first N points of the space")
+    sweep_p.add_argument("--timeout", type=float, default=None,
+                         help="per-point wall-clock budget in seconds")
+    sweep_p.add_argument("--no-cache", action="store_true",
+                         help="execute every point, bypassing the cache")
+    sweep_p.add_argument("--cache-dir", metavar="PATH", default=None,
+                         help="cache directory (default: "
+                              "$REPRO_SWEEP_CACHE or ~/.cache/repro/sweeps)")
+    sweep_p.add_argument("--no-telemetry", action="store_true",
+                         help="skip per-point telemetry capture")
+    sweep_p.add_argument("--json", metavar="PATH", default=None,
+                         help="write points, results and engine/cache "
+                              "statistics as JSON")
     inspect_p = sub.add_parser(
         "inspect",
         help="elaborate an experiment's design, print the hierarchy tree")
@@ -289,6 +415,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     stats.add_argument("experiment", choices=sorted(_COMMANDS),
                        help="which experiment to instrument")
     _add_fig3_args(stats)
+    stats.add_argument("--seed", type=int, default=None,
+                       help="re-seed the experiment's random source")
     stats.add_argument("--trace-vcd", metavar="PATH", default=None,
                        help="also write signal waveforms as a VCD file")
     stats.add_argument("--json", metavar="PATH", default=None,
@@ -299,6 +427,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         lines = ["available experiments:"]
         for name, (_, help_text) in _COMMANDS.items():
             lines.append(f"  {name:20s} {help_text}")
+        lines.append(f"  {'sweep <experiment>':20s} "
+                     "parallel parameter sweep with result caching")
         lines.append(f"  {'inspect <experiment>':20s} "
                      "elaborate the design, print the hierarchy tree")
         lines.append(f"  {'lint <experiment>':20s} "
@@ -312,6 +442,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "inspect":
         return _cmd_inspect(args)
     if args.command == "lint":
@@ -323,13 +455,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace_path = args.trace_vcd
 
     if not (want_stats or trace_path):
-        print(fn(args))
+        out, payload = fn(args)
+        extras = [out]
+        if args.json:
+            from .sweep import dump_json
+
+            dump_json(payload, args.json)
+            extras.append(f"wrote {args.json}")
+        print("\n\n".join(extras))
         return 0
 
     from . import observe
 
     with observe.capture(trace_signals=bool(trace_path)) as session:
-        out = fn(args)
+        out, payload = fn(args)
     extras = [out]
     if trace_path:
         extras.append(_write_vcd_from(session, trace_path))
@@ -340,6 +479,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             with open(args.json, "w") as fh:
                 n = observe.write_jsonl(observe.to_records(report), fh)
             extras.append(f"wrote {args.json}: {n} JSONL records")
+    elif args.json:
+        from .sweep import dump_json
+
+        dump_json(payload, args.json)
+        extras.append(f"wrote {args.json}")
     print("\n\n".join(extras))
     return 0
 

@@ -19,9 +19,11 @@ from ..hls import (
     estimate_area,
     schedule,
 )
+from ..sweep.point import SweepPoint
 
 __all__ = ["QorPoint", "crossbar_qor_sweep", "crossbar_clock_sweep",
-           "format_qor_table"]
+           "format_qor_table", "sweep_space", "run_sweep_point",
+           "summarize_sweep"]
 
 
 @dataclass(frozen=True)
@@ -80,6 +82,37 @@ def crossbar_clock_sweep(periods_ps: Sequence[float] = (700, 909, 1250, 2500),
     registers and control for the deep priority chain.
     """
     return [_point(lanes, width, p) for p in periods_ps]
+
+
+# ----------------------------------------------------------------------
+# sweep integration (repro.sweep): lane sweep + clock sweep, one point
+# per (lanes, width, clock) configuration
+# ----------------------------------------------------------------------
+def sweep_space(*, lanes: Sequence[int] = (8, 16, 32, 64), width: int = 32,
+                clock_period_ps: float = 909.0,
+                periods_ps: Sequence[float] = (700, 909, 1250, 2500),
+                clock_lanes: int = 32, seed: int = 0) -> List[SweepPoint]:
+    """Enumerate both paper sweeps (analytic; seed is identity-only)."""
+    grid = [(n, width, float(clock_period_ps)) for n in lanes]
+    grid += [(clock_lanes, width, float(p)) for p in periods_ps]
+    return [
+        SweepPoint("crossbar_qor",
+                   {"lanes": n, "width": w, "clock_period_ps": p},
+                   seed=seed)
+        for n, w, p in grid
+    ]
+
+
+def run_sweep_point(params: dict, seed: int) -> dict:
+    """Schedule one configuration; the sweep registry's point runner."""
+    from dataclasses import asdict
+
+    return asdict(_point(params["lanes"], params["width"],
+                         params["clock_period_ps"]))
+
+
+def summarize_sweep(results: List[dict]) -> str:
+    return format_qor_table([QorPoint(**rec) for rec in results])
 
 
 def format_qor_table(points: List[QorPoint]) -> str:

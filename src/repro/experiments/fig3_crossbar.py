@@ -28,9 +28,11 @@ from ..matchlib import (
     ArbitratedCrossbarRTL,
     ArbitratedCrossbarSA,
 )
+from ..sweep.point import SweepPoint
 
 __all__ = ["Fig3Point", "CrossbarTestbench", "build_crossbar_testbench",
-           "run_crossbar_accuracy", "figure3", "MODELS"]
+           "run_crossbar_accuracy", "figure3", "MODELS",
+           "sweep_space", "run_sweep_point", "summarize_sweep"]
 
 MODELS = ("rtl", "sim-accurate", "signal-accurate")
 
@@ -180,6 +182,36 @@ def figure3(ports=(2, 4, 8, 16), *, txns_per_port: int = 200,
         for model in MODELS
         for n in ports
     ]
+
+
+# ----------------------------------------------------------------------
+# sweep integration (repro.sweep): one point per (model, port count)
+# ----------------------------------------------------------------------
+def sweep_space(*, ports=(2, 4, 8, 16), txns_per_port: int = 60,
+                seed: int = 1, models=MODELS) -> list[SweepPoint]:
+    """Enumerate Figure 3's (model, port-count) grid as sweep points."""
+    return [
+        SweepPoint("fig3_crossbar",
+                   {"model": model, "n_ports": n,
+                    "txns_per_port": txns_per_port},
+                   seed=seed)
+        for model in models
+        for n in ports
+    ]
+
+
+def run_sweep_point(params: dict, seed: int) -> dict:
+    """Measure one Figure 3 point; the sweep registry's point runner."""
+    from dataclasses import asdict
+
+    point = run_crossbar_accuracy(params["model"], params["n_ports"],
+                                  txns_per_port=params["txns_per_port"],
+                                  seed=seed)
+    return asdict(point)
+
+
+def summarize_sweep(results: list[dict]) -> str:
+    return format_figure3([Fig3Point(**rec) for rec in results])
 
 
 def format_figure3(points: list[Fig3Point]) -> str:

@@ -17,6 +17,7 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..sweep.point import SweepPoint
 from ..workloads.soc_workloads import (
     SocWorkload,
     conv2d_workload,
@@ -29,7 +30,8 @@ from ..workloads.soc_workloads import (
 )
 
 __all__ = ["Fig6Point", "run_fig6_test", "figure6", "format_figure6",
-           "fig6_workloads_small"]
+           "fig6_workloads_small", "pe_scaling_space",
+           "run_pe_scaling_point", "summarize_pe_scaling"]
 
 
 @dataclass(frozen=True)
@@ -89,6 +91,49 @@ def figure6(workloads: Optional[List[SocWorkload]] = None) -> List[Fig6Point]:
     if workloads is None:
         workloads = fig6_workloads_small()
     return [run_fig6_test(w) for w in workloads]
+
+
+# ----------------------------------------------------------------------
+# sweep integration (repro.sweep): PE-array strong scaling, one point
+# per PE count at a fixed total problem size
+# ----------------------------------------------------------------------
+def pe_scaling_space(*, pe_counts=(1, 2, 4, 8), total_words: int = 256,
+                     mode: str = "fast", seed: int = 0) -> List[SweepPoint]:
+    """Enumerate the PE strong-scaling sweep on the prototype SoC.
+
+    The workload data is deterministic; ``seed`` only contributes to the
+    point identity (so differently-seeded sweeps cache separately).
+    """
+    return [
+        SweepPoint("pe_scaling",
+                   {"n_pes": n, "n_per_pe": total_words // n, "mode": mode},
+                   seed=seed)
+        for n in pe_counts
+    ]
+
+
+def run_pe_scaling_point(params: dict, seed: int) -> dict:
+    """Run one PE count's workload; the sweep registry's point runner."""
+    workload = vector_scale_workload(n_pes=params["n_pes"],
+                                     n_per_pe=params["n_per_pe"])
+    soc = run_workload(workload, mode=params["mode"])
+    return {"n_pes": params["n_pes"], "n_per_pe": params["n_per_pe"],
+            "mode": params["mode"],
+            "cycles": soc.finish_time // soc.CLOCK_PERIOD}
+
+
+def summarize_pe_scaling(results: List[dict]) -> str:
+    """Render the strong-scaling table (throughput relative to 1 PE)."""
+    recs = sorted(results, key=lambda r: r["n_pes"])
+    base = next((r["cycles"] for r in recs if r["n_pes"] == 1),
+                recs[0]["cycles"] if recs else 0)
+    lines = ["PE-array strong scaling (vector scale, fixed total words)",
+             f"{'PEs':>5} {'words/PE':>9} {'cycles':>9} {'speedup':>8}"]
+    for r in recs:
+        speedup = base / r["cycles"] if r["cycles"] else 0.0
+        lines.append(f"{r['n_pes']:>5} {r['n_per_pe']:>9} "
+                     f"{r['cycles']:>9} {speedup:>8.2f}")
+    return "\n".join(lines)
 
 
 def format_figure6(points: List[Fig6Point]) -> str:

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from ..gals.overhead import GalsOverheadModel, Partition, SynchronousBaseline
+from ..sweep.point import SweepPoint
 
 __all__ = [
     "OverheadPoint",
@@ -26,7 +27,12 @@ __all__ = [
     "testchip_partitions",
     "testchip_overhead",
     "format_overhead_table",
+    "sweep_space",
+    "run_sweep_point",
+    "summarize_sweep",
 ]
+
+DEFAULT_SIZES = (5e4, 1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6)
 
 
 @dataclass(frozen=True)
@@ -39,8 +45,7 @@ class OverheadPoint:
         return self.overhead_gates / self.logic_gates
 
 
-def partition_size_sweep(sizes: Sequence[float] = (
-        5e4, 1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6), *,
+def partition_size_sweep(sizes: Sequence[float] = DEFAULT_SIZES, *,
         n_interfaces: int = 5, interface_width: int = 64,
         model: GalsOverheadModel = GalsOverheadModel()) -> List[OverheadPoint]:
     """GALS overhead fraction vs partition logic size."""
@@ -96,6 +101,44 @@ def testchip_overhead(*, clock_period_ps: float = 909.0,
         sync_frequency_penalty=baseline.frequency_penalty(partitions,
                                                           clock_period_ps),
     )
+
+
+# ----------------------------------------------------------------------
+# sweep integration (repro.sweep): one point per partition size
+# ----------------------------------------------------------------------
+def sweep_space(*, sizes: Sequence[float] = DEFAULT_SIZES,
+                n_interfaces: int = 5, interface_width: int = 64,
+                seed: int = 0) -> List[SweepPoint]:
+    """Enumerate the partition-size sweep (analytic; seed is identity-only)."""
+    return [
+        SweepPoint("gals_overhead",
+                   {"logic_gates": float(gates), "n_interfaces": n_interfaces,
+                    "interface_width": interface_width},
+                   seed=seed)
+        for gates in sizes
+    ]
+
+
+def run_sweep_point(params: dict, seed: int) -> dict:
+    """Evaluate one partition size; the sweep registry's point runner."""
+    model = GalsOverheadModel()
+    p = Partition("sweep", logic_gates=params["logic_gates"],
+                  n_interfaces=params["n_interfaces"],
+                  interface_width=params["interface_width"])
+    return {"logic_gates": params["logic_gates"],
+            "overhead_gates": model.overhead_gates(p)}
+
+
+def summarize_sweep(results: List[dict]) -> str:
+    points = [OverheadPoint(r["logic_gates"], r["overhead_gates"])
+              for r in results]
+    lines = ["GALS overhead vs partition size "
+             "(paper 3.1: <3% for typical sizes)",
+             f"{'logic gates':>14} {'overhead gates':>15} {'fraction %':>11}"]
+    for p in points:
+        lines.append(f"{p.logic_gates:>14,.0f} {p.overhead_gates:>15,.0f} "
+                     f"{100 * p.fraction:>11.2f}")
+    return "\n".join(lines)
 
 
 def format_overhead_table(points: List[OverheadPoint],

@@ -20,9 +20,17 @@ from typing import Generator, List
 from ..connections import Buffer, In, Out
 from ..design.hierarchy import component_scope
 from ..kernel import Simulator
+from ..sweep.point import SweepPoint
 
 __all__ = ["LeakyForwarder", "build_stall_testbench", "stall_campaign",
-           "CampaignResult", "format_campaign"]
+           "CampaignResult", "format_campaign", "sweep_space",
+           "run_sweep_point", "campaigns_from_sweep", "summarize_sweep"]
+
+#: Defaults shared by the serial campaign and the sweep space, so both
+#: enumerate exactly the same (probability, seed) grid.
+DEFAULT_PROBABILITIES = (0.0, 0.1, 0.3, 0.5)
+DEFAULT_TRIALS = 10
+DEFAULT_BASE_SEED = 100
 
 
 class LeakyForwarder:
@@ -130,6 +138,58 @@ def stall_campaign(stall_probability: float, *, trials: int = 20,
             if first < 0:
                 first = t + 1
     return CampaignResult(stall_probability, trials, detections, first)
+
+
+# ----------------------------------------------------------------------
+# sweep integration (repro.sweep): one point per (probability, trial)
+# ----------------------------------------------------------------------
+def sweep_space(*, probabilities=DEFAULT_PROBABILITIES,
+                trials: int = DEFAULT_TRIALS, seed: int = DEFAULT_BASE_SEED,
+                n_msgs: int = 60, bug: bool = True) -> List[SweepPoint]:
+    """Enumerate the stall campaign as independent seeded trials.
+
+    ``seed`` is the campaign base seed; trial ``t`` runs with
+    ``seed + t`` at every probability — the exact grid
+    :func:`stall_campaign` walks serially.
+    """
+    return [
+        SweepPoint("stall_verification",
+                   {"stall_probability": p, "trial": t,
+                    "n_msgs": n_msgs, "bug": bug},
+                   seed=seed + t)
+        for p in probabilities
+        for t in range(trials)
+    ]
+
+
+def run_sweep_point(params: dict, seed: int) -> dict:
+    """Execute one trial; the sweep registry's point runner."""
+    detected = _one_trial(params["stall_probability"], seed,
+                          n_msgs=params["n_msgs"], bug=params["bug"])
+    return {"stall_probability": params["stall_probability"],
+            "trial": params["trial"], "seed": seed, "detected": detected}
+
+
+def campaigns_from_sweep(results: List[dict]) -> List[CampaignResult]:
+    """Fold per-trial sweep records back into per-probability campaigns.
+
+    Records may arrive in any order; trials are re-sorted so the
+    ``first_detection_trial`` statistic matches a serial campaign.
+    """
+    by_p: dict = {}
+    for rec in results:
+        by_p.setdefault(rec["stall_probability"], []).append(rec)
+    campaigns = []
+    for p in sorted(by_p):
+        trials = sorted(by_p[p], key=lambda r: r["trial"])
+        detections = sum(1 for r in trials if r["detected"])
+        first = next((r["trial"] + 1 for r in trials if r["detected"]), -1)
+        campaigns.append(CampaignResult(p, len(trials), detections, first))
+    return campaigns
+
+
+def summarize_sweep(results: List[dict]) -> str:
+    return format_campaign(campaigns_from_sweep(results))
 
 
 def format_campaign(results: List[CampaignResult]) -> str:

@@ -1,0 +1,114 @@
+"""Sweep registry: each experiment's parameter space as SweepPoints.
+
+The sibling of :mod:`repro.experiments.designs` — where that registry
+maps every CLI experiment to a *construction-only* design builder, this
+one maps every multi-point experiment to three callables:
+
+* ``space(**options)`` — enumerate the parameter grid as a list of
+  :class:`~repro.sweep.point.SweepPoint` (cheap, no simulation).  Every
+  builder accepts ``seed=`` to re-seed the whole space deterministically.
+* ``runner(params, seed)`` — execute one point, returning a plain
+  JSON-able result record.  Resolved by name inside worker processes,
+  so points stay dumb data across the pool.
+* ``summarize(results)`` — render the merged, ordered result records as
+  the experiment's usual table.
+
+Usage::
+
+    from repro.experiments.sweeps import build_space, get_sweep
+    from repro.sweep import run_sweep
+
+    points = build_space("stall_verification")
+    result = run_sweep(points, jobs=4)
+    print(get_sweep("stall_verification").summarize(result.ok_results))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..sweep.point import SweepPoint
+from . import crossbar_qor, fig3_crossbar, fig6_soc, gals_overhead
+from . import stall_verification as stalls
+
+__all__ = ["SweepSpec", "SWEEP_SPECS", "register_sweep", "get_sweep",
+           "build_space"]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One registered sweep: space builder + point runner + formatter."""
+
+    name: str
+    help: str
+    space: Callable[..., List[SweepPoint]]
+    runner: Callable[[dict, int], dict]
+    summarize: Optional[Callable[[List[dict]], str]] = None
+
+
+#: Sweep name -> spec.  Extended via :func:`register_sweep` (tests
+#: register synthetic experiments; fork-started workers inherit them).
+SWEEP_SPECS: Dict[str, SweepSpec] = {}
+
+
+def register_sweep(spec: SweepSpec) -> SweepSpec:
+    SWEEP_SPECS[spec.name] = spec
+    return spec
+
+
+def get_sweep(name: str) -> SweepSpec:
+    try:
+        return SWEEP_SPECS[name]
+    except KeyError:
+        raise KeyError(f"unknown sweep experiment {name!r}; one of "
+                       f"{sorted(SWEEP_SPECS)}") from None
+
+
+def build_space(name: str, *, seed: Optional[int] = None,
+                **options) -> List[SweepPoint]:
+    """Enumerate a registered sweep's default (or re-seeded) space."""
+    if seed is not None:
+        options["seed"] = seed
+    return get_sweep(name).space(**options)
+
+
+register_sweep(SweepSpec(
+    name="stall_verification",
+    help="randomized stall-injection trials (4 probabilities x 10 seeds)",
+    space=stalls.sweep_space,
+    runner=stalls.run_sweep_point,
+    summarize=stalls.summarize_sweep,
+))
+
+register_sweep(SweepSpec(
+    name="fig3_crossbar",
+    help="Figure 3 modelling-accuracy grid (3 models x 4 port counts)",
+    space=fig3_crossbar.sweep_space,
+    runner=fig3_crossbar.run_sweep_point,
+    summarize=fig3_crossbar.summarize_sweep,
+))
+
+register_sweep(SweepSpec(
+    name="gals_overhead",
+    help="GALS overhead fraction vs partition logic size",
+    space=gals_overhead.sweep_space,
+    runner=gals_overhead.run_sweep_point,
+    summarize=gals_overhead.summarize_sweep,
+))
+
+register_sweep(SweepSpec(
+    name="crossbar_qor",
+    help="src- vs dst-loop crossbar QoR (lane sweep + clock sweep)",
+    space=crossbar_qor.sweep_space,
+    runner=crossbar_qor.run_sweep_point,
+    summarize=crossbar_qor.summarize_sweep,
+))
+
+register_sweep(SweepSpec(
+    name="pe_scaling",
+    help="PE-array strong scaling on the prototype SoC (fast mode)",
+    space=fig6_soc.pe_scaling_space,
+    runner=fig6_soc.run_pe_scaling_point,
+    summarize=fig6_soc.summarize_pe_scaling,
+))

@@ -1,0 +1,220 @@
+"""Disk-backed content-addressed result cache for sweep points.
+
+Every executed :class:`~repro.sweep.point.SweepPoint` is stored under a
+key that hashes *everything its result depends on*: the experiment
+name, the canonicalized parameters, the seed, the ``repro`` package
+version, and the repository revision.  Re-running an unchanged sweep is
+then near-instant, an incremental sweep only simulates new points, and
+bumping the package version (or committing new code) invalidates every
+stale entry automatically — no manual flushing.
+
+Layout: one ``<sha256>.json`` file per entry inside the cache root (a
+flat directory).  Entries are written atomically (temp file +
+``os.replace``) so concurrent sweeps sharing a cache directory can only
+ever observe complete entries.  Reads refresh the file's mtime, which
+doubles as the LRU clock; :meth:`ResultCache.evict` drops the
+least-recently-used entries until both ``max_entries`` and
+``max_bytes`` hold.  A corrupted entry (truncated write, schema
+mismatch, garbage) is silently dropped and counted — it is
+indistinguishable from a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .point import SweepPoint
+from .serialize import canonical_digest
+
+__all__ = ["CacheStats", "ResultCache", "default_cache_dir", "repo_rev"]
+
+SCHEMA = "repro-sweep-cache/1"
+
+_REV_CACHE: dict = {}
+
+
+def repo_rev() -> str:
+    """The repository's short git revision, or ``"unknown"``.
+
+    Part of every cache key so results never survive a code change.
+    Overridable with ``REPRO_SWEEP_REV`` (useful for installed packages
+    without a git checkout, and for tests).
+    """
+    if "rev" not in _REV_CACHE:
+        env = os.environ.get("REPRO_SWEEP_REV")
+        if env:
+            _REV_CACHE["rev"] = env
+        else:
+            root = pathlib.Path(__file__).resolve().parents[3]
+            try:
+                proc = subprocess.run(
+                    ["git", "rev-parse", "--short", "HEAD"], cwd=root,
+                    capture_output=True, text=True, timeout=10)
+                rev = proc.stdout.strip()
+                _REV_CACHE["rev"] = rev if proc.returncode == 0 and rev \
+                    else "unknown"
+            except (OSError, subprocess.SubprocessError):
+                _REV_CACHE["rev"] = "unknown"
+    return _REV_CACHE["rev"]
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_SWEEP_CACHE``, else ``~/.cache/repro/sweeps``."""
+    env = os.environ.get("REPRO_SWEEP_CACHE")
+    if env:
+        return env
+    return str(pathlib.Path.home() / ".cache" / "repro" / "sweeps")
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`ResultCache` instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    corrupt_dropped: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed sweep-result store with LRU + max-size eviction."""
+
+    root: str
+    max_entries: int = 4096
+    max_bytes: int = 256 * 1024 * 1024
+    #: Key components; default to the live package version / git rev so
+    #: any code change invalidates.  Tests override them explicitly.
+    version: Optional[str] = None
+    rev: Optional[str] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.version is None:
+            from .. import __version__
+
+            self.version = __version__
+        if self.rev is None:
+            self.rev = repo_rev()
+        pathlib.Path(self.root).mkdir(parents=True, exist_ok=True)
+
+    # -- keys ----------------------------------------------------------
+    def key_for(self, point: SweepPoint) -> str:
+        """Content hash of everything the point's result depends on."""
+        return canonical_digest({
+            "schema": SCHEMA,
+            **point.identity(),
+            "version": self.version,
+            "rev": self.rev,
+        })
+
+    def _path(self, key: str) -> pathlib.Path:
+        return pathlib.Path(self.root) / f"{key}.json"
+
+    # -- lookup / store ------------------------------------------------
+    def get(self, point: SweepPoint) -> Optional[dict]:
+        """The stored payload for ``point``, or ``None`` on a miss.
+
+        A hit refreshes the entry's LRU clock.  Unreadable or
+        schema-mismatched entries are unlinked and counted as misses.
+        """
+        path = self._path(self.key_for(point))
+        try:
+            with open(path) as fh:
+                entry = json.load(fh)
+            if entry.get("schema") != SCHEMA or "value" not in entry:
+                raise ValueError("cache entry schema mismatch")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError):
+            path.unlink(missing_ok=True)
+            self.stats.corrupt_dropped += 1
+            self.stats.misses += 1
+            return None
+        try:
+            os.utime(path)  # LRU touch
+        except OSError:
+            pass
+        self.stats.hits += 1
+        return entry["value"]
+
+    def put(self, point: SweepPoint, value: dict) -> str:
+        """Store ``value`` for ``point`` atomically; returns the key."""
+        key = self.key_for(point)
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        entry = {"schema": SCHEMA, "key": {
+            **point.identity(), "version": self.version, "rev": self.rev,
+        }, "value": value}
+        tmp.write_text(json.dumps(entry, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+        self.stats.puts += 1
+        self.evict()
+        return key
+
+    # -- maintenance ---------------------------------------------------
+    def _entries(self) -> List[Tuple[float, int, pathlib.Path]]:
+        """(mtime, size, path) for every entry, oldest first."""
+        out = []
+        for path in pathlib.Path(self.root).glob("*.json"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            out.append((st.st_mtime_ns, st.st_size, path))
+        out.sort()
+        return [(m / 1e9, s, p) for m, s, p in out]
+
+    def evict(self) -> int:
+        """Drop LRU entries until ``max_entries`` / ``max_bytes`` hold."""
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        dropped = 0
+        while entries and (len(entries) > self.max_entries
+                           or total > self.max_bytes):
+            _, size, path = entries.pop(0)
+            path.unlink(missing_ok=True)
+            total -= size
+            dropped += 1
+        self.stats.evictions += dropped
+        return dropped
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were dropped."""
+        n = 0
+        for _, _, path in self._entries():
+            path.unlink(missing_ok=True)
+            n += 1
+        return n
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def describe(self) -> dict:
+        """Stats + configuration as a plain serializable dict."""
+        return {
+            "root": str(self.root),
+            "entries": len(self),
+            "version": self.version,
+            "rev": self.rev,
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "puts": self.stats.puts,
+            "evictions": self.stats.evictions,
+            "corrupt_dropped": self.stats.corrupt_dropped,
+        }

@@ -1,0 +1,351 @@
+"""The sweep engine: execute SweepPoints serially or across a process pool.
+
+Execution model
+---------------
+1. Every point is first resolved against the result cache (when one is
+   given); hits never touch a worker.
+2. Remaining points are packed into chunks and executed — in-process
+   for ``jobs <= 1``, across a ``ProcessPoolExecutor`` otherwise.  A
+   chunk is one pool task: for short simulation points the per-task
+   dispatch overhead would otherwise dominate.
+3. Inside the worker each point runs under a SIGALRM watchdog
+   (``timeout`` seconds) and inside its own telemetry capture window,
+   so a wedged simulation dies with a ``PointTimeout`` instead of
+   sinking the sweep, and the per-point telemetry report travels back
+   with the result.
+4. Failed points (exception, timeout, or a crashed worker process that
+   took its whole chunk down) are retried once (``retries``), each in
+   its own single-point chunk.  A point that fails again is recorded as
+   an ``error`` outcome; the rest of the sweep is unaffected.
+5. Outcomes are reassembled **in point order**, so the merged report is
+   identical in content to a serial run regardless of which worker
+   finished first.
+
+Determinism: the engine never invents randomness.  Seeds live in the
+points (assigned by the space builders), telemetry labels are derived
+from point indices, and ``SweepResult.canonical()`` strips the only
+nondeterministic fields (wall-clock times) — two runs of the same sweep
+are bit-identical under it, whether serial, parallel, or cache-served.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .cache import ResultCache
+from .point import SweepPoint
+from .serialize import NONDETERMINISTIC_FIELDS, canonical_json
+
+__all__ = ["PointTimeout", "PointOutcome", "SweepResult", "run_sweep"]
+
+
+class PointTimeout(Exception):
+    """A sweep point exceeded its per-point wall-clock budget."""
+
+
+@contextmanager
+def _alarm(seconds: Optional[float]):
+    """Raise :class:`PointTimeout` in the current process after ``seconds``.
+
+    SIGALRM-based, so it fires even inside a busy simulation loop; a
+    no-op where unavailable (non-main thread, platforms without the
+    signal) or when no timeout is requested.
+    """
+    usable = (seconds is not None and seconds > 0
+              and hasattr(signal, "SIGALRM"))
+    if usable:
+        try:
+            old = signal.signal(
+                signal.SIGALRM,
+                lambda signum, frame: (_ for _ in ()).throw(
+                    PointTimeout(f"point exceeded {seconds:.3g}s")))
+        except ValueError:  # not in the main thread
+            usable = False
+    if not usable:
+        yield
+        return
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old)
+
+
+def _execute_point(index: int, point: SweepPoint, *,
+                   telemetry: bool) -> dict:
+    """Run one point in the current process; returns its raw payload.
+
+    The runner is resolved from the sweep registry by name — the point
+    itself stays plain data.  With ``telemetry`` the point runs inside
+    its own capture window and the flattened report records ride along
+    (and into the cache), labelled by point index so serial and parallel
+    runs produce identical records.
+    """
+    from ..experiments.sweeps import get_sweep
+
+    spec = get_sweep(point.experiment)
+    t0 = time.perf_counter()
+    if telemetry:
+        from .. import observe
+
+        with observe.capture() as session:
+            result = spec.runner(dict(point.params), point.seed)
+        records = observe.to_records(
+            session.report(label=f"{point.experiment}[{index}]"))
+    else:
+        result = spec.runner(dict(point.params), point.seed)
+        records = None
+    return {"result": result, "telemetry": records,
+            "wall_seconds": time.perf_counter() - t0}
+
+
+def _run_chunk(items: Sequence[Tuple[int, SweepPoint]], telemetry: bool,
+               timeout: Optional[float]) -> List[dict]:
+    """Worker entry point: execute one chunk of (index, point) pairs.
+
+    Per-point failures are caught and returned as data — only a hard
+    crash of the worker process itself (segfault, OOM kill) loses the
+    chunk, and the engine retries those points individually.
+    """
+    out = []
+    for index, point in items:
+        try:
+            with _alarm(timeout):
+                payload = _execute_point(index, point, telemetry=telemetry)
+            out.append({"index": index, "ok": True, **payload})
+        except Exception as exc:  # noqa: BLE001 - reported per point
+            out.append({"index": index, "ok": False,
+                        "error": f"{type(exc).__name__}: {exc}"})
+    return out
+
+
+@dataclass
+class PointOutcome:
+    """What happened to one point: executed, cache-served, or failed."""
+
+    index: int
+    point: SweepPoint
+    status: str  # "ok" | "cached" | "error"
+    result: Optional[dict] = None
+    telemetry: Optional[List[dict]] = None
+    wall_seconds: float = 0.0
+    attempts: int = 0
+    error: Optional[str] = None
+
+
+@dataclass
+class SweepResult:
+    """An ordered sweep outcome plus engine/cache accounting."""
+
+    experiment: str
+    outcomes: List[PointOutcome] = field(default_factory=list)
+    jobs: int = 1
+    wall_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    executed: int = 0
+    errors: int = 0
+    retried: int = 0
+    cache: Optional[dict] = None  # ResultCache.describe() snapshot
+
+    @property
+    def points(self) -> List[SweepPoint]:
+        return [o.point for o in self.outcomes]
+
+    @property
+    def results(self) -> List[Optional[dict]]:
+        """Per-point result records, point order (``None`` for errors)."""
+        return [o.result for o in self.outcomes]
+
+    @property
+    def ok_results(self) -> List[dict]:
+        return [o.result for o in self.outcomes if o.result is not None]
+
+    def report(self, *, label: Optional[str] = None):
+        """Merge per-point telemetry into one ordered TelemetryReport.
+
+        Reports are merged in point-index order, so the merged report's
+        content is independent of worker scheduling — identical to what
+        a serial run produces.
+        """
+        from ..observe import from_records, merge
+
+        parts = [from_records(o.telemetry) for o in self.outcomes
+                 if o.telemetry]
+        return merge(parts, label=label or self.experiment)
+
+    def canonical(self) -> str:
+        """Bit-comparable serialization of everything deterministic."""
+        from ..observe import to_records
+
+        return canonical_json({
+            "experiment": self.experiment,
+            "points": [p.identity() for p in self.points],
+            "results": self.results,
+            "telemetry": to_records(self.report()),
+        }, exclude=NONDETERMINISTIC_FIELDS)
+
+    def summary(self) -> str:
+        """One status line: point counts, cache traffic, wall clock."""
+        parts = [f"sweep {self.experiment}: {len(self.outcomes)} points",
+                 f"{self.cache_hits} cached / {self.executed} executed"
+                 + (f" / {self.errors} errors" if self.errors else ""),
+                 f"jobs={self.jobs}", f"{self.wall_seconds:.2f}s wall"]
+        if self.retried:
+            parts.insert(2, f"{self.retried} retried")
+        return " | ".join(parts)
+
+    def to_payload(self) -> dict:
+        """Full JSON-able dump (CLI ``--json``): points, results, stats."""
+        return {
+            "experiment": self.experiment,
+            "jobs": self.jobs,
+            "wall_seconds": self.wall_seconds,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "executed": self.executed,
+            "errors": self.errors,
+            "retried": self.retried,
+            "cache": self.cache,
+            "points": [o.point.identity() for o in self.outcomes],
+            "results": self.results,
+            "statuses": [o.status for o in self.outcomes],
+            "telemetry": [r for o in self.outcomes
+                          for r in (o.telemetry or ())],
+        }
+
+
+def _chunked(items: List[Tuple[int, SweepPoint]], jobs: int,
+             chunksize: Optional[int]) -> List[List[Tuple[int, SweepPoint]]]:
+    if chunksize is None:
+        # ~4 chunks per worker balances dispatch overhead against
+        # stragglers holding the tail of the sweep.
+        chunksize = max(1, len(items) // max(1, jobs * 4))
+    return [items[i:i + chunksize] for i in range(0, len(items), chunksize)]
+
+
+def _execute_batch(items: List[Tuple[int, SweepPoint]], *, jobs: int,
+                   telemetry: bool, timeout: Optional[float],
+                   chunksize: Optional[int]) -> Dict[int, dict]:
+    """Execute (index, point) pairs; returns raw payloads keyed by index.
+
+    Worker-process crashes surface as ``BrokenProcessPool`` on every
+    outstanding future of that pool; the affected points are returned as
+    failed payloads so the caller's retry pass can re-run them — a fresh
+    pool is created per batch, so one crash never poisons the retry.
+    """
+    raw: Dict[int, dict] = {}
+    if not items:
+        return raw
+    if jobs <= 1 or len(items) == 1:
+        for rec in _run_chunk(items, telemetry, timeout):
+            raw[rec.pop("index")] = rec
+        return raw
+    chunks = _chunked(items, jobs, chunksize)
+    with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+        futures = [(pool.submit(_run_chunk, chunk, telemetry, timeout), chunk)
+                   for chunk in chunks]
+        for future, chunk in futures:
+            try:
+                records = future.result()
+            except BrokenProcessPool:
+                records = [{"index": i, "ok": False,
+                            "error": "BrokenProcessPool: worker crashed"}
+                           for i, _ in chunk]
+            except Exception as exc:  # noqa: BLE001 - whole-chunk failure
+                records = [{"index": i, "ok": False,
+                            "error": f"{type(exc).__name__}: {exc}"}
+                           for i, _ in chunk]
+            for rec in records:
+                raw[rec.pop("index")] = rec
+    return raw
+
+
+def run_sweep(points: Sequence[SweepPoint], *, jobs: int = 1,
+              cache: Optional[ResultCache] = None,
+              timeout: Optional[float] = None, retries: int = 1,
+              telemetry: bool = True,
+              chunksize: Optional[int] = None) -> SweepResult:
+    """Execute a parameter sweep; returns ordered outcomes + accounting.
+
+    ``jobs`` is the worker-process count (``<=1`` = in this process),
+    ``cache`` fronts execution with the content-addressed result store,
+    ``timeout`` is the per-point wall-clock budget in seconds, and
+    ``retries`` is how many times a failed point is re-run before being
+    recorded as an error.
+    """
+    points = list(points)
+    if not points:
+        raise ValueError("run_sweep needs at least one SweepPoint")
+    experiment = points[0].experiment
+    t0 = time.perf_counter()
+
+    outcomes: List[Optional[PointOutcome]] = [None] * len(points)
+    pending: List[Tuple[int, SweepPoint]] = []
+    for i, point in enumerate(points):
+        hit = cache.get(point) if cache is not None else None
+        if hit is not None:
+            outcomes[i] = PointOutcome(
+                index=i, point=point, status="cached",
+                result=hit.get("result"), telemetry=hit.get("telemetry"),
+                wall_seconds=0.0, attempts=0)
+        else:
+            pending.append((i, point))
+
+    raw = _execute_batch(pending, jobs=jobs, telemetry=telemetry,
+                         timeout=timeout, chunksize=chunksize)
+    attempts = {i: 1 for i, _ in pending}
+    retried = 0
+    for _ in range(max(0, retries)):
+        failed = [(i, p) for i, p in pending if not raw[i]["ok"]]
+        if not failed:
+            break
+        retried += len(failed)
+        retry_raw = _execute_batch(failed, jobs=jobs, telemetry=telemetry,
+                                   timeout=timeout, chunksize=1)
+        for i, rec in retry_raw.items():
+            attempts[i] += 1
+            if rec["ok"] or not raw[i]["ok"]:
+                raw[i] = rec
+
+    executed = errors = 0
+    for i, point in pending:
+        rec = raw[i]
+        if rec["ok"]:
+            executed += 1
+            outcomes[i] = PointOutcome(
+                index=i, point=point, status="ok", result=rec["result"],
+                telemetry=rec.get("telemetry"),
+                wall_seconds=rec.get("wall_seconds", 0.0),
+                attempts=attempts[i])
+            if cache is not None:
+                cache.put(point, {"result": rec["result"],
+                                  "telemetry": rec.get("telemetry")})
+        else:
+            errors += 1
+            outcomes[i] = PointOutcome(
+                index=i, point=point, status="error",
+                error=rec.get("error", "unknown failure"),
+                attempts=attempts[i])
+
+    result = SweepResult(
+        experiment=experiment,
+        outcomes=[o for o in outcomes if o is not None],
+        jobs=jobs,
+        wall_seconds=time.perf_counter() - t0,
+        cache_hits=sum(1 for o in outcomes
+                       if o is not None and o.status == "cached"),
+        cache_misses=len(pending),
+        executed=executed,
+        errors=errors,
+        retried=retried,
+        cache=cache.describe() if cache is not None else None,
+    )
+    return result

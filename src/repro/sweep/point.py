@@ -1,0 +1,52 @@
+"""The unit of sweep work: one (experiment, params, seed) triple.
+
+A :class:`SweepPoint` is deliberately dumb data — no callables, no
+simulator handles — so it pickles cheaply across the process pool and
+hashes stably into a cache key.  The experiment name is resolved to a
+runner *inside* the worker via the sweep registry
+(:mod:`repro.experiments.sweeps`), which also keeps spawn-based worker
+start methods working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from .serialize import canonical_json
+
+__all__ = ["SweepPoint"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One enumerable point of an experiment's parameter space.
+
+    ``experiment`` names a registered sweep (see
+    :data:`repro.experiments.sweeps.SWEEP_SPECS`), ``params`` are the
+    keyword arguments of that experiment's point runner, and ``seed`` is
+    the point's deterministic RNG seed — assigned by the space builder,
+    never invented by the engine, so a point's identity fully determines
+    its result.
+    """
+
+    experiment: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+
+    def identity(self) -> dict:
+        """The content-addressed part of the point (no runtime state)."""
+        return {"experiment": self.experiment, "params": dict(self.params),
+                "seed": self.seed}
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable tag, e.g. ``stalls[p=0.3,trial=4]#104``."""
+        inner = ",".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.experiment}[{inner}]#{self.seed}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.label
+
+    def canonical(self) -> str:
+        return canonical_json(self.identity())

@@ -1,0 +1,97 @@
+"""Canonical serialization shared by the cache key, merge layer, and CLI.
+
+Everything the sweep engine persists or compares goes through one
+serializer so that "the same result" always has the same bytes:
+
+* cache keys are :func:`canonical_digest` of a point's identity,
+* ``--json`` output from experiment verbs is :func:`dump_json` of the
+  result dataclasses,
+* the merged-report identity check (``SweepResult.canonical``) compares
+  :func:`canonical_json` strings.
+
+Canonical form: dataclasses become plain dicts, tuples/sets become
+lists (sets sorted), dict keys become strings and are emitted sorted,
+and ``NaN``/``Inf`` are rejected (they do not round-trip through JSON).
+Keys named in ``exclude`` are dropped at every nesting depth — used to
+strip wall-clock fields (:data:`NONDETERMINISTIC_FIELDS`) before
+comparing runs for bit-identity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+from enum import Enum
+from typing import Any, Collection, FrozenSet, IO, Union
+
+__all__ = [
+    "NONDETERMINISTIC_FIELDS",
+    "to_jsonable",
+    "canonical_json",
+    "canonical_digest",
+    "dump_json",
+]
+
+#: Keys that carry wall-clock (not simulation) time and therefore differ
+#: between two otherwise-identical runs.  Excluded wherever two runs are
+#: compared for bit-identity; kept everywhere else (they are useful).
+NONDETERMINISTIC_FIELDS: FrozenSet[str] = frozenset(
+    {"proc_seconds", "wall_seconds", "compile_seconds",
+     "dst_compile_s", "src_compile_s", "wall_fast", "wall_rtl"})
+
+
+def to_jsonable(obj: Any, *, exclude: Collection[str] = ()) -> Any:
+    """Recursively convert ``obj`` into JSON-encodable plain data.
+
+    Handles dataclass instances, mappings, sequences, sets and enums;
+    raises ``TypeError`` for anything else rather than guessing.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        if math.isnan(obj) or math.isinf(obj):
+            raise ValueError(f"non-finite float {obj!r} is not canonical")
+        return obj
+    if isinstance(obj, Enum):
+        return to_jsonable(obj.value, exclude=exclude)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name), exclude=exclude)
+                for f in dataclasses.fields(obj) if f.name not in exclude}
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v, exclude=exclude)
+                for k, v in obj.items() if str(k) not in exclude}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v, exclude=exclude) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted((to_jsonable(v, exclude=exclude) for v in obj),
+                      key=lambda v: json.dumps(v, sort_keys=True))
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__}: {obj!r} "
+        "(expected dataclass / dict / sequence / scalar)")
+
+
+def canonical_json(obj: Any, *, exclude: Collection[str] = ()) -> str:
+    """The one true JSON string for ``obj``: sorted keys, no whitespace."""
+    return json.dumps(to_jsonable(obj, exclude=exclude), sort_keys=True,
+                      separators=(",", ":"), ensure_ascii=True,
+                      allow_nan=False)
+
+
+def canonical_digest(obj: Any, *, exclude: Collection[str] = ()) -> str:
+    """SHA-256 hex digest of :func:`canonical_json` — the cache key form."""
+    payload = canonical_json(obj, exclude=exclude).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def dump_json(obj: Any, fh_or_path: Union[str, IO[str]]) -> str:
+    """Write ``obj`` (canonicalized, human-indented) as JSON; returns text."""
+    text = json.dumps(to_jsonable(obj), sort_keys=True, indent=1,
+                      allow_nan=False) + "\n"
+    if isinstance(fh_or_path, str):
+        with open(fh_or_path, "w") as fh:
+            fh.write(text)
+    else:
+        fh_or_path.write(text)
+    return text

@@ -1,0 +1,161 @@
+"""The content-addressed result cache: keys, LRU eviction, recovery.
+
+Eviction test shapes follow the related priority-expiry-cache repo:
+drive the cache to its bound, touch an entry to refresh its recency,
+and check exactly the least-recently-used entry disappeared.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.sweep import ResultCache, SweepPoint
+
+
+def _point(i: int, **params) -> SweepPoint:
+    return SweepPoint("fake_exp", {"i": i, **params}, seed=i)
+
+
+def _cache(tmp_path, **kw) -> ResultCache:
+    kw.setdefault("version", "1.0-test")
+    kw.setdefault("rev", "deadbee")
+    return ResultCache(str(tmp_path / "cache"), **kw)
+
+
+def _age(cache: ResultCache, point: SweepPoint, seconds: float) -> None:
+    """Backdate an entry's mtime so LRU ordering is deterministic."""
+    path = pathlib.Path(cache.root) / f"{cache.key_for(point)}.json"
+    st = path.stat()
+    os.utime(path, (st.st_atime - seconds, st.st_mtime - seconds))
+
+
+# ----------------------------------------------------------------------
+# hit / miss
+# ----------------------------------------------------------------------
+def test_miss_then_hit(tmp_path):
+    cache = _cache(tmp_path)
+    p = _point(0)
+    assert cache.get(p) is None
+    cache.put(p, {"result": {"v": 42}})
+    assert cache.get(p) == {"result": {"v": 42}}
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+def test_param_change_misses(tmp_path):
+    cache = _cache(tmp_path)
+    cache.put(_point(0, knob="a"), {"result": 1})
+    assert cache.get(_point(0, knob="b")) is None
+    assert cache.get(_point(0, knob="a")) == {"result": 1}
+
+
+def test_seed_change_misses(tmp_path):
+    cache = _cache(tmp_path)
+    p = _point(0)
+    cache.put(p, {"result": 1})
+    assert cache.get(SweepPoint(p.experiment, dict(p.params), seed=99)) is None
+
+
+def test_param_order_does_not_matter(tmp_path):
+    cache = _cache(tmp_path)
+    cache.put(SweepPoint("e", {"a": 1, "b": 2}, seed=0), {"result": 1})
+    assert cache.get(SweepPoint("e", {"b": 2, "a": 1}, seed=0)) == {"result": 1}
+
+
+# ----------------------------------------------------------------------
+# invalidation on version / revision change
+# ----------------------------------------------------------------------
+def test_version_bump_invalidates(tmp_path):
+    old = _cache(tmp_path, version="1.0")
+    old.put(_point(0), {"result": 1})
+    new = _cache(tmp_path, version="1.1")
+    assert new.get(_point(0)) is None
+    # ...and the old entry is still intact for the old version.
+    assert old.get(_point(0)) == {"result": 1}
+
+
+def test_rev_change_invalidates(tmp_path):
+    old = _cache(tmp_path, rev="aaaa111")
+    old.put(_point(0), {"result": 1})
+    new = _cache(tmp_path, rev="bbbb222")
+    assert new.get(_point(0)) is None
+
+
+def test_default_version_and_rev_resolve(tmp_path):
+    import repro
+
+    cache = ResultCache(str(tmp_path / "c"))
+    assert cache.version == repro.__version__
+    assert cache.rev  # "unknown" at worst, never None/empty
+
+
+# ----------------------------------------------------------------------
+# LRU + max-size eviction
+# ----------------------------------------------------------------------
+def test_lru_eviction_at_max_entries(tmp_path):
+    cache = _cache(tmp_path, max_entries=3)
+    points = [_point(i) for i in range(3)]
+    for age, p in enumerate(points):
+        cache.put(p, {"result": p.seed})
+        _age(cache, p, seconds=100 - age)  # p0 oldest ... p2 newest
+    # Touch the oldest entry: it becomes most-recently-used.
+    assert cache.get(points[0]) is not None
+    cache.put(_point(99), {"result": 99})
+    # points[1] is now the LRU entry and must be the one evicted.
+    assert cache.get(points[1]) is None
+    assert cache.get(points[0]) is not None
+    assert cache.get(points[2]) is not None
+    assert cache.get(_point(99)) is not None
+    assert cache.stats.evictions == 1
+    assert len(cache) == 3
+
+
+def test_max_bytes_eviction(tmp_path):
+    cache = _cache(tmp_path, max_bytes=2048)
+    blob = "x" * 512
+    points = [_point(i) for i in range(8)]
+    for age, p in enumerate(points):
+        cache.put(p, {"result": blob})
+        _age(cache, p, seconds=100 - age)
+    assert cache.stats.evictions > 0
+    total = sum(f.stat().st_size
+                for f in pathlib.Path(cache.root).glob("*.json"))
+    assert total <= 2048
+    # Survivors are the most recently inserted ones.
+    assert cache.get(points[-1]) is not None
+    assert cache.get(points[0]) is None
+
+
+# ----------------------------------------------------------------------
+# corrupted-entry recovery
+# ----------------------------------------------------------------------
+def test_corrupt_entry_recovers_as_miss(tmp_path):
+    cache = _cache(tmp_path)
+    p = _point(0)
+    cache.put(p, {"result": 1})
+    path = pathlib.Path(cache.root) / f"{cache.key_for(p)}.json"
+    path.write_text("{not json at all")
+    assert cache.get(p) is None          # dropped, not raised
+    assert not path.exists()
+    assert cache.stats.corrupt_dropped == 1
+    cache.put(p, {"result": 2})          # cache still fully usable
+    assert cache.get(p) == {"result": 2}
+
+
+def test_schema_mismatch_recovers_as_miss(tmp_path):
+    cache = _cache(tmp_path)
+    p = _point(0)
+    cache.put(p, {"result": 1})
+    path = pathlib.Path(cache.root) / f"{cache.key_for(p)}.json"
+    path.write_text(json.dumps({"schema": "other/9", "value": {"r": 1}}))
+    assert cache.get(p) is None
+    assert cache.stats.corrupt_dropped == 1
+
+
+def test_clear_and_describe(tmp_path):
+    cache = _cache(tmp_path)
+    for i in range(4):
+        cache.put(_point(i), {"result": i})
+    desc = cache.describe()
+    assert desc["entries"] == 4 and desc["puts"] == 4
+    assert cache.clear() == 4
+    assert len(cache) == 0

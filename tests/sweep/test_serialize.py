@@ -1,0 +1,80 @@
+"""The canonical serializer: one obj, one byte string, always."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.sweep import (
+    canonical_digest,
+    canonical_json,
+    dump_json,
+    to_jsonable,
+)
+
+
+@dataclass(frozen=True)
+class _Inner:
+    x: int
+    wall_seconds: float
+
+
+@dataclass(frozen=True)
+class _Outer:
+    name: str
+    inner: _Inner
+    values: tuple
+
+
+def test_key_order_is_irrelevant():
+    assert canonical_json({"a": 1, "b": 2}) == canonical_json({"b": 2, "a": 1})
+
+
+def test_tuples_and_lists_serialize_identically():
+    assert canonical_json((1, 2, 3)) == canonical_json([1, 2, 3])
+
+
+def test_sets_are_sorted():
+    assert canonical_json({3, 1, 2}) == canonical_json([1, 2, 3])
+
+
+def test_dataclasses_flatten_recursively():
+    obj = _Outer("n", _Inner(1, 0.5), (1, 2))
+    assert to_jsonable(obj) == {
+        "name": "n", "inner": {"x": 1, "wall_seconds": 0.5},
+        "values": [1, 2]}
+
+
+def test_exclude_drops_keys_at_every_depth():
+    obj = _Outer("n", _Inner(1, 0.5), (1, 2))
+    flat = to_jsonable(obj, exclude={"wall_seconds"})
+    assert flat["inner"] == {"x": 1}
+    nested = {"kernel": {"proc_seconds": {"t": 1.0}, "events": 3}}
+    assert to_jsonable(nested, exclude={"proc_seconds"}) == {
+        "kernel": {"events": 3}}
+
+
+def test_digest_distinguishes_content():
+    a = canonical_digest({"experiment": "e", "seed": 1})
+    b = canonical_digest({"experiment": "e", "seed": 2})
+    assert a != b
+    assert a == canonical_digest({"seed": 1, "experiment": "e"})
+
+
+def test_non_finite_floats_rejected():
+    with pytest.raises(ValueError):
+        canonical_json(float("nan"))
+
+
+def test_unserializable_objects_rejected():
+    with pytest.raises(TypeError):
+        canonical_json(object())
+
+
+def test_dump_json_roundtrip(tmp_path):
+    import json
+
+    path = str(tmp_path / "out.json")
+    text = dump_json({"b": (1, 2), "a": None}, path)
+    assert json.loads(text) == {"a": None, "b": [1, 2]}
+    with open(path) as fh:
+        assert json.load(fh) == {"a": None, "b": [1, 2]}

@@ -138,3 +138,73 @@ def test_lint_analytic_experiment_exits_zero(capsys):
 def test_inspect_rejects_unknown_experiment():
     with pytest.raises(SystemExit):
         main(["inspect", "frobnicate"])
+
+
+# ----------------------------------------------------------------------
+# sweep verb, --seed, --json (PR 4)
+# ----------------------------------------------------------------------
+def test_sweep_command_runs_and_reports_cache(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    args = ["sweep", "stall_verification", "--jobs", "1", "--limit", "4",
+            "--cache-dir", cache_dir]
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert "sweep stall_verification" in cold
+    assert "0 hits / 4 misses" in cold
+
+    assert main(args) == 0
+    warm = capsys.readouterr().out
+    assert "4 hits / 0 misses" in warm
+    assert "100% hit rate" in warm
+
+
+def test_sweep_command_writes_json_payload(tmp_path, capsys):
+    import json
+
+    out_path = str(tmp_path / "sweep.json")
+    assert main(["sweep", "gals_overhead", "--jobs", "1", "--no-cache",
+                 "--json", out_path]) == 0
+    with open(out_path) as fh:
+        payload = json.load(fh)
+    assert payload["experiment"] == "gals_overhead"
+    assert payload["errors"] == 0
+    assert len(payload["statuses"]) == len(payload["points"])
+    assert len(payload["results"]) == len(payload["points"])
+
+
+def test_sweep_no_cache_never_touches_disk(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    assert main(["sweep", "crossbar_qor", "--jobs", "1", "--no-cache",
+                 "--cache-dir", str(cache_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "hit rate" not in out  # no cache stats line when disabled
+    assert not cache_dir.exists()
+
+
+def test_sweep_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["sweep", "frobnicate"])
+
+
+def test_list_advertises_sweep_experiments(capsys):
+    assert main(["list"]) == 0
+    assert "sweep <experiment>" in capsys.readouterr().out
+
+
+def test_seed_flag_reproduces_stall_campaign(capsys):
+    assert main(["stalls", "--seed", "7"]) == 0
+    a = capsys.readouterr().out
+    assert main(["stalls", "--seed", "7"]) == 0
+    assert capsys.readouterr().out == a  # same seed, same table
+
+
+def test_json_flag_dumps_experiment_payload(tmp_path, capsys):
+    import json
+
+    out_path = str(tmp_path / "fig3.json")
+    assert main(["fig3", "--ports", "2", "--txns", "5",
+                 "--json", out_path]) == 0
+    with open(out_path) as fh:
+        points = json.load(fh)
+    assert isinstance(points, list) and points
+    assert points[0]["n_ports"] == 2

@@ -77,12 +77,29 @@ def calibrate() -> float:
     return best
 
 
-def run_benches(subset: str) -> dict:
+def select_files(subset: str, only: str | None) -> list[str]:
+    """The benchmark files to run: a subset, optionally name-filtered.
+
+    With ``only`` the whole ``benchmarks/`` directory is searched (not
+    just the subset) so e.g. ``--only sweep`` can run a bench that is
+    not part of the quick CI loop without re-running the full suite.
+    """
+    if not only:
+        return SUBSETS[subset]
+    matches = sorted(p for p in (ROOT / "benchmarks").glob("test_bench_*.py")
+                     if only in p.stem)
+    if not matches:
+        raise SystemExit(f"--only {only!r} matches no benchmarks/test_bench_*"
+                         ".py file")
+    return [str(p.relative_to(ROOT)) for p in matches]
+
+
+def run_benches(subset: str, only: str | None = None) -> dict:
     """Run the pytest-benchmark suite; return {bench name: stats}."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         tmp_path = tmp.name
     cmd = [
-        sys.executable, "-m", "pytest", *SUBSETS[subset], "-q",
+        sys.executable, "-m", "pytest", *select_files(subset, only), "-q",
         # The speedup-table test renders the checked-in snapshot pair; it
         # is not a timing bench and would self-compare during a snapshot
         # regeneration, so keep it out of the sweep.
@@ -188,13 +205,13 @@ PROBES = {
 }
 
 
-def run_all(subset: str) -> dict:
+def run_all(subset: str, only: str | None = None) -> dict:
     sys.path.insert(0, str(ROOT / "src"))
     # Sample the yardstick before and after the sweep and keep the best:
     # a transient load spike at a single sample would overstate machine
     # slowness and skew every normalized comparison.
     cal = calibrate()
-    benches = run_benches(subset)
+    benches = run_benches(subset, only)
     cal = min(cal, calibrate())
     result = {
         "schema": SCHEMA,
@@ -204,6 +221,8 @@ def run_all(subset: str) -> dict:
         "benches": benches,
         "kstats": {name: fn() for name, fn in PROBES.items()},
     }
+    if only:
+        result["only"] = only
     return result
 
 
@@ -265,6 +284,9 @@ def main(argv=None) -> int:
     p_run = sub.add_parser("run", help="run benches, write a JSON snapshot")
     p_run.add_argument("-o", "--output", default="BENCH_kernel.json")
     p_run.add_argument("--subset", choices=sorted(SUBSETS), default="full")
+    p_run.add_argument("--only", default=None, metavar="NAME",
+                       help="only run benchmark files whose name contains "
+                            "NAME (searched over all of benchmarks/)")
     p_run.add_argument(
         "--merge", action="store_true",
         help="merge with an existing output file, keeping per-bench "
@@ -280,12 +302,15 @@ def main(argv=None) -> int:
     p_chk.add_argument("--baseline", required=True)
     p_chk.add_argument("-o", "--output", default="BENCH_kernel.json")
     p_chk.add_argument("--subset", choices=sorted(SUBSETS), default="quick")
+    p_chk.add_argument("--only", default=None, metavar="NAME",
+                       help="only run benchmark files whose name contains "
+                            "NAME (searched over all of benchmarks/)")
     p_chk.add_argument("--threshold", type=float, default=0.10)
 
     args = parser.parse_args(argv)
 
     if args.command == "run":
-        result = run_all(args.subset)
+        result = run_all(args.subset, args.only)
         out_path = pathlib.Path(args.output)
         if args.merge and out_path.exists():
             prev = json.loads(out_path.read_text())
@@ -320,7 +345,7 @@ def main(argv=None) -> int:
         return 1 if problems else 0
 
     # check
-    result = run_all(args.subset)
+    result = run_all(args.subset, args.only)
     base = json.loads(pathlib.Path(args.baseline).read_text())
     problems = compare(base, result, args.threshold)
     if any(p.startswith("WALL") for p in problems):
@@ -328,7 +353,7 @@ def main(argv=None) -> int:
         # per-bench best of both runs.  A real regression reproduces in
         # both processes; layout-luck noise usually does not.
         print("wall-time regression on first run; retrying once...")
-        retry = run_all(args.subset)
+        retry = run_all(args.subset, args.only)
         for name, stats in retry["benches"].items():
             cur = result["benches"].get(name)
             if cur is None or stats["min"] < cur["min"]:

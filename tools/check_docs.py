@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Check that the documentation stays truthful.
 
-Two checks over the repo's markdown docs:
+Three checks over the repo's markdown docs and example scripts:
 
 1. **Runnable snippets** — every fenced ``python`` code block in
    ``docs/*.md`` is executed (with ``src/`` on ``sys.path``) and must
@@ -9,6 +9,8 @@ Two checks over the repo's markdown docs:
 2. **Link/heading lint** — every relative markdown link in the checked
    files (including ``README.md``) must point at a file that exists;
    intra-document ``#fragment`` links must match a heading.
+3. **Executable examples** — scripts in ``EXEC_EXAMPLES`` are run as
+   ``__main__`` (fast ones only; the slow demos stay out of the loop).
 
 Usage::
 
@@ -28,6 +30,8 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 EXEC_DIRS = {REPO / "docs"}  # only execute snippets from these dirs
+#: Example scripts fast enough (~1 s) to execute on every docs check.
+EXEC_EXAMPLES = (REPO / "examples" / "sweep_demo.py",)
 
 FENCE_RE = re.compile(r"^```(\w*)\s*$")
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -93,6 +97,20 @@ def run_block(path: Path, line: int, source: str) -> str | None:
     return None
 
 
+def run_example(path: Path) -> str | None:
+    """Execute an example script as ``__main__``; None on success."""
+    import runpy
+
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    except SystemExit as exc:  # scripts may sys.exit(0)
+        if exc.code not in (None, 0):
+            return f"{path.name}: exited with status {exc.code}"
+    except Exception as exc:  # noqa: BLE001 - report, don't crash
+        return f"{path.name}: raised {type(exc).__name__}: {exc}"
+    return None
+
+
 def main(argv: list) -> int:
     sys.path.insert(0, str(REPO / "src"))
     if argv:
@@ -102,6 +120,8 @@ def main(argv: list) -> int:
 
     errors, ran = [], 0
     for path in files:
+        if path.suffix != ".md":
+            continue  # .py arguments are handled as examples below
         text = path.read_text()
         errors.extend(check_links(path, text))
         if path.parent in EXEC_DIRS:
@@ -112,6 +132,15 @@ def main(argv: list) -> int:
                 print(f"  [{status}] {path.name}:{line}")
                 if err:
                     errors.append(err)
+
+    examples = EXEC_EXAMPLES if not argv else tuple(
+        f for f in files if f in EXEC_EXAMPLES)
+    for path in examples:
+        err = run_example(path)
+        ran += 1
+        print(f"  [{'FAIL' if err else 'ok'}] {path.name}")
+        if err:
+            errors.append(err)
 
     print(f"checked {len(files)} files, executed {ran} python snippets")
     if errors:
