@@ -16,6 +16,7 @@ workloads    ML / computer-vision workloads run on the SoC
 flow         front-to-back flow orchestration, backend and productivity models
 observe      simulation observability: telemetry counters, reports, JSONL logs
 sweep        parallel sweep engine with content-addressed result caching
+faults       fault-injection campaigns and the deadlock/livelock watchdog
 """
 
 __version__ = "1.0.0"
@@ -33,4 +34,5 @@ __all__ = [
     "flow",
     "observe",
     "sweep",
+    "faults",
 ]

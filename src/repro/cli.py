@@ -14,6 +14,7 @@ Usage::
     python -m repro productivity
     python -m repro bench [--subset quick|full] [--baseline BENCH_kernel.json]
     python -m repro sweep <experiment> [--jobs N] [--no-cache] [--cache-dir D]
+    python -m repro faults <harness|all> [--cases N] [--seed S] [--shrink]
 
 Every experiment verb also accepts:
 
@@ -71,7 +72,14 @@ __all__ = ["main"]
 #: construction stays import-light; validated against the registry at
 #: execution time).
 _SWEEP_EXPERIMENTS = ("stall_verification", "fig3_crossbar",
-                      "gals_overhead", "crossbar_qor", "pe_scaling")
+                      "gals_overhead", "crossbar_qor", "pe_scaling",
+                      "fault_campaign")
+
+#: Fault-campaign harnesses the ``faults`` verb accepts (see
+#: :data:`repro.faults.campaign.HARNESSES`; kept static for the same
+#: import-light reason as above).
+_FAULT_HARNESSES = ("stall_verification", "fig3_crossbar", "gals_overhead",
+                    "packet_stream", "deadlock_demo")
 
 _CmdResult = Tuple[str, object]
 
@@ -284,6 +292,56 @@ def _cmd_sweep(args) -> int:
     return 1 if result.errors else 0
 
 
+def _cmd_faults(args) -> int:
+    """Run seeded fault-injection campaigns through the sweep engine."""
+    from .faults import campaign
+    from .sweep import run_sweep
+    from .sweep.serialize import NONDETERMINISTIC_FIELDS, to_jsonable
+
+    experiments = None if args.experiment == "all" else [args.experiment]
+    points = campaign.sweep_space(experiments=experiments, cases=args.cases,
+                                  seed=args.seed if args.seed is not None
+                                  else 0)
+    # No cache: campaigns are cheap and their point of existence is
+    # re-executing the design under faults, not replaying old results.
+    result = run_sweep(points, jobs=args.jobs, timeout=args.timeout,
+                       telemetry=False)
+    records = result.ok_results
+    extras = [campaign.summarize_sweep(records)] if records else []
+    extras.append(result.summary())
+
+    failures = [rec for rec in records if not rec.get("ok", False)]
+    for outcome in result.outcomes:
+        if outcome.status == "error":
+            extras.append(f"ERROR {outcome.point.label}: {outcome.error}")
+    if args.shrink:
+        for rec in failures:
+            plan = campaign.default_plan(rec["experiment"], rec["seed"])
+            small = campaign.shrink(rec["experiment"], plan, rec["seed"],
+                                    rec["outcome"])
+            extras.append(
+                f"shrunk {rec['experiment']} seed={rec['seed']} "
+                f"({rec['outcome']}) to {len(small.directives)} "
+                f"directive(s): "
+                + ", ".join(f"{d.kind}@{d.target}"
+                            for d in small.directives))
+    if args.json:
+        import json as _json
+
+        # Byte-reproducible payload: point identities + classification
+        # records only (no wall-clock fields).
+        payload = to_jsonable(
+            {"experiment": "fault_campaign",
+             "points": [p.identity() for p in result.points],
+             "results": result.results},
+            exclude=NONDETERMINISTIC_FIELDS)
+        with open(args.json, "w") as fh:
+            fh.write(_json.dumps(payload, sort_keys=True, indent=1) + "\n")
+        extras.append(f"wrote {args.json}")
+    print("\n\n".join(extras))
+    return 1 if (failures or result.errors) else 0
+
+
 _COMMANDS = {
     "fig3": (_cmd_fig3, "Figure 3: crossbar modelling accuracy"),
     "fig6": (_cmd_fig6, "Figure 6: SoC speedup vs cycle error (slow!)"),
@@ -393,6 +451,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     sweep_p.add_argument("--json", metavar="PATH", default=None,
                          help="write points, results and engine/cache "
                               "statistics as JSON")
+    faults_p = sub.add_parser(
+        "faults",
+        help="run seeded fault-injection campaigns with watchdog triage "
+             "(exit 1 on any undiagnosed hang, crash, or escape)")
+    faults_p.add_argument("experiment",
+                          choices=_FAULT_HARNESSES + ("all",),
+                          help="which harness to fault (or 'all' for the "
+                               "default matrix)")
+    faults_p.add_argument("--cases", type=int, default=4,
+                          help="seeded cases per harness (default 4)")
+    faults_p.add_argument("--seed", type=int, default=None,
+                          help="base seed for the campaign (default 0)")
+    faults_p.add_argument("--jobs", type=int, default=1,
+                          help="worker processes (1 = serial, default)")
+    faults_p.add_argument("--timeout", type=float, default=None,
+                          help="per-case wall-clock budget in seconds")
+    faults_p.add_argument("--shrink", action="store_true",
+                          help="reduce each failing case to a 1-minimal "
+                               "fault schedule")
+    faults_p.add_argument("--json", metavar="PATH", default=None,
+                          help="write byte-reproducible campaign records "
+                               "as JSON")
     inspect_p = sub.add_parser(
         "inspect",
         help="elaborate an experiment's design, print the hierarchy tree")
@@ -429,6 +509,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             lines.append(f"  {name:20s} {help_text}")
         lines.append(f"  {'sweep <experiment>':20s} "
                      "parallel parameter sweep with result caching")
+        lines.append(f"  {'faults <harness|all>':20s} "
+                     "seeded fault-injection campaigns, watchdog-triaged")
         lines.append(f"  {'inspect <experiment>':20s} "
                      "elaborate the design, print the hierarchy tree")
         lines.append(f"  {'lint <experiment>':20s} "
@@ -444,6 +526,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "inspect":
         return _cmd_inspect(args)
     if args.command == "lint":

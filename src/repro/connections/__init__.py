@@ -32,7 +32,8 @@ from .channel import (
     FastChannel,
     Pipeline,
 )
-from .packet import DePacketizer, Flit, Packetizer, int_deserializer, int_serializer
+from .packet import (DePacketizer, Flit, Packetizer, int_deserializer,
+                     int_serializer, xor_checksum)
 from .ports import In, Out, PortError
 from .rtl_adapter import RtlChannel
 from .signal_accurate import SignalAccurateIn, SignalAccurateOut
@@ -63,6 +64,7 @@ __all__ = [
     "DePacketizer",
     "int_serializer",
     "int_deserializer",
+    "xor_checksum",
     "SignalInterface",
     "CombinationalSignal",
     "BufferSignal",

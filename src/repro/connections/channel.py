@@ -123,7 +123,7 @@ class FastChannel:
         "sim", "clock", "name", "kind", "capacity", "extra_latency",
         "_queue", "_transit", "_occ_start", "_pushed", "_popped",
         "_stall_probability", "_stall_rng", "_stalled", "stats",
-        "telemetry", "_design_owner",
+        "telemetry", "_design_owner", "_faults",
     )
 
     def __init__(
@@ -164,6 +164,9 @@ class FastChannel:
         self._stall_probability = 0.0
         self._stall_rng: Optional[random.Random] = None
         self._stalled = False
+        # Fault-injection hook (see repro.faults.plan.ChannelFaults).
+        # None by default: the hot path pays one attribute load.
+        self._faults = None
         self.stats = ChannelStats()
         # Opt-in occupancy/stall telemetry (None when the hub is off).
         hub = getattr(sim, "telemetry", None)
@@ -209,10 +212,18 @@ class FastChannel:
                 self.telemetry.on_push_rejected()
             return False
         self._pushed = True
+        faults = self._faults
+        if faults is not None:
+            action, msg = faults.on_push(msg)
+            if action == 1:  # drop: accepted by the handshake, then lost
+                return True
         # +1 models the one-cycle handshake; extra_latency adds retiming.
         ready = self.clock.cycles + 1 + self.extra_latency
         self._transit.append((ready, msg))
         self._occ_start += 1
+        if faults is not None and action == 2:  # duplicate
+            self._transit.append((ready, msg))
+            self._occ_start += 1
         return True
 
     def can_pop(self) -> bool:
@@ -245,8 +256,11 @@ class FastChannel:
         if not 0.0 <= probability <= 1.0:
             raise ValueError(f"stall probability must be in [0,1], got {probability}")
         self._stall_probability = probability
-        self._stall_rng = random.Random(seed)
-        if probability == 0.0:
+        if probability > 0.0:
+            self._stall_rng = random.Random(seed)
+        else:
+            # Full reset: probability 0 restores the pristine state.
+            self._stall_rng = None
             self._stalled = False
 
     # ------------------------------------------------------------------

@@ -18,7 +18,23 @@ from typing import Any, Callable, Generator, Optional
 
 from .ports import In, Out
 
-__all__ = ["Flit", "Packetizer", "DePacketizer", "int_serializer", "int_deserializer"]
+__all__ = ["Flit", "Packetizer", "DePacketizer", "int_serializer",
+           "int_deserializer", "xor_checksum"]
+
+
+def xor_checksum(payloads: list) -> int:
+    """Fold a flit payload list into an end-to-end XOR checksum.
+
+    Payloads must be ints (the :func:`int_serializer` family).  XOR
+    detects every single-bit corruption of any one flit — the property
+    the fault-injection campaigns rely on to prove corruption is
+    *detected* rather than silently delivered (see
+    ``docs/ROBUSTNESS.md``).
+    """
+    value = 0
+    for p in payloads:
+        value ^= p
+    return value
 
 
 @dataclass(frozen=True)
@@ -73,10 +89,15 @@ class Packetizer:
 
     def __init__(self, sim, clock, *, serialize: Callable[[Any], list[Any]],
                  dest_of: Callable[[Any], int] = lambda msg: 0,
-                 name: str = "packetizer"):
+                 checksum: bool = False, name: str = "packetizer"):
         self.name = name
         self.serialize = serialize
         self.dest_of = dest_of
+        #: With ``checksum=True`` every message grows one trailing flit
+        #: carrying :func:`xor_checksum` of its payloads, so a matching
+        #: DePacketizer can *detect* in-flight payload corruption
+        #: end-to-end (int payloads only).
+        self.checksum = checksum
         self.msg_in: In = In(name=f"{name}.msg_in")
         self.flit_out: Out = Out(name=f"{name}.flit_out")
         self.messages_sent = 0
@@ -86,6 +107,8 @@ class Packetizer:
         while True:
             msg = yield from self.msg_in.pop()
             payloads = self.serialize(msg)
+            if self.checksum:
+                payloads = payloads + [xor_checksum(payloads)]
             dest = self.dest_of(msg)
             total = len(payloads)
             for seq, payload in enumerate(payloads):
@@ -103,12 +126,18 @@ class DePacketizer:
     """
 
     def __init__(self, sim, clock, *, deserialize: Callable[[list[Any]], Any],
-                 name: str = "depacketizer"):
+                 checksum: bool = False, name: str = "depacketizer"):
         self.name = name
         self.deserialize = deserialize
+        #: Must match the transmitting Packetizer's ``checksum`` flag.
+        #: A message whose trailing checksum flit disagrees with its
+        #: payloads is counted in :attr:`corrupted_messages` and dropped
+        #: (detect-and-discard) instead of delivered wrong.
+        self.checksum = checksum
         self.flit_in: In = In(name=f"{name}.flit_in")
         self.msg_out: Out = Out(name=f"{name}.msg_out")
         self.messages_received = 0
+        self.corrupted_messages = 0
         sim.add_thread(self._run(), clock, name=name)
 
     def _run(self) -> Generator:
@@ -117,6 +146,12 @@ class DePacketizer:
             flit = yield from self.flit_in.pop()
             payloads.append(flit.payload)
             if flit.last:
+                if self.checksum:
+                    expected = payloads.pop()
+                    if xor_checksum(payloads) != expected:
+                        self.corrupted_messages += 1
+                        payloads = []
+                        continue
                 msg = self.deserialize(payloads)
                 payloads = []
                 yield from self.msg_out.push(msg)

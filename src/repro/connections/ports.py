@@ -106,8 +106,21 @@ class Out(_Port[T]):
     def push(self, msg: T) -> Generator:
         """Blocking push: retries every cycle until the channel accepts."""
         channel = self.channel
-        while not channel.do_push(msg):
+        if channel.do_push(msg):
+            return
+        # First attempt refused: if a watchdog is attached to the
+        # channel's simulator, register this thread as blocked in a push
+        # handshake so hangs get a path-level diagnosis.  Disabled-path
+        # cost is zero — this code only runs once backpressure appears.
+        watchdog = getattr(getattr(channel, "sim", None), "watchdog", None)
+        token = watchdog.on_block(self, channel, "push") \
+            if watchdog is not None else None
+        while True:
             yield
+            if channel.do_push(msg):
+                if token is not None:
+                    watchdog.on_unblock(token)
+                return
 
     def can_push(self) -> bool:
         """Would ``push_nb`` succeed this cycle (``Full()`` inverse)?"""
@@ -127,11 +140,21 @@ class In(_Port[T]):
     def pop(self) -> Generator:
         """Blocking pop: retries every cycle; returns the message."""
         channel = self.channel
+        ok, msg = channel.do_pop()
+        if ok:
+            return msg
+        # See Out.push: register with the simulator's watchdog (if any)
+        # only once the first attempt has failed.
+        watchdog = getattr(getattr(channel, "sim", None), "watchdog", None)
+        token = watchdog.on_block(self, channel, "pop") \
+            if watchdog is not None else None
         while True:
+            yield
             ok, msg = channel.do_pop()
             if ok:
+                if token is not None:
+                    watchdog.on_unblock(token)
                 return msg
-            yield
 
     def peek_nb(self) -> tuple[bool, Optional[T]]:
         """Inspect the head message without consuming it."""

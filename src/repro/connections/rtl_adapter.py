@@ -51,6 +51,8 @@ class RtlChannel:
         self._rx_ready = False
         self._pushed = False
         self._popped = False
+        # Fault-injection hook (see repro.faults.plan.ChannelFaults).
+        self._faults = None
         with component_scope(sim, requested, kind="RtlChannel", obj=self,
                              clock=clock, default_name=name is None) as inst:
             self.name = inst.name if inst is not None else requested
@@ -109,6 +111,13 @@ class RtlChannel:
         if not self.can_push():
             return False
         self._pushed = True
+        faults = self._faults
+        if faults is not None:
+            action, msg = faults.on_push(msg)
+            if action == 1:  # drop: accepted by the handshake, then lost
+                return True
+            if action == 2:  # duplicate
+                self._tx.append(msg)
         self._tx.append(msg)
         return True
 

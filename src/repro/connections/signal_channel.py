@@ -139,10 +139,14 @@ class _QueuedSignalChannel:
         import random as _random
 
         if not 0.0 <= probability <= 1.0:
-            raise ValueError("stall probability must be in [0,1]")
+            raise ValueError(f"stall probability must be in [0,1], got {probability}")
         self._stall_probability = probability
-        self._stall_rng = _random.Random(seed)
-        if probability == 0.0:
+        if probability > 0.0:
+            self._stall_rng = _random.Random(seed)
+        else:
+            # Full reset: probability 0 restores the pristine state
+            # (same contract as FastChannel.set_stall).
+            self._stall_rng = None
             self._stalled = False
             self.stall_sig.write(0)
 

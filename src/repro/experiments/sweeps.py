@@ -112,3 +112,34 @@ register_sweep(SweepSpec(
     runner=fig6_soc.run_pe_scaling_point,
     summarize=fig6_soc.summarize_pe_scaling,
 ))
+
+
+# The fault-campaign spec resolves repro.faults.campaign lazily:
+# repro.faults imports experiment harnesses, so importing it here at
+# module scope would close an import cycle through this registry.
+def _fault_campaign_space(**options) -> List[SweepPoint]:
+    from ..faults import campaign
+
+    return campaign.sweep_space(**options)
+
+
+def _fault_campaign_runner(params: dict, seed: int) -> dict:
+    from ..faults import campaign
+
+    return campaign.run_sweep_point(params, seed)
+
+
+def _fault_campaign_summarize(results: List[dict]) -> str:
+    from ..faults import campaign
+
+    return campaign.summarize_sweep(results)
+
+
+register_sweep(SweepSpec(
+    name="fault_campaign",
+    help="seeded fault-injection cases per harness (drop/dup/corrupt/"
+         "stall/clock faults), watchdog-triaged",
+    space=_fault_campaign_space,
+    runner=_fault_campaign_runner,
+    summarize=_fault_campaign_summarize,
+))

@@ -37,6 +37,7 @@ class GalsLink:
                  settle_ps: int = 50, pausible: bool = True,
                  name: Optional[str] = None):
         requested = name if name is not None else "galslink"
+        self.sim = sim
         self.tx_clock = tx_clock
         self.rx_clock = rx_clock
         with component_scope(sim, requested, kind="GalsLink", obj=self,
@@ -81,6 +82,12 @@ class GalsLink:
 
     def set_stall(self, probability: float, *, seed: int = 0) -> None:
         self._rx_chan.set_stall(probability, seed=seed)
+
+    @property
+    def fault_host(self):
+        """Where :mod:`repro.faults` installs channel faults: the tx-side
+        buffer, so drops/duplicates/corruption happen before the CDC."""
+        return self._tx_chan
 
     @property
     def occupancy(self) -> int:

@@ -26,6 +26,8 @@ from .simulator import (
     SimulationError,
     Simulator,
     Thread,
+    TimeBudgetExceeded,
+    time_budget,
 )
 from .tracing import Trace, WallClock, write_vcd
 
@@ -43,4 +45,6 @@ __all__ = [
     "write_vcd",
     "SimulationError",
     "DeltaOverflow",
+    "TimeBudgetExceeded",
+    "time_budget",
 ]

@@ -46,6 +46,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
+from contextlib import contextmanager
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..design.hierarchy import Hierarchy
@@ -58,6 +59,8 @@ __all__ = [
     "Method",
     "SimulationError",
     "DeltaOverflow",
+    "TimeBudgetExceeded",
+    "time_budget",
 ]
 
 
@@ -67,6 +70,40 @@ class SimulationError(RuntimeError):
 
 class DeltaOverflow(SimulationError):
     """Raised when a timestep fails to converge (combinational loop)."""
+
+
+class TimeBudgetExceeded(SimulationError):
+    """Raised when a simulation overruns an ambient wall-clock budget."""
+
+
+#: Stack of monotonic deadlines armed by :func:`time_budget`.  The
+#: scheduler checks the innermost deadline once per timestep, so a
+#: wedged simulation stops with :class:`TimeBudgetExceeded` even where
+#: SIGALRM is unusable (non-main threads, non-POSIX platforms).  The
+#: list identity is stable — hot loops may hoist a reference to it.
+_TIME_BUDGET: list = []
+
+_monotonic = time.monotonic
+
+
+@contextmanager
+def time_budget(seconds: float):
+    """Bound any simulation run inside the block to ``seconds`` of wall
+    clock.
+
+    Cooperative (checked between scheduler timesteps): pure-Python code
+    that never re-enters the kernel is not interrupted.  Budgets nest;
+    the innermost deadline armed *before* a run starts is the one that
+    run honours.
+    """
+    if seconds is None or seconds <= 0:
+        raise ValueError(f"time budget must be positive, got {seconds}")
+    deadline = _monotonic() + float(seconds)
+    _TIME_BUDGET.append(deadline)
+    try:
+        yield
+    finally:
+        _TIME_BUDGET.remove(deadline)
 
 
 class Event:
@@ -222,6 +259,13 @@ class Simulator:
         self._started = False
         self._finished_threads = 0
         self.trace = None  # optional Trace object (see tracing.py)
+        #: Progress watchdog (see repro.faults.watchdog) or None.  Like
+        #: telemetry, None keeps every hook at zero overhead; attaching
+        #: one routes the delta loop through the instrumented variant so
+        #: blocking ports can identify the running thread.
+        self.watchdog = None
+        #: Thread currently being resumed (instrumented delta loop only).
+        self._current: Optional[Thread] = None
         #: Design hierarchy under construction (see repro.design).  All
         #: registration is construction-time; the scheduler never reads it.
         self.design = Hierarchy(self)
@@ -356,9 +400,15 @@ class Simulator:
         queue = self._queue
         fast = self._fast_clocks
         pop = heapq.heappop
+        budget = _TIME_BUDGET  # stable list identity; usually empty
         # Flush writes/wakeups performed outside any process before running.
         self._delta_loop()
         while True:
+            if budget and _monotonic() >= budget[-1]:
+                raise TimeBudgetExceeded(
+                    f"simulation at t={self.now} exceeded its wall-clock "
+                    f"budget (see repro.kernel.time_budget)"
+                )
             t = queue[0][0] if queue else None
             for clk in fast:
                 ct = clk._next_time()
@@ -428,7 +478,8 @@ class Simulator:
         dirty = self._dirty_signals
         if not self._runnable and not dirty:
             return
-        if self.telemetry is None and self.trace is None:
+        if self.telemetry is None and self.trace is None \
+                and self.watchdog is None:
             # Fast variant: identical evaluate/update semantics with the
             # per-proc instrumentation branches and the _commit /
             # _queue_method calls flattened away.
@@ -485,6 +536,9 @@ class Simulator:
                 if isinstance(proc, Thread):
                     if proc.done:
                         continue
+                    # Expose the running thread so blocking ports can
+                    # attribute their handshake state to it (watchdog).
+                    self._current = proc
                     if kstats is None:
                         proc._resume()
                     else:
@@ -493,6 +547,7 @@ class Simulator:
                         proc._resume()
                         kstats.add_proc_time(
                             proc.name, time.perf_counter() - start)
+                    self._current = None
                 else:  # Method
                     proc._queued = False
                     if kstats is not None:

@@ -66,9 +66,12 @@ class NocChannel:
                  depth: int = 4, name: str = "nocchan"):
         if depth < 1:
             raise ValueError("depth must be >= 1")
+        self.sim = sim
         self.name = name
         self.chan_id = chan_id
         self.depth = depth
+        # Fault-injection hook (see repro.faults.plan.ChannelFaults).
+        self._faults = None
         self._src_ni = src_demux.ni
         self._dst_ni = dst_demux.ni
         self._tx: deque = deque()
@@ -119,6 +122,13 @@ class NocChannel:
                 self.telemetry.on_push_rejected()
             return False
         self._pushed = True
+        faults = self._faults
+        if faults is not None:
+            action, msg = faults.on_push(msg)
+            if action == 1:  # drop: accepted by the handshake, then lost
+                return True
+            if action == 2:  # duplicate
+                self._tx.append(msg)
         self._tx.append(msg)
         return True
 

@@ -53,12 +53,18 @@ class PointTimeout(Exception):
 def _alarm(seconds: Optional[float]):
     """Raise :class:`PointTimeout` in the current process after ``seconds``.
 
-    SIGALRM-based, so it fires even inside a busy simulation loop; a
-    no-op where unavailable (non-main thread, platforms without the
-    signal) or when no timeout is requested.
+    SIGALRM-based, so it fires even inside a busy simulation loop.
+    Where the signal cannot be armed (non-main thread, platforms
+    without SIGALRM) the point instead runs under the kernel's ambient
+    wall-clock budget (:func:`repro.kernel.time_budget`), which the
+    simulator's timestep loop polls — a slightly softer deadline, but
+    never silently unbounded.  A no-op only when no timeout was
+    requested at all.
     """
-    usable = (seconds is not None and seconds > 0
-              and hasattr(signal, "SIGALRM"))
+    if seconds is None or seconds <= 0:
+        yield
+        return
+    usable = hasattr(signal, "SIGALRM")
     if usable:
         try:
             old = signal.signal(
@@ -68,7 +74,15 @@ def _alarm(seconds: Optional[float]):
         except ValueError:  # not in the main thread
             usable = False
     if not usable:
-        yield
+        from ..kernel.simulator import TimeBudgetExceeded, time_budget
+
+        try:
+            with time_budget(seconds):
+                yield
+        except TimeBudgetExceeded as exc:
+            raise PointTimeout(
+                f"point exceeded {seconds:.3g}s "
+                f"(kernel cycle-budget fallback)") from exc
         return
     signal.setitimer(signal.ITIMER_REAL, float(seconds))
     try:

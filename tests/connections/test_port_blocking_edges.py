@@ -1,0 +1,119 @@
+"""Cycle-exact resume behaviour of blocking ports at the edge cases."""
+
+from repro.connections import Buffer, In, Out
+from repro.kernel import Simulator
+
+
+def _sim():
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=10)
+    return sim, clk
+
+
+def test_blocking_pop_resumes_cycle_after_push():
+    """A push at edge k is visible to pop at k+1 — not sooner, not later."""
+    sim, clk = _sim()
+    chan = Buffer(sim, clk, capacity=2, name="c")
+    out = Out(chan, name="out")
+    inp = In(chan, name="in")
+    resumed_at = []
+
+    def producer():
+        yield 7  # threads start at cycle 1, so the push fires at cycle 8
+        assert clk.cycles == 8
+        assert out.push_nb(99)
+
+    def consumer():
+        msg = yield from inp.pop()
+        resumed_at.append((clk.cycles, msg))
+
+    sim.add_thread(producer(), clk)
+    sim.add_thread(consumer(), clk)
+    sim.run(until=500)
+    assert resumed_at == [(9, 99)]
+
+
+def test_blocking_push_resumes_cycle_after_freeing_pop():
+    """With a full capacity-1 buffer, the blocked push lands exactly one
+    cycle after the pop frees a slot (``_occ_start`` frozen semantics)."""
+    sim, clk = _sim()
+    chan = Buffer(sim, clk, capacity=1, name="c")
+    out = Out(chan, name="out")
+    inp = In(chan, name="in")
+    pushed_at = []
+    popped = []
+
+    def producer():
+        assert out.push_nb(1)          # fills the only slot at cycle 1
+        yield from out.push(2)          # blocks until a slot frees
+        pushed_at.append(clk.cycles)
+
+    def consumer():
+        yield 5                        # pop fires on cycle 6's edge
+        ok, msg = inp.pop_nb()
+        assert ok and msg == 1
+        popped.append(clk.cycles)
+        yield 3
+        ok, msg = inp.pop_nb()
+        assert ok and msg == 2
+        popped.append(clk.cycles)
+
+    sim.add_thread(producer(), clk)
+    sim.add_thread(consumer(), clk)
+    sim.run(until=500)
+    # Start-of-cycle occupancy freezes backpressure: the pop at cycle 6
+    # makes room visible at cycle 7, where the blocked push completes.
+    assert popped[0] == 6 and pushed_at == [7]
+    assert popped[1] == 9
+
+
+def test_pop_nb_under_full_stall_rejects_then_recovers():
+    sim, clk = _sim()
+    chan = Buffer(sim, clk, capacity=2, name="c")
+    out = Out(chan, name="out")
+    inp = In(chan, name="in")
+    log = []
+
+    def driver():
+        assert out.push_nb(5)
+        chan.set_stall(1.0, seed=0)
+        yield 2                        # message is in the buffer by now
+        for _ in range(4):
+            log.append(inp.pop_nb())
+            yield
+        chan.set_stall(0.0)
+        yield
+        log.append(inp.pop_nb())
+
+    sim.add_thread(driver(), clk)
+    before = chan.stats.pop_rejections
+    sim.run(until=500)
+    # Every attempt under p=1.0 stall is refused and counted; the first
+    # attempt after the reset succeeds with the original message.
+    assert log[:4] == [(False, None)] * 4
+    assert log[4] == (True, 5)
+    assert chan.stats.pop_rejections - before >= 4
+
+
+def test_watchdog_free_ports_have_no_block_tokens():
+    """Without a watchdog attached, blocking ports must not keep any
+    block-state; the fast path stays untouched (zero-cost-when-off)."""
+    sim, clk = _sim()
+    chan = Buffer(sim, clk, capacity=1, name="c")
+    out = Out(chan, name="out")
+    inp = In(chan, name="in")
+    got = []
+
+    def producer():
+        for i in range(4):
+            yield from out.push(i)
+
+    def consumer():
+        for _ in range(4):
+            got.append((yield from inp.pop()))
+
+    sim.add_thread(producer(), clk)
+    sim.add_thread(consumer(), clk)
+    assert getattr(sim, "watchdog", None) is None
+    sim.run(until=2_000)
+    assert got == [0, 1, 2, 3]

@@ -1,0 +1,189 @@
+"""FaultPlan semantics: determinism, fault behaviour, target resolution."""
+
+import pytest
+
+from repro.connections import Buffer, In, Out
+from repro.faults import FaultPlan
+from repro.kernel import Simulator
+
+
+def _pipe(n_msgs=10, capacity=2, drain=400):
+    """One producer, one channel ``chip.c``, one bounded consumer.
+
+    Returns ``(sim, chan, received)``; run the sim, then inspect.
+    """
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=10)
+    with sim.design.scope("chip", kind="Chip", clock=clk):
+        chan = Buffer(sim, clk, capacity=capacity, name="c")
+        out = Out(chan, name="out")
+        inp = In(chan, name="in")
+        received = []
+
+        def producer():
+            for i in range(n_msgs):
+                yield from out.push(i)
+
+        def consumer():
+            for _ in range(drain):
+                ok, msg = inp.pop_nb()
+                if ok:
+                    received.append(msg)
+                yield
+
+        sim.add_thread(producer(), clk, name="prod")
+        sim.add_thread(consumer(), clk, name="cons")
+    return sim, chan, received
+
+
+def _run(sim):
+    sim.run(until=100_000)
+
+
+# ----------------------------------------------------------------------
+# fault behaviour at probability 1
+# ----------------------------------------------------------------------
+def test_drop_all_messages_accepted_but_lost():
+    sim, chan, received = _pipe()
+    applied = FaultPlan(seed=1).drop("chip.c", probability=1.0).apply(sim)
+    _run(sim)
+    assert received == []
+    faults = applied.channels["chip.c"]
+    assert faults.drops == 10
+    # Dropped messages never occupy the buffer, so it stays empty.
+    assert chan.occupancy == 0
+    assert applied.lossy_events() == 10
+
+
+def test_duplicate_every_message_twice():
+    sim, chan, received = _pipe(n_msgs=5)
+    applied = FaultPlan(seed=1).duplicate("chip.c",
+                                          probability=1.0).apply(sim)
+    _run(sim)
+    assert received == [0, 0, 1, 1, 2, 2, 3, 3, 4, 4]
+    assert applied.channels["chip.c"].duplicates == 5
+
+
+def test_corrupt_transforms_payloads_and_counts():
+    sim, chan, received = _pipe(n_msgs=8)
+    applied = FaultPlan(seed=1).corrupt(
+        "chip.c", probability=1.0,
+        corrupter=lambda payload, rng: payload ^ 1).apply(sim)
+    _run(sim)
+    assert received == [i ^ 1 for i in range(8)]
+    # i=1 corrupts to 0... every value changed, so all 8 count.
+    assert applied.channels["chip.c"].corruptions == 8
+
+
+def test_noop_corruption_is_not_counted():
+    sim, chan, received = _pipe(n_msgs=4)
+    applied = FaultPlan(seed=1).corrupt(
+        "chip.c", probability=1.0,
+        corrupter=lambda payload, rng: payload).apply(sim)
+    _run(sim)
+    assert received == [0, 1, 2, 3]
+    assert applied.channels["chip.c"].corruptions == 0
+    assert applied.lossy_events() == 0
+
+
+def test_stall_burst_window_and_full_reset():
+    sim, chan, received = _pipe(n_msgs=10, drain=400)
+    FaultPlan(seed=1).stall_burst("chip.c", start=5, length=20,
+                                  probability=1.0).apply(sim)
+    _run(sim)
+    # The burst withheld valid for its window, then fully reset.
+    assert 15 <= chan.stats.stall_cycles <= 25
+    assert chan._stall_probability == 0.0
+    assert chan._stall_rng is None and chan._stalled is False
+    assert received == list(range(10))  # bounded burst only delays
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+def test_same_seed_same_faults():
+    outs = []
+    for _ in range(2):
+        sim, chan, received = _pipe(n_msgs=30, drain=600)
+        applied = FaultPlan(seed=42).drop(
+            "chip.c", probability=0.4).apply(sim)
+        _run(sim)
+        outs.append((list(received), applied.channels["chip.c"].drops))
+    assert outs[0] == outs[1]
+    assert 0 < outs[0][1] < 30  # the fault actually fired, partially
+
+
+def test_different_seeds_differ():
+    outs = []
+    for seed in (1, 2):
+        sim, chan, received = _pipe(n_msgs=30, drain=600)
+        FaultPlan(seed=seed).drop("chip.c", probability=0.4).apply(sim)
+        _run(sim)
+        outs.append(list(received))
+    assert outs[0] != outs[1]
+
+
+def test_directive_seeds_stable_under_shrink_removal():
+    plan = FaultPlan(seed=9)
+    plan.drop("a", probability=0.5)
+    plan.duplicate("b", probability=0.5)
+    plan.corrupt("c", probability=0.5)
+    smaller = plan.without(0)
+    assert [d.seed for d in smaller.directives] \
+        == [d.seed for d in plan.directives[1:]]
+    assert smaller.describe() == plan.describe()[1:]
+
+
+def test_clock_jitter_is_deterministic():
+    finals = []
+    for _ in range(2):
+        sim, chan, received = _pipe(n_msgs=20, drain=500)
+        FaultPlan(seed=3).clock_jitter("clk", amplitude=3,
+                                       every=5).apply(sim)
+        _run(sim)
+        finals.append((list(received), sim._clocks[0].cycles))
+    assert finals[0] == finals[1]
+    assert finals[0][0] == list(range(20))  # jitter reorders nothing
+
+
+# ----------------------------------------------------------------------
+# validation and target resolution
+# ----------------------------------------------------------------------
+def test_unknown_channel_target_raises():
+    sim, chan, received = _pipe()
+    with pytest.raises(ValueError, match="nope"):
+        FaultPlan(seed=0).drop("nope", probability=0.5).apply(sim)
+
+
+def test_unknown_clock_target_raises():
+    sim, chan, received = _pipe()
+    with pytest.raises(ValueError, match="ghost"):
+        FaultPlan(seed=0).clock_jitter("ghost", amplitude=2).apply(sim)
+
+
+def test_probability_bounds_enforced():
+    plan = FaultPlan(seed=0)
+    with pytest.raises(ValueError):
+        plan.drop("c", probability=0.0)
+    with pytest.raises(ValueError):
+        plan.duplicate("c", probability=1.5)
+    with pytest.raises(ValueError):
+        plan.stall_burst("c", start=-1, length=10)
+    with pytest.raises(ValueError):
+        plan.clock_drift("clk", rate=0)
+
+
+def test_plain_name_resolves_when_unique():
+    sim, chan, received = _pipe(n_msgs=3)
+    applied = FaultPlan(seed=1).drop("c", probability=1.0).apply(sim)
+    _run(sim)
+    assert received == []
+    # Resolution records the full dotted path, not the bare name.
+    assert list(applied.channels) == ["chip.c"]
+
+
+def test_helper_threads_are_registered_for_watchdog_exemption():
+    sim, chan, received = _pipe()
+    FaultPlan(seed=1).clock_jitter("clk", amplitude=2).apply(sim)
+    FaultPlan(seed=2).stall_burst("chip.c", start=0, length=10).apply(sim)
+    assert len(sim._fault_helper_threads) == 2

@@ -31,7 +31,8 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 EXEC_DIRS = {REPO / "docs"}  # only execute snippets from these dirs
 #: Example scripts fast enough (~1 s) to execute on every docs check.
-EXEC_EXAMPLES = (REPO / "examples" / "sweep_demo.py",)
+EXEC_EXAMPLES = (REPO / "examples" / "sweep_demo.py",
+                 REPO / "examples" / "fault_campaign_demo.py")
 
 FENCE_RE = re.compile(r"^```(\w*)\s*$")
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
