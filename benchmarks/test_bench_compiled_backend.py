@@ -1,0 +1,89 @@
+"""Regression gate for the compiled backend's speedup claim.
+
+``docs/PERFORMANCE.md`` records the graph-compiled dispatch loop
+(:mod:`repro.compile`) running the heavy 16-PE ``pe_scaling`` workload
+well over 5x faster than the threaded reference kernel.  This bench
+re-measures that ratio and gates on it, so a change that quietly
+erodes the compiled engine's advantage (or breaks its attach path)
+fails CI rather than surviving as a stale number in the docs.
+
+The gate uses the heavy 16-PE point rather than the whole size sweep:
+it is the largest, least noisy measurement (~1s threaded), and the
+small/mid sizes are dominated by fixed costs that make their ratios
+swing by tens of percent between runs.  Cycle counts from the two
+backends are also compared — the speedup claim is only meaningful if
+the compiled run still simulates the identical machine.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.kernel.backend import last_run, use_backend
+from repro.workloads import run_workload
+
+from test_bench_pe_scaling import TOTAL_WORDS, _heavy_workload
+
+#: Checked-in claim (docs/PERFORMANCE.md): >=5x on the heavy 16-PE
+#: workload.  Gated with margin below the measured ~6.2x so allocator
+#: and CPU-frequency luck do not flake the job.
+MIN_SPEEDUP = 5.0
+ROUNDS = 3
+
+
+def _cycles_and_seconds(workload, backend: str):
+    best = float("inf")
+    cycles = None
+    for _ in range(ROUNDS):
+        with use_backend(backend):
+            t0 = time.perf_counter()
+            soc = run_workload(workload)
+            elapsed = time.perf_counter() - t0
+        best = min(best, elapsed)
+        cycles = soc.finish_time // soc.CLOCK_PERIOD
+    return cycles, best
+
+
+def test_bench_compiled_speedup(benchmark, save_result):
+    counts = (1, 2, 4, 8, 16)
+    rows = {}
+
+    def run():
+        for n in counts:
+            workload = _heavy_workload(n)
+            threaded_cyc, threaded_s = _cycles_and_seconds(workload,
+                                                           "threaded")
+            compiled_cyc, compiled_s = _cycles_and_seconds(workload,
+                                                           "compiled")
+            assert last_run() == ("compiled", None)
+            assert compiled_cyc == threaded_cyc
+            rows[n] = (threaded_cyc, threaded_s, compiled_s)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [f"Compiled vs threaded backend, heavy pe_scaling workload "
+             f"({TOTAL_WORDS} total words, min of {ROUNDS} rounds)",
+             f"{'PEs':>4} {'cycles':>8} {'threaded s':>11} "
+             f"{'compiled s':>11} {'speedup':>8}"]
+    for n in counts:
+        cyc, t_s, c_s = rows[n]
+        lines.append(f"{n:>4} {cyc:>8} {t_s:>11.3f} {c_s:>11.3f} "
+                     f"{t_s / c_s:>8.2f}")
+    total_t = sum(r[1] for r in rows.values())
+    total_c = sum(r[2] for r in rows.values())
+    lines.append(f"{'all':>4} {'':>8} {total_t:>11.3f} {total_c:>11.3f} "
+                 f"{total_t / total_c:>8.2f}")
+    lines.append("cycle counts are asserted identical per size; the gate "
+                 f"is {MIN_SPEEDUP:.0f}x on the 16-PE point (the stable "
+                 "measurement; small sizes are fixed-cost dominated).")
+    save_result("compiled_speedup", "\n".join(lines))
+
+    _, heavy_t, heavy_c = rows[16]
+    # The table is always measured and recorded (cycle identity above
+    # holds on any machine); the wall-clock gate itself needs a box
+    # with some headroom or contention noise flakes it.
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip("speedup gate needs >=4 CPUs; table recorded, "
+                    f"measured {heavy_t / heavy_c:.2f}x ungated")
+    assert heavy_t / heavy_c >= MIN_SPEEDUP

@@ -9,6 +9,11 @@ the pausible design saves, and the overhead tables quantify the area
 cost (paper: < 3 % for typical partitions).
 
 Run:  python examples/gals_clocking.py
+
+No ``--backend`` flag here: adaptive per-domain clock generators are
+outside the compiled backend's capability proof (each edge's period is
+computed from a noise model), so this demo always runs on the threaded
+kernel — see docs/COMPILED_BACKEND.md for the full eligibility table.
 """
 
 from repro.connections import Buffer, In, Out

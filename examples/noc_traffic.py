@@ -6,12 +6,17 @@ drives random traffic, and compares delivered latency — the wormhole
 router pipelines flits across hops while the SF router waits for whole
 packets, which is why the prototype SoC uses WHVCRouter.
 
-Run:  python examples/noc_traffic.py
+Run:  python examples/noc_traffic.py [--backend compiled]
+
+``--backend compiled`` runs the same meshes under the graph-compiled
+dispatch loop (docs/COMPILED_BACKEND.md): identical flit-hop counts
+and arrival times, idle routers parked instead of polled.
 """
 
+import argparse
 import random
 
-from repro.kernel import Simulator
+from repro.kernel import Simulator, last_run, use_backend
 from repro.noc import Mesh
 
 
@@ -82,6 +87,20 @@ def channel_over_noc_demo() -> None:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", choices=("threaded", "compiled"),
+                        default="threaded",
+                        help="simulation backend (results are identical)")
+    args = parser.parse_known_args()[0]
+    with use_backend(args.backend):
+        _run_demos()
+    if args.backend != "threaded":
+        backend, reason = last_run()
+        print(f"\nsimulation backend: {backend}"
+              + (f" (fallback: {reason})" if reason else ""))
+
+
+def _run_demos() -> None:
     for router in ("whvc", "sf"):
         delivered, finish, mesh = run_traffic(router)
         flits = getattr(mesh, "total_flits_forwarded", 0)

@@ -6,15 +6,36 @@ arbitrated crossbar through latency-insensitive channels, with random
 stall injection on one output — and shows the central LI guarantee:
 timing perturbations never change the data.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--backend compiled]
+
+``--backend compiled`` requests the graph-compiled dispatch loop
+(docs/COMPILED_BACKEND.md); results are byte-identical either way, and
+if the design falls outside the compiled capability proof the run
+silently (but recordedly) proceeds threaded.
 """
 
+import argparse
+
 from repro.connections import Buffer, In, Out
-from repro.kernel import Simulator
+from repro.kernel import Simulator, last_run, use_backend
 from repro.matchlib import ArbitratedCrossbarModule
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", choices=("threaded", "compiled"),
+                        default="threaded",
+                        help="simulation backend (results are identical)")
+    args = parser.parse_known_args()[0]
+    with use_backend(args.backend):
+        _run_demo()
+    if args.backend != "threaded":
+        backend, reason = last_run()
+        print(f"simulation backend: {backend}"
+              + (f" (fallback: {reason})" if reason else ""))
+
+
+def _run_demo() -> None:
     sim = Simulator()
     clk = sim.add_clock("clk", period=909)  # 1.1 GHz at 1 tick = 1 ps
 

@@ -8,9 +8,19 @@ references.  Also re-runs one workload on the fine-grained GALS build
 (per-node clock generators + pausible bisynchronous FIFO links) to show
 the LI guarantee: identical results under asynchronous clocking.
 
-Run:  python examples/soc_demo.py
+Run:  python examples/soc_demo.py [--backend compiled]
+
+``--backend compiled`` runs the fast-mode workloads under the
+graph-compiled dispatch loop (docs/COMPILED_BACKEND.md) — identical
+cycle counts, several times the wall-clock speed.  The GALS build is
+outside the compiled backend's capability proof (per-node adaptive
+clocks), so it always runs threaded and records that as its fallback
+reason.
 """
 
+import argparse
+
+from repro.kernel import last_run, use_backend
 from repro.workloads import (
     conv2d_workload,
     gemm_workload,
@@ -21,6 +31,16 @@ from repro.workloads import (
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", choices=("threaded", "compiled"),
+                        default="threaded",
+                        help="simulation backend (results are identical)")
+    args = parser.parse_known_args()[0]
+    with use_backend(args.backend):
+        _run_demos(report_backend=args.backend != "threaded")
+
+
+def _run_demos(report_backend: bool = False) -> None:
     print("Prototype SoC: 16 PEs, RISC-V controller, 2 global memories\n")
 
     for workload in (conv2d_workload(height=8, width=12),
@@ -42,6 +62,10 @@ def main() -> None:
     print(f"{workload.name} on GALS chip:        "
           f"{gals.finish_time // gals.CLOCK_PERIOD:,} equivalent cycles, "
           f"{pauses} pausible-clock pauses, results identical")
+    if report_backend:
+        backend, reason = last_run()
+        print(f"\nlast run's simulation backend: {backend}"
+              + (f" (fallback: {reason})" if reason else ""))
 
 
 if __name__ == "__main__":

@@ -16,18 +16,26 @@ canonical serialization — the cache and the pool are invisible to the
 science.  The demo keeps its cache in a temp dir so it leaves nothing
 behind.
 
-Run:  python examples/sweep_demo.py
+Run:  python examples/sweep_demo.py [--backend compiled]
+
+``--backend compiled`` stamps every point with the graph-compiled
+backend (docs/COMPILED_BACKEND.md).  A non-default backend enters each
+point's cache key, so threaded and compiled results are cached
+separately — the cache observes their byte-identity, never assumes it.
 
 Equivalent CLI:
 
     python -m repro sweep stall_verification --jobs 4
     python -m repro sweep stall_verification --jobs 4   # all cache hits
+    python -m repro sweep stall_verification --backend compiled
 
 See the sweep section of docs/PERFORMANCE.md for the cache-key and
 eviction semantics.
 """
 
+import argparse
 import tempfile
+from dataclasses import replace
 
 from repro.experiments.stall_verification import sweep_space
 from repro.experiments.sweeps import get_sweep
@@ -35,10 +43,18 @@ from repro.sweep import ResultCache, run_sweep
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", choices=("threaded", "compiled"),
+                        default="threaded",
+                        help="simulation backend for every point")
+    args = parser.parse_known_args()[0]
+
     spec = get_sweep("stall_verification")
     # A deliberately tiny space so the demo stays ~1 s: 2 stall
     # probabilities x 3 seeded trials = 6 independent points.
     points = sweep_space(probabilities=(0.0, 0.5), trials=3)
+    if args.backend != "threaded":
+        points = [replace(p, backend=args.backend) for p in points]
     print(f"space: {len(points)} points, e.g. {points[0].label}")
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -57,8 +73,11 @@ def main() -> None:
         assert warm.canonical() == cold.canonical(), \
             "cache must reproduce the cold run byte-for-byte"
 
-        grown = run_sweep(sweep_space(probabilities=(0.0, 0.5), trials=5),
-                          jobs=2, cache=cache())
+        grown_points = sweep_space(probabilities=(0.0, 0.5), trials=5)
+        if args.backend != "threaded":
+            grown_points = [replace(p, backend=args.backend)
+                            for p in grown_points]
+        grown = run_sweep(grown_points, jobs=2, cache=cache())
         print("\n--- grown space (5 trials) ---")
         print(grown.summary())
         assert grown.cache_hits == len(points)  # old trials reused

@@ -13,6 +13,11 @@ signal tracing on, then:
 
 Run:  python examples/telemetry_demo.py
 
+No ``--backend`` flag here: an attached telemetry hub (or VCD trace)
+needs the instrumented per-delta loop, so a ``backend="compiled"``
+request would fall back to the threaded kernel anyway and record
+"telemetry hub attached" as the reason — see docs/COMPILED_BACKEND.md.
+
 Equivalent CLI (for any built-in experiment):
 
     python -m repro stats fig3 --ports 2 --txns 10 --json fig3.jsonl

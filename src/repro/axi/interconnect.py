@@ -16,6 +16,7 @@ from typing import Generator, List, Optional
 from ..connections.channel import Buffer
 from ..connections.ports import In, Out
 from ..design.hierarchy import component_scope
+from ..kernel import Gate
 from .master import AxiMaster
 from .slave import _SlaveBase
 from .types import AxiAR, AxiAW, AxiB, AxiR, AxiResp, AxiW
@@ -77,6 +78,9 @@ class AxiInterconnect:
             self.ranges: List[AddressRange] = []
             self.transactions = 0
             self.decode_errors = 0
+            # Idle-wait point for the compiled backend: reopened when any
+            # master's aw/ar delivers (plain one-cycle wait threaded).
+            self._gate = Gate()
             sim.add_thread(self._run(), clock, name="ctl")
 
     # ------------------------------------------------------------------
@@ -142,7 +146,17 @@ class AxiInterconnect:
     # fabric engine: serve masters round-robin, one txn at a time
     # ------------------------------------------------------------------
     def _run(self) -> Generator:
+        # Request channels are fabric-built Buffers (see _chan), so the
+        # wake hook always exists; masters connected after the first
+        # posedge simply join the watch set on the next idle pass.
+        gate = self._gate
+        watched = 0
         while True:
+            if watched < len(self._m_aw):
+                for ports in (self._m_aw[watched:], self._m_ar[watched:]):
+                    for port in ports:
+                        port._channel.add_wake_gate(gate)
+                watched = len(self._m_aw)
             progressed = False
             for m in range(len(self._m_aw)):
                 ok, aw = self._m_aw[m].pop_nb()
@@ -154,7 +168,7 @@ class AxiInterconnect:
                     yield from self._route_read(m, ar)
                     progressed = True
             if not progressed:
-                yield
+                yield gate
 
     def _route_write(self, m: int, aw: AxiAW) -> Generator:
         s = self._decode(aw.addr)

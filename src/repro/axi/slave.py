@@ -13,6 +13,7 @@ from typing import Any, Callable, Dict, Generator, Optional
 
 from ..connections.ports import In, Out
 from ..design.hierarchy import component_scope
+from ..kernel import Gate
 from ..matchlib.mem_array import MemArray
 from .types import AxiAR, AxiAW, AxiB, AxiR, AxiResp, AxiW
 
@@ -36,9 +37,20 @@ class _SlaveBase:
             self.r: Out = Out(name="r")
             self.reads_served = 0
             self.writes_served = 0
+            # Idle-wait point for the compiled backend: reopened when a
+            # request lands on aw or ar (plain one-cycle wait threaded).
+            self._gate = Gate()
             sim.add_thread(self._run(), clock, name="ctl")
 
     def _run(self) -> Generator:
+        # Park only when both request channels expose the wake hook.
+        gate = self._gate
+        hooks = [getattr(port._channel, "add_wake_gate", None)
+                 for port in (self.aw, self.ar)]
+        parkable = all(hook is not None for hook in hooks)
+        if parkable:
+            for hook in hooks:
+                hook(gate)
         while True:
             progressed = False
             ok, aw = self.aw.pop_nb()
@@ -50,7 +62,7 @@ class _SlaveBase:
                 yield from self._serve_read(ar)
                 progressed = True
             if not progressed:
-                yield
+                yield gate if parkable else None
 
     def _serve_write(self, aw: AxiAW) -> Generator:
         resp = AxiResp.OKAY

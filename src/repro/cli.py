@@ -24,6 +24,10 @@ Every experiment verb also accepts:
 * ``--json PATH`` — dump the experiment's result dataclasses as JSON
   through the same canonical serializer the sweep cache and merge layer
   use (:mod:`repro.sweep.serialize`).
+* ``--backend {threaded,compiled}`` — pick the simulation backend (see
+  ``docs/COMPILED_BACKEND.md``).  The compiled backend is byte-identical
+  by construction and falls back to the threaded kernel — recording the
+  reason — whenever a design uses constructs it cannot prove out.
 
 Parameter sweeps (see ``docs/PERFORMANCE.md``):
 
@@ -260,6 +264,10 @@ def _cmd_sweep(args) -> int:
     points = build_space(args.experiment, seed=args.seed)
     if args.limit is not None:
         points = points[:args.limit]
+    if args.backend != "threaded":
+        from dataclasses import replace
+
+        points = [replace(p, backend=args.backend) for p in points]
     if not points:
         print(f"sweep {args.experiment}: empty parameter space")
         return 2
@@ -362,6 +370,14 @@ def _add_fig3_args(p: argparse.ArgumentParser) -> None:
                    help="transactions per port")
 
 
+def _backend_provenance(run: Tuple[str, Optional[str]]) -> str:
+    """One provenance line: which backend produced the last run."""
+    backend, reason = run
+    if reason:
+        return f"simulation backend: {backend} (fallback: {reason})"
+    return f"simulation backend: {backend}"
+
+
 def _write_vcd_from(session, path: str) -> str:
     """Export the capture session's best trace; returns a status line."""
     from .kernel.tracing import write_vcd
@@ -410,6 +426,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "canonical sweep serializer")
         p.add_argument("--trace-vcd", metavar="PATH", default=None,
                        help="record signal waveforms and write a VCD file")
+        p.add_argument("--backend", choices=("threaded", "compiled"),
+                       default="threaded",
+                       help="simulation backend (compiled is differentially "
+                            "verified byte-identical; falls back to threaded "
+                            "when unsupported constructs appear)")
     bench = sub.add_parser(
         "bench",
         help="run kernel benchmarks; optionally gate vs a baseline JSON")
@@ -448,6 +469,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                               "$REPRO_SWEEP_CACHE or ~/.cache/repro/sweeps)")
     sweep_p.add_argument("--no-telemetry", action="store_true",
                          help="skip per-point telemetry capture")
+    sweep_p.add_argument("--backend", choices=("threaded", "compiled"),
+                         default="threaded",
+                         help="simulation backend for every point (enters "
+                              "the cache key for non-default values)")
     sweep_p.add_argument("--json", metavar="PATH", default=None,
                          help="write points, results and engine/cache "
                               "statistics as JSON")
@@ -501,6 +526,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="also write signal waveforms as a VCD file")
     stats.add_argument("--json", metavar="PATH", default=None,
                        help="also write the telemetry report as JSONL")
+    stats.add_argument("--backend", choices=("threaded", "compiled"),
+                       default="threaded",
+                       help="requested simulation backend (telemetry forces "
+                            "a threaded fallback; the report's provenance "
+                            "line records what actually ran)")
     args = parser.parse_args(argv)
 
     if args.command in (None, "list"):
@@ -538,9 +568,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     fn, _ = _COMMANDS[target]
     trace_path = args.trace_vcd
 
+    from .kernel.backend import last_run, use_backend
+
     if not (want_stats or trace_path):
-        out, payload = fn(args)
+        with use_backend(args.backend):
+            out, payload = fn(args)
         extras = [out]
+        if args.backend != "threaded":
+            extras.append(_backend_provenance(last_run()))
         if args.json:
             from .sweep import dump_json
 
@@ -551,7 +586,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     from . import observe
 
-    with observe.capture(trace_signals=bool(trace_path)) as session:
+    with use_backend(args.backend), \
+            observe.capture(trace_signals=bool(trace_path)) as session:
         out, payload = fn(args)
     extras = [out]
     if trace_path:
@@ -559,6 +595,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if want_stats:
         report = session.report(label=target)
         extras.append(observe.format_report(report))
+        extras.append(_backend_provenance(last_run()))
         if args.json:
             with open(args.json, "w") as fh:
                 n = observe.write_jsonl(observe.to_records(report), fh)

@@ -124,6 +124,7 @@ class FastChannel:
         "_queue", "_transit", "_occ_start", "_pushed", "_popped",
         "_stall_probability", "_stall_rng", "_stalled", "stats",
         "telemetry", "_design_owner", "_faults",
+        "_wake_gates", "_compiled", "_skip_from",
     )
 
     def __init__(
@@ -167,6 +168,15 @@ class FastChannel:
         # Fault-injection hook (see repro.faults.plan.ChannelFaults).
         # None by default: the hot path pays one attribute load.
         self._faults = None
+        # Compiled-backend hooks (see repro.compile.engine).  ``_wake_gates``
+        # are consumer Gates the engine opens when a tick leaves the queue
+        # non-empty; ``_compiled`` is the attached engine (None = threaded,
+        # one ``is None`` check on the push path); ``_skip_from`` is the
+        # cycle the engine stopped ticking this idle channel at (None =
+        # ticking normally), used to re-credit ``stats.cycles`` exactly.
+        self._wake_gates = None
+        self._compiled = None
+        self._skip_from = None
         self.stats = ChannelStats()
         # Opt-in occupancy/stall telemetry (None when the hub is off).
         hub = getattr(sim, "telemetry", None)
@@ -205,13 +215,17 @@ class FastChannel:
         return (not self._pushed) and self._occ_start + 1 <= self.capacity
 
     def do_push(self, msg: Any) -> bool:
-        self.stats.push_attempts += 1
-        if not self.can_push():
-            self.stats.push_rejections += 1
+        stats = self.stats
+        stats.push_attempts += 1
+        # inlined can_push()
+        if self._pushed or self._occ_start + 1 > self.capacity:
+            stats.push_rejections += 1
             if self.telemetry is not None:
                 self.telemetry.on_push_rejected()
             return False
         self._pushed = True
+        if self._compiled is not None:
+            self._compiled._channel_pushed(self)
         faults = self._faults
         if faults is not None:
             action, msg = faults.on_push(msg)
@@ -230,12 +244,14 @@ class FastChannel:
         return (not self._popped) and (not self._stalled) and bool(self._queue)
 
     def do_pop(self) -> tuple[bool, Any]:
-        self.stats.pop_attempts += 1
-        if not self.can_pop():
-            self.stats.pop_rejections += 1
+        stats = self.stats
+        stats.pop_attempts += 1
+        # inlined can_pop()
+        if self._popped or self._stalled or not self._queue:
+            stats.pop_rejections += 1
             return False, None
         self._popped = True
-        self.stats.transfers += 1
+        stats.transfers += 1
         return True, self._queue.popleft()
 
     def peek(self) -> tuple[bool, Any]:
@@ -262,6 +278,23 @@ class FastChannel:
             # Full reset: probability 0 restores the pristine state.
             self._stall_rng = None
             self._stalled = False
+        if self._compiled is not None:
+            # Stalled channels advance an RNG per tick, so the compiled
+            # engine must resume (and never again skip) their ticks.
+            self._compiled._channel_touched(self)
+
+    def add_wake_gate(self, gate) -> None:
+        """Register a consumer's :class:`~repro.kernel.Gate`.
+
+        The compiled engine opens registered gates whenever a tick
+        leaves the queue non-empty — exactly when a polling consumer
+        would first observe the message.  Inert under the threaded
+        kernel (nothing reads the gates).
+        """
+        if self._wake_gates is None:
+            self._wake_gates = [gate]
+        elif gate not in self._wake_gates:
+            self._wake_gates.append(gate)
 
     # ------------------------------------------------------------------
     # introspection

@@ -15,6 +15,11 @@ how to simulate it:
 * :mod:`.elaborate` — the one-time, pre-run **elaboration pass**: walks
   the hierarchy into a queryable :class:`DesignGraph` (instances, port
   endpoints, channel connectivity, clock domains).
+* :mod:`.lower` — the **lowering pass** used by the compiled backend:
+  re-expresses the design graph as a static event/dataflow
+  :class:`NodeSchedule` (clock edge, channel ticks, thread resumes,
+  handshake edges) that :mod:`repro.compile` executes with a flat
+  dispatch loop (see ``docs/COMPILED_BACKEND.md``).
 * :mod:`.lint` — static checks over the design graph: unbound ports,
   dangling channels, duplicate explicit names, multi-driver channels,
   unsynchronized clock-domain crossings, and channel-cycle (potential
@@ -43,6 +48,7 @@ from .hierarchy import (Hierarchy, Instance, component_scope, current_scope,
                         design_path)
 from .elaborate import ChannelRecord, DesignGraph, PortRecord, elaborate
 from .lint import LINT_RULES, LintFinding, format_findings, lint, lint_graph
+from .lower import ChannelNode, NodeSchedule, ThreadNode, lower
 
 __all__ = [
     "Hierarchy",
@@ -54,6 +60,10 @@ __all__ = [
     "ChannelRecord",
     "PortRecord",
     "elaborate",
+    "lower",
+    "NodeSchedule",
+    "ChannelNode",
+    "ThreadNode",
     "LintFinding",
     "LINT_RULES",
     "lint",

@@ -17,11 +17,13 @@ Public API::
     sim.run(until=100_000)
 """
 
+from .backend import BACKENDS, default_backend, last_run, use_backend
 from .clock import Clock
 from .signal import BitSignal, BusSignal, Signal
 from .simulator import (
     DeltaOverflow,
     Event,
+    Gate,
     Method,
     SimulationError,
     Simulator,
@@ -38,6 +40,7 @@ __all__ = [
     "BusSignal",
     "Clock",
     "Event",
+    "Gate",
     "Thread",
     "Method",
     "Trace",
@@ -47,4 +50,8 @@ __all__ = [
     "DeltaOverflow",
     "TimeBudgetExceeded",
     "time_budget",
+    "BACKENDS",
+    "use_backend",
+    "default_backend",
+    "last_run",
 ]

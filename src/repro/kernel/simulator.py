@@ -55,6 +55,7 @@ from ..observe.core import attach_if_enabled
 __all__ = [
     "Simulator",
     "Event",
+    "Gate",
     "Thread",
     "Method",
     "SimulationError",
@@ -139,6 +140,40 @@ class Event:
         return f"Event({self.name!r}, waiters={len(self._waiters)})"
 
 
+class Gate:
+    """A declared idle-wait point for a thread's polling loop.
+
+    Under the threaded kernel ``yield gate`` is *exactly* ``yield``: the
+    thread waits one posedge and re-checks its condition, so components
+    that adopt gates simulate byte-identically to bare polling.  The
+    compiled backend (:mod:`repro.compile`) instead *parks* a thread that
+    yields its gate — the thread keeps its scheduling slot but is not
+    resumed again until :meth:`open` is called (by a message handler, or
+    by the engine when a watched channel delivers data).  A spurious
+    :meth:`open` only costs one extra poll iteration, never correctness,
+    because the waiting loop re-checks its condition on every resume.
+    """
+
+    __slots__ = ("_open", "_waiters")
+
+    def __init__(self) -> None:
+        self._open = False
+        # Compiled-engine handoff: ``(engine, [entries])`` while threads
+        # are parked here, else None.  The threaded kernel never sets it.
+        self._waiters = None
+
+    def open(self) -> None:
+        """Wake the parked owner (no-op under the threaded kernel)."""
+        self._open = True
+        waiters = self._waiters
+        if waiters is not None:
+            self._waiters = None
+            waiters[0]._unpark(waiters[1])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Gate(open={self._open})"
+
+
 class Thread:
     """A clocked simulation thread (``SC_CTHREAD`` analog).
 
@@ -146,6 +181,7 @@ class Thread:
 
     * ``None`` — wait one posedge of the thread's clock,
     * a positive ``int`` n — wait n posedges,
+    * a :class:`Gate` — wait one posedge (a parkable idle marker),
     * an :class:`Event` — wait until the event is notified.
 
     Subroutines compose with ``yield from``.
@@ -168,7 +204,9 @@ class Thread:
             self.done = True
             self.sim._thread_finished(self)
             return
-        if request is None:
+        if request is None or type(request) is Gate:
+            # A Gate is the threaded kernel's plain one-posedge wait; only
+            # the compiled engine gives it parking semantics.
             self.clock._subscribe(self)
             return
         if type(request) is int:
@@ -242,7 +280,8 @@ class Simulator:
     #: Safety valve against unstable combinational loops.
     MAX_DELTAS_PER_STEP = 1000
 
-    def __init__(self, *, telemetry: Optional[bool] = None) -> None:
+    def __init__(self, *, telemetry: Optional[bool] = None,
+                 backend: Optional[str] = None) -> None:
         self.now: int = 0
         self._queue: list[tuple[int, int, Callable[[], None]]] = []
         self._seq = itertools.count()
@@ -271,6 +310,17 @@ class Simulator:
         self.design = Hierarchy(self)
         # TelemetryHub or None; None keeps every hook at zero overhead.
         self.telemetry = attach_if_enabled(self, telemetry)
+        # Execution backend (see repro.kernel.backend / repro.compile).
+        # ``backend`` overrides the ambient default; "compiled" requests
+        # the graph-compiled dispatch loop, which attaches lazily at the
+        # first run and falls back to this threaded kernel whenever the
+        # design uses a construct it cannot prove equivalent.
+        from .backend import resolve_backend
+
+        self._backend_requested = resolve_backend(backend)
+        self._engine = None          # CompiledEngine once attached
+        self._backend_fallback: Optional[str] = None
+        self._method_count = 0
 
     # ------------------------------------------------------------------
     # elaboration API
@@ -316,6 +366,7 @@ class Simulator:
         signal can never alias another signal's watcher list.
         """
         method = Method(fn, name)
+        self._method_count += 1
         for sig in sensitive:
             if sig._watchers is None:
                 sig._watchers = [method]
@@ -394,7 +445,23 @@ class Simulator:
         firings at that timestamp are merged in sequence-number order
         (identical to the fully heap-scheduled kernel), then delta
         cycles run until quiescent.
+
+        With ``backend="compiled"`` the run is first offered to the
+        compiled dispatch engine; if the engine declines (capability
+        check) or detaches mid-run (a dynamic construct appeared), the
+        loop below continues with whatever step budget remains.
         """
+        if self._backend_requested == "compiled":
+            outcome = self._compiled_run(until, max_steps,
+                                         stop_clock, stop_cycles)
+            if outcome is not None:
+                done, executed = outcome
+                if done:
+                    return self.now
+                if max_steps is not None:
+                    max_steps -= executed
+                    if max_steps <= 0:
+                        return self.now
         steps = 0
         kstats = self.telemetry.kernel if self.telemetry is not None else None
         queue = self._queue
@@ -571,9 +638,53 @@ class Simulator:
             if deltas > kstats.max_deltas_per_step:
                 kstats.max_deltas_per_step = deltas
 
+    def _compiled_run(self, until, max_steps, stop_clock, stop_cycles):
+        """Offer this run to the compiled engine.
+
+        Returns ``(done, steps_executed)`` when the engine ran, or
+        ``None`` when the run must be (or continue to be) threaded.
+        Lazy import: :mod:`repro.compile` depends on this module.
+        """
+        engine = self._engine
+        if engine is None:
+            if self._backend_fallback is not None:
+                return None
+            from ..compile import try_attach
+
+            engine = try_attach(self)
+            if engine is None:
+                from .backend import record_run
+
+                record_run("threaded", self._backend_fallback)
+                return None
+        if self._runnable:
+            # Threads made runnable between runs (event notified outside
+            # any process) must file into the wakeup bucket *after* the
+            # pollers the engine manages, so let the threaded loop order
+            # this boundary.
+            engine.detach("runnable processes at a run boundary")
+            return None
+        self._delta_loop()  # commit stray writes before the first edge
+        return engine.run(until, max_steps, stop_clock, stop_cycles)
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Backend currently executing this simulator's runs."""
+        return "compiled" if self._engine is not None else "threaded"
+
+    @property
+    def backend_requested(self) -> str:
+        """Backend asked for at construction (ambient default included)."""
+        return self._backend_requested
+
+    @property
+    def backend_fallback_reason(self) -> Optional[str]:
+        """Why a ``backend="compiled"`` request fell back, or None."""
+        return self._backend_fallback
+
     @property
     def pending_threads(self) -> int:
         """Number of registered threads that have not finished."""

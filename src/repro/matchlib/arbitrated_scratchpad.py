@@ -56,50 +56,83 @@ class ArbitratedScratchpad:
         self.arbiters = [RoundRobinArbiter(n_requesters) for _ in range(n_banks)]
         self.queues: List[Fifo] = [Fifo(capacity=queue_depth)
                                    for _ in range(n_requesters)]
+        self._entries = n_banks * bank_entries
         self.conflict_cycles = 0
         self.completed = 0
 
     @property
     def entries(self) -> int:
         """Total words across banks."""
-        return self.n_banks * self.banks[0].entries
+        return self._entries
 
     def bank_of(self, addr: int) -> tuple[int, int]:
         """Map a flat address to (bank index, address within bank)."""
-        if not 0 <= addr < self.entries:
-            raise ValueError(f"address {addr} out of range [0, {self.entries})")
+        if not 0 <= addr < self._entries:
+            raise ValueError(f"address {addr} out of range [0, {self._entries})")
         return addr % self.n_banks, addr // self.n_banks
 
     def submit(self, request: SpRequest) -> bool:
         """Queue a request; False if the requester's queue is full."""
         if not 0 <= request.requester < self.n_requesters:
             raise ValueError(f"requester {request.requester} out of range")
-        self.bank_of(request.addr)  # validate the address eagerly
+        addr = request.addr  # validate the address eagerly
+        if not 0 <= addr < self._entries:
+            raise ValueError(
+                f"address {addr} out of range [0, {self._entries})")
         return self.queues[request.requester].push_nb(request)
 
     def can_submit(self, requester: int) -> bool:
         return not self.queues[requester].full
 
     def tick(self) -> list[SpResponse]:
-        """Advance one cycle: arbitrate each bank, perform one access."""
+        """Advance one cycle: arbitrate each bank, perform one access.
+
+        Single pass over the queue heads groups requesters by bank; banks
+        nobody requests are skipped outright (an all-false ``pick`` never
+        mutates arbiter state), and an uncontested bank takes the inlined
+        grant path — the same priority rotation ``pick`` would apply.
+        Serving a requester can expose its next queued request to a
+        *later* bank in the same cycle, exactly as the per-bank rescan
+        did, so the winner's new head is folded back into the groups.
+        """
         responses = []
-        # Head-of-queue requests, grouped by bank.
-        for bank_idx in range(self.n_banks):
-            requests = []
-            for q in self.queues:
-                if q.empty:
-                    requests.append(False)
+        n_banks = self.n_banks
+        queues = self.queues
+        # requester indices with a head request, grouped by bank
+        by_bank: List[Optional[List[int]]] = [None] * n_banks
+        for i, q in enumerate(queues):
+            items = q._queue
+            if items:
+                b = items[0].addr % n_banks
+                if by_bank[b] is None:
+                    by_bank[b] = [i]
                 else:
-                    b, _ = self.bank_of(q.peek().addr)
-                    requests.append(b == bank_idx)
-            pending = sum(requests)
-            if pending > 1:
-                self.conflict_cycles += 1
-            winner = self.arbiters[bank_idx].pick(requests)
-            if winner is None:
+                    by_bank[b].append(i)
+        for bank_idx in range(n_banks):
+            group = by_bank[bank_idx]
+            if group is None:
                 continue
-            req = self.queues[winner].pop()
-            _, offset = self.bank_of(req.addr)
+            arb = self.arbiters[bank_idx]
+            if len(group) == 1:
+                winner = group[0]
+                arb._next = (winner + 1) % arb.n
+                arb.grants[winner] += 1
+            else:
+                self.conflict_cycles += 1
+                requests = [False] * arb.n
+                for i in group:
+                    requests[i] = True
+                winner = arb.pick(requests)
+            items = queues[winner]._queue
+            req = items.popleft()
+            if items:
+                b = items[0].addr % n_banks
+                if b > bank_idx:
+                    if by_bank[b] is None:
+                        by_bank[b] = [winner]
+                    else:
+                        by_bank[b].append(winner)
+            offset = req.addr // n_banks
             if req.is_write:
                 self.banks[bank_idx].write(offset, req.data)
                 responses.append(SpResponse(req.requester, req.addr))
@@ -108,6 +141,72 @@ class ArbitratedScratchpad:
                 responses.append(SpResponse(req.requester, req.addr, data))
             self.completed += 1
         return responses
+
+    # Conflict-free vector access -------------------------------------
+    # Lane *i* accessing ``base + i`` can never collide: up to
+    # min(n_requesters, n_banks) consecutive addresses map to distinct
+    # banks.  These helpers are semantically submit-one-per-lane + one
+    # tick, with every piece of observable state — arbiter rotation and
+    # grant counts, FIFO stats, ``completed`` — updated exactly as the
+    # request/tick path would update it, minus the request/response
+    # object traffic.  Precondition: the lane queues are empty (the
+    # drivers drain between vectors).
+    def write_vector(self, base: int, words) -> None:
+        """Write ``words[i]`` to ``base + i`` in one arbitration round."""
+        n = len(words)
+        n_banks = self.n_banks
+        if n > n_banks or n > self.n_requesters:
+            raise ValueError(
+                f"vector of {n} wider than {n_banks} banks / "
+                f"{self.n_requesters} lanes")
+        if base < 0 or base + n > self._entries:
+            raise ValueError(
+                f"address {base}+{n} out of range [0, {self._entries})")
+        queues = self.queues
+        arbiters = self.arbiters
+        banks = self.banks
+        addr = base
+        for lane, word in enumerate(words):
+            q = queues[lane]
+            q.total_pushed += 1
+            if q.peak_occupancy < 1:
+                q.peak_occupancy = 1
+            bank = addr % n_banks
+            arb = arbiters[bank]
+            arb._next = (lane + 1) % arb.n
+            arb.grants[lane] += 1
+            banks[bank].write(addr // n_banks, word)
+            addr += 1
+        self.completed += n
+
+    def read_vector(self, base: int, length: int) -> list:
+        """Read ``length`` words from ``base`` in one arbitration round."""
+        n_banks = self.n_banks
+        if length > n_banks or length > self.n_requesters:
+            raise ValueError(
+                f"vector of {length} wider than {n_banks} banks / "
+                f"{self.n_requesters} lanes")
+        if base < 0 or base + length > self._entries:
+            raise ValueError(
+                f"address {base}+{length} out of range [0, {self._entries})")
+        queues = self.queues
+        arbiters = self.arbiters
+        banks = self.banks
+        out = []
+        addr = base
+        for lane in range(length):
+            q = queues[lane]
+            q.total_pushed += 1
+            if q.peak_occupancy < 1:
+                q.peak_occupancy = 1
+            bank = addr % n_banks
+            arb = arbiters[bank]
+            arb._next = (lane + 1) % arb.n
+            arb.grants[lane] += 1
+            out.append(banks[bank].read(addr // n_banks))
+            addr += 1
+        self.completed += length
+        return out
 
     # Testbench conveniences ------------------------------------------
     def load(self, values, *, base: int = 0) -> None:

@@ -37,16 +37,17 @@ class Fifo(Generic[T]):
         self.total_pushed = 0
 
     def push(self, item: T) -> None:
-        if self.full:
+        queue = self._queue
+        if self.capacity is not None and len(queue) >= self.capacity:
             raise FifoError("push to full FIFO")
-        self._queue.append(item)
+        queue.append(item)
         self.total_pushed += 1
-        if len(self._queue) > self.peak_occupancy:
-            self.peak_occupancy = len(self._queue)
+        if len(queue) > self.peak_occupancy:
+            self.peak_occupancy = len(queue)
 
     def push_nb(self, item: T) -> bool:
         """Non-blocking push; returns False instead of raising when full."""
-        if self.full:
+        if self.capacity is not None and len(self._queue) >= self.capacity:
             return False
         self.push(item)
         return True

@@ -9,11 +9,13 @@ send/receive — the NoC substrate of the prototype SoC's PE array.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from typing import Any, Callable, Generator, List, Optional
 
 from ..connections.channel import Buffer
 from ..connections.ports import In, Out
 from ..design.hierarchy import component_scope, design_path
+from ..kernel import Gate
 from .flit import NocFlit, make_packet
 from .routing import Port, node_xy, xy_node
 from .sf_router import SFRouter
@@ -35,10 +37,14 @@ class NetworkInterface:
         self._sim = sim
         self.last_arrival_time: Optional[int] = None
         self._packet_ids = itertools.count()
-        self._tx: list = []
+        self._tx: deque = deque()
         self._rx_partial: dict = {}
         self.received: list[tuple[int, list]] = []  # (src, payloads)
         self.handler: Optional[Callable[[int, list], None]] = None
+        # Idle-wait point for the compiled backend: opened by send() and
+        # by the eject channel delivering a flit.  Plain one-cycle wait
+        # under the threaded kernel (see repro.kernel.Gate).
+        self._gate = Gate()
         with component_scope(sim, f"ni{node}", kind="NetworkInterface",
                              obj=self, clock=clock):
             self.inject_port: Out = Out(name="inject")
@@ -53,12 +59,25 @@ class NetworkInterface:
                             vc=vc, packet_id=next(self._packet_ids))
         self._tx.extend(flits)
         self.messages_sent += 1
+        self._gate.open()
 
     def _run(self) -> Generator:
+        gate = self._gate
+        # Park only when arrivals can reopen the gate: the eject channel
+        # must expose the wake hook (custom RTL/CDC links may not).
+        hook = getattr(self.eject_port._channel, "add_wake_gate", None)
+        parkable = hook is not None
+        if parkable:
+            hook(gate)
+        # Ports are bound at mesh construction, before the first posedge;
+        # bound channel methods resolve any channel-kind override once.
+        tx = self._tx
+        inject_push = self.inject_port._channel.do_push
+        eject_pop = self.eject_port._channel.do_pop
         while True:
-            if self._tx and self.inject_port.push_nb(self._tx[0]):
-                self._tx.pop(0)
-            ok, flit = self.eject_port.pop_nb()
+            if tx and inject_push(tx[0]):
+                tx.popleft()
+            ok, flit = eject_pop()
             if ok:
                 key = (flit.src, flit.packet_id, flit.vc)
                 self._rx_partial.setdefault(key, []).append(flit)
@@ -71,7 +90,10 @@ class NetworkInterface:
                         self.handler(flit.src, payloads)
                     else:
                         self.received.append((flit.src, payloads))
-            yield
+            if parkable and not tx and not ok:
+                yield gate        # idle: no tx backlog, eject empty
+            else:
+                yield
 
 
 class Mesh:

@@ -25,6 +25,7 @@ from typing import Generator, Optional
 
 from ..axi.master import AxiError, AxiMaster
 from ..design.hierarchy import component_scope
+from ..kernel import Gate
 
 __all__ = ["MmioAxiBridge"]
 
@@ -45,6 +46,9 @@ class MmioAxiBridge:
             self.status = _IDLE
             self._pending: Optional[int] = None  # 1 = read, 2 = write
             self.transactions = 0
+            # Idle-wait point for the compiled backend: reopened by a
+            # CMD doorbell write (plain one-cycle wait threaded).
+            self._gate = Gate()
             sim.add_thread(self._run(), clock, name="ctl")
 
     # MMIO side (called synchronously from the core) --------------------
@@ -71,12 +75,13 @@ class MmioAxiBridge:
                 raise ValueError(f"{self.name}: bad CMD {value}")
             self._pending = value
             self.status = _BUSY
+            self._gate.open()
 
     # AXI side -----------------------------------------------------------
     def _run(self) -> Generator:
         while True:
             if self._pending is None:
-                yield
+                yield self._gate   # idle until the next doorbell
                 continue
             cmd, self._pending = self._pending, None
             try:

@@ -12,7 +12,8 @@ from collections import deque
 from typing import Generator, List, Optional
 
 from ..design.hierarchy import component_scope
-from ..matchlib.arbitrated_scratchpad import ArbitratedScratchpad, SpRequest
+from ..kernel import Gate
+from ..matchlib.arbitrated_scratchpad import ArbitratedScratchpad
 from ..noc.mesh import NetworkInterface
 from .protocol import Cmd, NO_REPLY
 
@@ -40,8 +41,15 @@ class GlobalMemory:
             self._inbox: deque = deque()
             self.reads_served = 0
             self.writes_served = 0
-            ni.handler = lambda src, payloads: self._inbox.append(payloads)
+            # Idle-wait point for the compiled backend: every message
+            # arrival reopens it (plain one-cycle wait threaded).
+            self._gate = Gate()
+            ni.handler = self._on_message
             sim.add_thread(self._run(), clock, name="ctl")
+
+    def _on_message(self, src: int, payloads: List[int]) -> None:
+        self._inbox.append(payloads)
+        self._gate.open()
 
     @property
     def words(self) -> int:
@@ -58,28 +66,29 @@ class GlobalMemory:
     def _access(self, base: int, words: Optional[List[int]],
                 length: int) -> Generator:
         """Banked access, ``n_banks`` words per cycle; returns read data."""
-        is_write = words is not None
-        out: List[int] = [0] * length
-        for chunk_base in range(0, length, self.n_banks):
-            chunk_len = min(self.n_banks, length - chunk_base)
-            for lane in range(chunk_len):
-                addr = base + chunk_base + lane
-                data = words[chunk_base + lane] & 0xFFFFFFFF if is_write else None
-                ok = self.core.submit(SpRequest(lane, is_write, addr, data))
-                assert ok, "lane queues sized for one vector"
-            pending = chunk_len
-            while pending:
-                for rsp in self.core.tick():
-                    if not is_write:
-                        out[chunk_base + rsp.requester] = rsp.data
-                    pending -= 1
+        # Unit stride across the banks never conflicts, so every chunk
+        # is one conflict-free arbitration round (see write_vector).
+        n_banks = self.n_banks
+        core = self.core
+        if words is not None:
+            for chunk_base in range(0, length, n_banks):
+                core.write_vector(
+                    base + chunk_base,
+                    [w & 0xFFFFFFFF
+                     for w in words[chunk_base:chunk_base + n_banks]])
                 yield
+            return []
+        out: List[int] = []
+        for chunk_base in range(0, length, n_banks):
+            out += core.read_vector(base + chunk_base,
+                                    min(n_banks, length - chunk_base))
+            yield
         return out
 
     def _run(self) -> Generator:
         while True:
             if not self._inbox:
-                yield
+                yield self._gate   # idle until the next message arrives
                 continue
             msg = self._inbox.popleft()
             op = msg[0]

@@ -19,7 +19,8 @@ from collections import deque
 from typing import Generator, List, Optional
 
 from ..design.hierarchy import component_scope
-from ..matchlib.arbitrated_scratchpad import ArbitratedScratchpad, SpRequest
+from ..kernel import Gate
+from ..matchlib.arbitrated_scratchpad import ArbitratedScratchpad
 from ..matchlib.fp import FP16, fp_add, fp_mul, fp_mul_add
 from ..noc.mesh import NetworkInterface
 from .protocol import Cmd, KERNEL_FP_BASE, Kernel, NO_REPLY
@@ -57,6 +58,9 @@ class ProcessingElement:
             self._next_tag = 0
             self.commands_executed = 0
             self.elements_processed = 0
+            # Idle-wait point for the compiled backend: every message
+            # arrival reopens it (plain one-cycle wait threaded).
+            self._gate = Gate()
             ni.handler = self._on_message
             sim.add_thread(self._run(), clock, name="ctl")
 
@@ -68,36 +72,31 @@ class ProcessingElement:
             self._data_msgs[payloads[1]] = payloads[2:]
         else:
             self._inbox.append(payloads)
+        self._gate.open()
 
     # ------------------------------------------------------------------
     # scratchpad access (through the arbitrated banks)
     # ------------------------------------------------------------------
     def _spad_write(self, base: int, words: List[int]) -> Generator:
-        for chunk_base in range(0, len(words), self.lanes):
-            chunk = words[chunk_base:chunk_base + self.lanes]
-            for lane, word in enumerate(chunk):
-                ok = self.spad.submit(SpRequest(
-                    lane, True, base + chunk_base + lane, word & _MASK))
-                assert ok, "lane queues sized for one vector"
-            pending = len(chunk)
-            while pending:
-                pending -= len(self.spad.tick())
-                yield
+        # One vector per cycle through the banks: unit stride across
+        # n_banks == lanes never conflicts, so each chunk is a single
+        # conflict-free arbitration round (see write_vector).
+        lanes = self.lanes
+        spad = self.spad
+        for chunk_base in range(0, len(words), lanes):
+            spad.write_vector(
+                base + chunk_base,
+                [w & _MASK for w in words[chunk_base:chunk_base + lanes]])
+            yield
 
     def _spad_read(self, base: int, length: int) -> Generator:
-        out: List[int] = [0] * length
-        for chunk_base in range(0, length, self.lanes):
-            chunk_len = min(self.lanes, length - chunk_base)
-            for lane in range(chunk_len):
-                ok = self.spad.submit(SpRequest(
-                    lane, False, base + chunk_base + lane))
-                assert ok, "lane queues sized for one vector"
-            pending = chunk_len
-            while pending:
-                for rsp in self.spad.tick():
-                    out[chunk_base + rsp.requester] = rsp.data
-                    pending -= 1
-                yield
+        lanes = self.lanes
+        spad = self.spad
+        out: List[int] = []
+        for chunk_base in range(0, length, lanes):
+            out += spad.read_vector(base + chunk_base,
+                                    min(lanes, length - chunk_base))
+            yield
         return out
 
     # ------------------------------------------------------------------
@@ -106,7 +105,7 @@ class ProcessingElement:
     def _run(self) -> Generator:
         while True:
             if not self._inbox:
-                yield
+                yield self._gate   # idle until the next message arrives
                 continue
             msg = self._inbox.popleft()
             op = msg[0]
@@ -132,7 +131,7 @@ class ProcessingElement:
         self.ni.send(gmem_node,
                      [int(Cmd.GM_READ), gmem_base, length, self.node, tag])
         while tag not in self._data_msgs:
-            yield
+            yield self._gate
         words = self._data_msgs.pop(tag)
         if len(words) != length:
             raise ValueError(
@@ -149,7 +148,7 @@ class ProcessingElement:
         # Wait for the write ack so later commands (NOTIFY) order after
         # the data is durably in global memory.
         while tag not in self._data_msgs:
-            yield
+            yield self._gate
         self._data_msgs.pop(tag)
 
     # ------------------------------------------------------------------

@@ -103,18 +103,24 @@ def _execute_point(index: int, point: SweepPoint, *,
     runs produce identical records.
     """
     from ..experiments.sweeps import get_sweep
+    from ..kernel.backend import use_backend
 
     spec = get_sweep(point.experiment)
     t0 = time.perf_counter()
     if telemetry:
         from .. import observe
 
-        with observe.capture() as session:
+        # Telemetry forces the threaded kernel anyway (the compiled
+        # engine detaches when a hub is attached); running the point
+        # under its requested backend keeps the fallback accounting
+        # honest either way.
+        with use_backend(point.backend), observe.capture() as session:
             result = spec.runner(dict(point.params), point.seed)
         records = observe.to_records(
             session.report(label=f"{point.experiment}[{index}]"))
     else:
-        result = spec.runner(dict(point.params), point.seed)
+        with use_backend(point.backend):
+            result = spec.runner(dict(point.params), point.seed)
         records = None
     return {"result": result, "telemetry": records,
             "wall_seconds": time.perf_counter() - t0}

@@ -33,11 +33,25 @@ class SweepPoint:
     experiment: str
     params: Dict[str, Any] = field(default_factory=dict)
     seed: int = 0
+    #: Simulation backend the point runs under ("threaded" or
+    #: "compiled").  The compiled backend is differentially tested to
+    #: be byte-identical, so both values *should* produce the same
+    #: result — the field still enters the cache key (for non-default
+    #: values) because the cache must never assert that equivalence,
+    #: only observe it.
+    backend: str = "threaded"
 
     def identity(self) -> dict:
-        """The content-addressed part of the point (no runtime state)."""
-        return {"experiment": self.experiment, "params": dict(self.params),
-                "seed": self.seed}
+        """The content-addressed part of the point (no runtime state).
+
+        The default backend is omitted so existing cached results keyed
+        before the field existed remain addressable.
+        """
+        ident = {"experiment": self.experiment, "params": dict(self.params),
+                 "seed": self.seed}
+        if self.backend != "threaded":
+            ident["backend"] = self.backend
+        return ident
 
     @property
     def label(self) -> str:
