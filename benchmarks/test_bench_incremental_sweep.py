@@ -1,0 +1,82 @@
+"""Incremental re-simulation speedup on a dense LI-latency grid.
+
+The paper's productivity story rests on fast architectural iteration;
+``run_sweep(..., incremental=True)`` makes the sweep cost scale with
+the number of **distinct replay evaluations** (2 captures + one event
+schedule per unique FIFO/stall signature), not the number of points.
+The grid sweeps FIFO capacity, injected stall schedules, and 20 clock
+periods — the replay-safe axes — so the full-simulation side runs 480
+kernel simulations while the incremental side runs 2 captures, ~48
+analytical replays, and serves every period-only satellite from the
+``Replayer`` memo (re-evaluating a design at a new clock cannot change
+cycle counts, so it costs a dictionary lookup).
+
+Two claims:
+
+* the incremental sweep is at least 10x faster than simulating every
+  point, even with the baseline given 4 worker processes (requires
+  >= 4 usable CPUs so the baseline runs at full parallel strength),
+* its merged result is **bit-identical** to the full simulation's
+  under the canonical serialization.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.li_latency import sweep_space
+from repro.sweep import run_sweep
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _space():
+    """2 stages x 4 caps x 3 stall points x 20 periods = 480 points."""
+    points = []
+    for period in range(5, 25):
+        points += sweep_space(probabilities=(0.0, 0.2, 0.4), trials=1,
+                              period=period)
+    return points
+
+
+@pytest.mark.skipif(_usable_cpus() < 4,
+                    reason="needs >= 4 CPUs for a full-strength baseline")
+def test_bench_incremental_sweep_speedup(benchmark, save_result):
+    points = _space()
+    assert len(points) >= 200
+
+    t0 = time.perf_counter()
+    full = run_sweep(points, jobs=4, telemetry=False)
+    full_wall = time.perf_counter() - t0
+    assert full.errors == 0
+
+    t0 = time.perf_counter()
+    incremental = benchmark.pedantic(
+        lambda: run_sweep(points, jobs=4, incremental=True),
+        rounds=1, iterations=1)
+    inc_wall = time.perf_counter() - t0
+    assert incremental.errors == 0
+    assert incremental.canonical() == full.canonical()
+    assert incremental.derived == len(points)
+    assert incremental.captures == 2  # one per structural stage count
+
+    speedup = full_wall / inc_wall
+    assert speedup >= 10.0, (
+        f"incremental speedup {speedup:.1f}x < 10x "
+        f"(full {full_wall:.2f}s, incremental {inc_wall:.2f}s)")
+    save_result(
+        "incremental_sweep",
+        "\n".join([
+            f"points: {len(points)} (2 structural bases)",
+            f"full simulation (jobs=4): {full_wall:.2f}s "
+            f"| {full.summary()}",
+            f"incremental (jobs=4): {inc_wall:.2f}s "
+            f"| {incremental.summary()}",
+            f"speedup: {speedup:.1f}x",
+        ]))

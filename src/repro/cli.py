@@ -39,6 +39,15 @@ Parameter sweeps (see ``docs/PERFORMANCE.md``):
       python -m repro sweep stall_verification --jobs 4
       python -m repro sweep fig3_crossbar --jobs 4 --no-cache
 
+* ``sweep <experiment> --incremental`` runs the trace-based incremental
+  engine (``docs/INCREMENTAL_SIM.md``): one captured full simulation
+  per structural base, analytical replay for every derivable point,
+  recorded fallback reasons for the rest; ``stats --cache`` reports the
+  result cache's cumulative effectiveness::
+
+      python -m repro sweep li_latency --incremental --jobs 4
+      python -m repro stats --cache
+
 Observability (see ``docs/OBSERVABILITY.md``):
 
 * every experiment verb accepts ``--trace-vcd PATH`` — run the
@@ -77,7 +86,7 @@ __all__ = ["main"]
 #: execution time).
 _SWEEP_EXPERIMENTS = ("stall_verification", "fig3_crossbar",
                       "gals_overhead", "crossbar_qor", "pe_scaling",
-                      "fault_campaign")
+                      "fault_campaign", "li_latency")
 
 #: Fault-campaign harnesses the ``faults`` verb accepts (see
 #: :data:`repro.faults.campaign.HARNESSES`; kept static for the same
@@ -168,6 +177,14 @@ def _cmd_stalls(args) -> _CmdResult:
     return format_campaign(results), results
 
 
+def _cmd_li_latency(args) -> _CmdResult:
+    from .experiments import li_latency
+
+    results = li_latency.run_report(
+        seed=args.seed if args.seed is not None else 500)
+    return li_latency.format_report(results), results
+
+
 def _cmd_backend(args) -> _CmdResult:
     from .flow import FlowRuntimeModel, inventory_partitions
     from .flow import testchip_inventory as chip_inventory
@@ -198,6 +215,42 @@ def _cmd_productivity(args) -> _CmdResult:
     rtl = productivity_report(efforts, RTL_METHODOLOGY)
     return (oohls.to_text() + "\n\n" + rtl.to_text(),
             {"oohls": oohls, "rtl": rtl})
+
+
+def _format_cache_stats(cache_dir: Optional[str]) -> str:
+    """Sweep-cache effectiveness block for ``repro stats --cache``.
+
+    Combines the on-disk state (entries and stored recompute cost, split
+    exact / derived / trace) with the cumulative counters the engine
+    flushes after every sweep — hits, misses, and the wall-clock seconds
+    of simulation the cache has saved so far.
+    """
+    from .sweep import ResultCache, default_cache_dir
+
+    cache = ResultCache(cache_dir or default_cache_dir())
+    info = cache.describe(deep=True)
+    by_mode = info["by_mode"]
+    cost = info["stored_cost_seconds"]
+    p = info["persistent"]
+    lines = [f"sweep cache {info['root']} (rev {info['rev']})",
+             f"  entries: {info['entries']} ({info['bytes']} bytes): "
+             + ", ".join(f"{by_mode[m]} {m}" for m in sorted(by_mode)),
+             "  stored recompute cost: "
+             + ", ".join(f"{cost[m]:.2f}s {m}" for m in sorted(cost))]
+    if p:
+        lookups = p.get("hits", 0) + p.get("misses", 0)
+        rate = 100 * p.get("hits", 0) / lookups if lookups else 0.0
+        lines.append(
+            f"  lifetime: {p.get('hits', 0)} hits / "
+            f"{p.get('misses', 0)} misses ({rate:.0f}% hit rate); "
+            f"{p.get('hits_exact', 0)} exact + "
+            f"{p.get('hits_derived', 0)} derived + "
+            f"{p.get('hits_trace', 0)} trace")
+        lines.append(f"  recompute seconds saved: "
+                     f"{p.get('recompute_seconds_saved', 0.0):.2f}")
+    else:
+        lines.append("  lifetime: no sweeps recorded yet")
+    return "\n".join(lines)
 
 
 def _cmd_inspect(args) -> int:
@@ -275,18 +328,32 @@ def _cmd_sweep(args) -> int:
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
+    # Incremental sweeps run telemetry-free by construction (replayed
+    # points have no kernel to observe), so --no-telemetry is implied.
     result = run_sweep(points, jobs=args.jobs, cache=cache,
                        timeout=args.timeout,
-                       telemetry=not args.no_telemetry)
+                       telemetry=not (args.no_telemetry
+                                      or args.incremental),
+                       incremental=args.incremental)
 
     extras = []
     if spec.summarize is not None and result.ok_results:
         extras.append(spec.summarize(result.ok_results))
     extras.append(result.summary())
+    if result.fallback_reasons:
+        lines = ["fallbacks to full simulation:"]
+        for reason, count in sorted(result.fallback_reasons.items()):
+            lines.append(f"  {count:4d} x {reason}")
+        extras.append("\n".join(lines))
     if cache is not None:
         s = cache.stats
-        extras.append(f"cache {cache.root}: {s.hits} hits / {s.misses} "
-                      f"misses ({100 * s.hit_rate:.0f}% hit rate)")
+        line = (f"cache {cache.root}: {s.hits} hits / {s.misses} "
+                f"misses ({100 * s.hit_rate:.0f}% hit rate)")
+        if s.hits:
+            line += (f"; {s.hits_exact} exact + {s.hits_derived} derived "
+                     f"+ {s.hits_trace} trace, "
+                     f"{s.recompute_seconds_saved:.2f}s recompute saved")
+        extras.append(line)
     for outcome in result.outcomes:
         if outcome.status == "error":
             extras.append(f"ERROR {outcome.point.label}: {outcome.error} "
@@ -358,6 +425,8 @@ _COMMANDS = {
     "gals": (_cmd_gals, "3.1: GALS area overhead"),
     "adaptive-clocking": (_cmd_adaptive, "3.1: adaptive clock margin"),
     "stalls": (_cmd_stalls, "4: stall-injection bug hunting"),
+    "li-latency": (_cmd_li_latency, "4: LI pipeline latency grid "
+                                    "(replay-safe; see sweep --incremental)"),
     "backend": (_cmd_backend, "4: RTL-to-layout turnaround"),
     "productivity": (_cmd_productivity, "4: gates per engineer-day"),
 }
@@ -469,6 +538,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                               "$REPRO_SWEEP_CACHE or ~/.cache/repro/sweeps)")
     sweep_p.add_argument("--no-telemetry", action="store_true",
                          help="skip per-point telemetry capture")
+    sweep_p.add_argument("--incremental", action="store_true",
+                         help="trace-based incremental re-simulation: "
+                              "capture one full simulation per structural "
+                              "base, replay every derivable point "
+                              "analytically (implies --no-telemetry; "
+                              "points replay refuses fall back to full "
+                              "simulation with the reason recorded)")
     sweep_p.add_argument("--backend", choices=("threaded", "compiled"),
                          default="threaded",
                          help="simulation backend for every point (enters "
@@ -516,9 +592,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="comma-separated rule subset (default: all)")
     stats = sub.add_parser(
         "stats",
-        help="run an experiment with telemetry enabled, print a report")
+        help="run an experiment with telemetry enabled, print a report; "
+             "--cache reports sweep-cache effectiveness")
     stats.add_argument("experiment", choices=sorted(_COMMANDS),
-                       help="which experiment to instrument")
+                       nargs="?", default=None,
+                       help="which experiment to instrument (optional "
+                            "with --cache)")
+    stats.add_argument("--cache", action="store_true",
+                       help="append sweep-cache effectiveness: hit/miss "
+                            "counts, exact-vs-derived breakdown, "
+                            "recompute-seconds saved")
+    stats.add_argument("--cache-dir", metavar="PATH", default=None,
+                       help="cache directory (default: "
+                            "$REPRO_SWEEP_CACHE or ~/.cache/repro/sweeps)")
     _add_fig3_args(stats)
     stats.add_argument("--seed", type=int, default=None,
                        help="re-seed the experiment's random source")
@@ -564,6 +650,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_lint(args)
 
     want_stats = args.command == "stats"
+    if want_stats and args.experiment is None:
+        if not args.cache:
+            parser.error("stats: name an experiment, pass --cache, "
+                         "or both")
+        print(_format_cache_stats(args.cache_dir))
+        return 0
     target = args.experiment if want_stats else args.command
     fn, _ = _COMMANDS[target]
     trace_path = args.trace_vcd
@@ -596,6 +688,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         report = session.report(label=target)
         extras.append(observe.format_report(report))
         extras.append(_backend_provenance(last_run()))
+        if args.cache:
+            extras.append(_format_cache_stats(args.cache_dir))
         if args.json:
             with open(args.json, "w") as fh:
                 n = observe.write_jsonl(observe.to_records(report), fh)

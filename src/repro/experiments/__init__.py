@@ -8,6 +8,8 @@
 :mod:`.hls_qor`              section 2.2 — HLS vs hand RTL (±10 %)
 :mod:`.gals_overhead`        section 3.1 — GALS area overhead (< 3 %)
 :mod:`.stall_verification`   section 4 — stall injection finds bugs
+:mod:`.li_latency`           section 4 — LI latency grid, replayable
+                             from captured traces (``repro.trace``)
 ===========================  ==========================================
 
 The flow-level analyses (12-hour turnaround, 2K-20K gates/day) live in
@@ -54,6 +56,11 @@ from .hls_qor import (
     format_qor_results,
     hls_vs_hand_qor,
 )
+from .li_latency import (
+    LatencyForwarder,
+    build_li_pipeline,
+)
+from .li_latency import run_report as li_latency_report
 from .stall_verification import (
     CampaignResult,
     LeakyForwarder,
@@ -78,6 +85,7 @@ __all__ = [
     "testchip_overhead", "format_overhead_table",
     "LeakyForwarder", "build_stall_testbench", "stall_campaign",
     "CampaignResult", "format_campaign",
+    "LatencyForwarder", "build_li_pipeline", "li_latency_report",
     "AdaptiveClockingResult", "adaptive_clocking_experiment",
     "format_adaptive_clocking",
 ]

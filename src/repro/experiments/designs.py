@@ -71,6 +71,13 @@ def _build_stalls():
     return sim
 
 
+def _build_li_latency():
+    """The replay-safe LI pipeline (2 forwarding stages, depth 4)."""
+    from .li_latency import build_design
+
+    return build_design()
+
+
 #: Experiment verb -> design builder (``None`` = analytic, no design).
 DESIGN_BUILDERS: Dict[str, Optional[Callable[[], object]]] = {
     "fig3": _build_fig3,
@@ -80,6 +87,7 @@ DESIGN_BUILDERS: Dict[str, Optional[Callable[[], object]]] = {
     "gals": _build_gals,
     "adaptive-clocking": _build_adaptive,
     "stalls": _build_stalls,
+    "li-latency": _build_li_latency,
     "backend": None,           # flow-runtime model
     "productivity": None,      # effort model
 }

@@ -24,7 +24,8 @@ from ..sweep.point import SweepPoint
 
 __all__ = ["LeakyForwarder", "build_stall_testbench", "stall_campaign",
            "CampaignResult", "format_campaign", "sweep_space",
-           "run_sweep_point", "campaigns_from_sweep", "summarize_sweep"]
+           "run_sweep_point", "campaigns_from_sweep", "summarize_sweep",
+           "make_replay_adapter"]
 
 #: Defaults shared by the serial campaign and the sweep space, so both
 #: enumerate exactly the same (probability, seed) grid.
@@ -168,6 +169,71 @@ def run_sweep_point(params: dict, seed: int) -> dict:
                           n_msgs=params["n_msgs"], bug=params["bug"])
     return {"stall_probability": params["stall_probability"],
             "trial": params["trial"], "seed": seed, "detected": detected}
+
+
+# ----------------------------------------------------------------------
+# replay adapter: the *dynamic* fallback showcase
+# ----------------------------------------------------------------------
+# The static classifier accepts these points (only the stall knobs vary
+# between trials), but the capture itself records that this harness is
+# not replayable — LeakyForwarder retries with push_nb and the checker
+# polls with pop_nb, and non-blocking timing races are exactly what
+# analytical replay cannot reconstruct.  `sweep --incremental` therefore
+# captures the base once, reads the recorded reasons, and falls back to
+# full simulation for every point — the honest path an adapter author
+# hits before restructuring a harness around blocking handshakes
+# (compare li_latency, which is this pipeline rebuilt replay-safe).
+def _replay_base_params(params: dict) -> dict:
+    return {**params, "stall_probability": 0.0, "trial": 0}
+
+
+def _replay_base_seed(params: dict, seed: int) -> int:
+    return DEFAULT_BASE_SEED
+
+
+def _replay_capture(base_params: dict, base_seed: int) -> dict:
+    from ..trace.capture import capture
+
+    sim, _ = build_stall_testbench(
+        base_params["stall_probability"], base_seed,
+        n_msgs=base_params["n_msgs"], bug=base_params["bug"])
+    with capture(sim) as session:
+        sim.run(until=base_params["n_msgs"] * 1200)
+    return session.trace
+
+
+def _replay_overrides(params: dict, seed: int) -> dict:
+    channels = {}
+    if params["stall_probability"] > 0.0:
+        channels["down"] = {"stall": [params["stall_probability"], seed]}
+    return {"channels": channels}
+
+
+def _replay_derive(trace: dict, result, params: dict, seed: int) -> dict:
+    from ..trace.replay import ReplayError
+
+    # Unreachable while the harness uses non-blocking ops; kept as a
+    # guard because `detected` depends on message *values* (which the
+    # trace does not carry), so timing replay alone can never serve it.
+    raise ReplayError(
+        "stall_verification records depend on delivered message values, "
+        "which op traces do not capture")
+
+
+def make_replay_adapter():
+    """Built lazily: repro.trace imports must not load at module scope
+    here (the sweep registry imports this module eagerly)."""
+    from ..trace.adapter import ReplayAdapter
+
+    return ReplayAdapter(
+        kind="trace",
+        safe_params=frozenset({"stall_probability", "trial"}),
+        base_params=_replay_base_params,
+        base_seed=_replay_base_seed,
+        capture=_replay_capture,
+        overrides=_replay_overrides,
+        derive=_replay_derive,
+    )
 
 
 def campaigns_from_sweep(results: List[dict]) -> List[CampaignResult]:

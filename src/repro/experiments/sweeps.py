@@ -29,7 +29,9 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..sweep.point import SweepPoint
+from ..trace.adapter import ReplayAdapter
 from . import crossbar_qor, fig3_crossbar, fig6_soc, gals_overhead
+from . import li_latency
 from . import stall_verification as stalls
 
 __all__ = ["SweepSpec", "SWEEP_SPECS", "register_sweep", "get_sweep",
@@ -38,13 +40,21 @@ __all__ = ["SweepSpec", "SWEEP_SPECS", "register_sweep", "get_sweep",
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """One registered sweep: space builder + point runner + formatter."""
+    """One registered sweep: space builder + point runner + formatter.
+
+    ``replay``, when set, opts the experiment into incremental sweeps
+    (``run_sweep(..., incremental=True)``): it carries the semantic map
+    from sweep points to captured traces and back.  Experiments without
+    one still work incrementally — every point just falls back to full
+    simulation with the reason recorded.
+    """
 
     name: str
     help: str
     space: Callable[..., List[SweepPoint]]
     runner: Callable[[dict, int], dict]
     summarize: Optional[Callable[[List[dict]], str]] = None
+    replay: Optional[ReplayAdapter] = None
 
 
 #: Sweep name -> spec.  Extended via :func:`register_sweep` (tests
@@ -79,6 +89,20 @@ register_sweep(SweepSpec(
     space=stalls.sweep_space,
     runner=stalls.run_sweep_point,
     summarize=stalls.summarize_sweep,
+    # Statically derivable, dynamically refused: the capture records
+    # the harness's non-blocking ops and every point falls back with
+    # that reason — the recorded-capability path, exercised for real.
+    replay=stalls.make_replay_adapter(),
+))
+
+register_sweep(SweepSpec(
+    name="li_latency",
+    help="LI pipeline latency grid (FIFO depth x stall p x period); "
+         "replayable from 2 captured traces via sweep --incremental",
+    space=li_latency.sweep_space,
+    runner=li_latency.run_sweep_point,
+    summarize=li_latency.summarize_sweep,
+    replay=li_latency.REPLAY_ADAPTER,
 ))
 
 register_sweep(SweepSpec(
@@ -95,6 +119,9 @@ register_sweep(SweepSpec(
     space=gals_overhead.sweep_space,
     runner=gals_overhead.run_sweep_point,
     summarize=gals_overhead.summarize_sweep,
+    # Closed-form model, no kernel: every point is derivable by
+    # evaluating the runner in-process, skipping the pool entirely.
+    replay=ReplayAdapter(kind="analytic"),
 ))
 
 register_sweep(SweepSpec(

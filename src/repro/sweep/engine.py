@@ -158,6 +158,12 @@ class PointOutcome:
     wall_seconds: float = 0.0
     attempts: int = 0
     error: Optional[str] = None
+    #: How the result was produced: "exact" (full simulation, or a
+    #: cached one) vs "derived" (trace replay / analytic evaluation).
+    mode: str = "exact"
+    #: For incremental sweeps only: why this point could not be derived
+    #: and fell back to a full simulation (None when it didn't).
+    fallback_reason: Optional[str] = None
 
 
 @dataclass
@@ -174,6 +180,13 @@ class SweepResult:
     errors: int = 0
     retried: int = 0
     cache: Optional[dict] = None  # ResultCache.describe() snapshot
+    incremental: bool = False
+    #: Points served by trace replay or analytic evaluation this run.
+    derived: int = 0
+    #: Structural base simulations captured this run (not point-indexed).
+    captures: int = 0
+    #: reason -> count for points that fell back to full simulation.
+    fallback_reasons: Dict[str, int] = field(default_factory=dict)
 
     @property
     def points(self) -> List[SweepPoint]:
@@ -214,9 +227,14 @@ class SweepResult:
 
     def summary(self) -> str:
         """One status line: point counts, cache traffic, wall clock."""
+        traffic = f"{self.cache_hits} cached / {self.executed} executed"
+        if self.incremental:
+            traffic = (f"{self.cache_hits} cached / {self.derived} derived"
+                       f" / {self.executed} simulated"
+                       f" (+{self.captures} captures)")
         parts = [f"sweep {self.experiment}: {len(self.outcomes)} points",
-                 f"{self.cache_hits} cached / {self.executed} executed"
-                 + (f" / {self.errors} errors" if self.errors else ""),
+                 traffic + (f" / {self.errors} errors" if self.errors
+                            else ""),
                  f"jobs={self.jobs}", f"{self.wall_seconds:.2f}s wall"]
         if self.retried:
             parts.insert(2, f"{self.retried} retried")
@@ -234,9 +252,14 @@ class SweepResult:
             "errors": self.errors,
             "retried": self.retried,
             "cache": self.cache,
+            "incremental": self.incremental,
+            "derived": self.derived,
+            "captures": self.captures,
+            "fallback_reasons": self.fallback_reasons,
             "points": [o.point.identity() for o in self.outcomes],
             "results": self.results,
             "statuses": [o.status for o in self.outcomes],
+            "modes": [o.mode for o in self.outcomes],
             "telemetry": [r for o in self.outcomes
                           for r in (o.telemetry or ())],
         }
@@ -292,7 +315,8 @@ def run_sweep(points: Sequence[SweepPoint], *, jobs: int = 1,
               cache: Optional[ResultCache] = None,
               timeout: Optional[float] = None, retries: int = 1,
               telemetry: bool = True,
-              chunksize: Optional[int] = None) -> SweepResult:
+              chunksize: Optional[int] = None,
+              incremental: bool = False) -> SweepResult:
     """Execute a parameter sweep; returns ordered outcomes + accounting.
 
     ``jobs`` is the worker-process count (``<=1`` = in this process),
@@ -300,21 +324,46 @@ def run_sweep(points: Sequence[SweepPoint], *, jobs: int = 1,
     ``timeout`` is the per-point wall-clock budget in seconds, and
     ``retries`` is how many times a failed point is re-run before being
     recorded as an error.
+
+    With ``incremental`` the engine partitions the space into structural
+    bases and derivable satellites using the experiment's registered
+    :class:`~repro.trace.adapter.ReplayAdapter`: one full simulation is
+    captured per base (process pool), every satellite is replayed
+    analytically in-process, and any point the capability check or the
+    replayer refuses falls back to a full simulation with its reason
+    recorded in ``SweepResult.fallback_reasons``.  Incremental sweeps
+    run with telemetry off (a replayed point has no kernel to observe;
+    mixing instrumented and derived records would make the merged
+    report lie), so their canonical form matches a plain
+    ``telemetry=False`` sweep.
     """
     points = list(points)
     if not points:
         raise ValueError("run_sweep needs at least one SweepPoint")
+    if incremental:
+        return _run_incremental(points, jobs=jobs, cache=cache,
+                                timeout=timeout, retries=retries,
+                                chunksize=chunksize)
     experiment = points[0].experiment
     t0 = time.perf_counter()
 
+    # A telemetry-enabled sweep must not be served by telemetry-less
+    # entries (the merged report would silently lose those points); the
+    # predicate makes them honest misses.  In the mirror case the
+    # stored telemetry is stripped so a cache hit is indistinguishable
+    # from a fresh telemetry=False execution.
+    require = (lambda value: value.get("telemetry") is not None) \
+        if telemetry else None
     outcomes: List[Optional[PointOutcome]] = [None] * len(points)
     pending: List[Tuple[int, SweepPoint]] = []
     for i, point in enumerate(points):
-        hit = cache.get(point) if cache is not None else None
+        hit = cache.get(point, require=require) if cache is not None \
+            else None
         if hit is not None:
             outcomes[i] = PointOutcome(
                 index=i, point=point, status="cached",
-                result=hit.get("result"), telemetry=hit.get("telemetry"),
+                result=hit.get("result"),
+                telemetry=hit.get("telemetry") if telemetry else None,
                 wall_seconds=0.0, attempts=0)
         else:
             pending.append((i, point))
@@ -347,7 +396,8 @@ def run_sweep(points: Sequence[SweepPoint], *, jobs: int = 1,
                 attempts=attempts[i])
             if cache is not None:
                 cache.put(point, {"result": rec["result"],
-                                  "telemetry": rec.get("telemetry")})
+                                  "telemetry": rec.get("telemetry")},
+                          cost=rec.get("wall_seconds", 0.0))
         else:
             errors += 1
             outcomes[i] = PointOutcome(
@@ -368,4 +418,281 @@ def run_sweep(points: Sequence[SweepPoint], *, jobs: int = 1,
         retried=retried,
         cache=cache.describe() if cache is not None else None,
     )
+    if cache is not None:
+        cache.flush_stats()
+    return result
+
+
+def _capture_chunk(tasks: Sequence[tuple],
+                   timeout: Optional[float]) -> List[dict]:
+    """Worker entry point: capture structural-base traces.
+
+    ``tasks`` are ``(gid, experiment, base_params, base_seed)`` tuples;
+    the replay adapter is re-resolved from the registry by experiment
+    name so only plain data crosses the process boundary.
+    """
+    from ..experiments.sweeps import get_sweep
+
+    out = []
+    for gid, experiment, base_params, base_seed in tasks:
+        t0 = time.perf_counter()
+        try:
+            adapter = get_sweep(experiment).replay
+            with _alarm(timeout):
+                trace = adapter.capture(dict(base_params), base_seed)
+            out.append({"gid": gid, "ok": True, "trace": trace,
+                        "wall_seconds": time.perf_counter() - t0})
+        except Exception as exc:  # noqa: BLE001 - reported per capture
+            out.append({"gid": gid, "ok": False,
+                        "error": f"{type(exc).__name__}: {exc}"})
+    return out
+
+
+def _run_captures(tasks: List[tuple], *, jobs: int,
+                  timeout: Optional[float]) -> Dict[str, dict]:
+    """Run base captures, one pool task each; records keyed by gid."""
+    recs: List[dict] = []
+    if not tasks:
+        return {}
+    if jobs <= 1 or len(tasks) == 1:
+        recs = _capture_chunk(tasks, timeout)
+    else:
+        with ProcessPoolExecutor(
+                max_workers=min(jobs, len(tasks))) as pool:
+            futures = [(pool.submit(_capture_chunk, [task], timeout), task)
+                       for task in tasks]
+            for future, task in futures:
+                try:
+                    recs.extend(future.result())
+                except BrokenProcessPool:
+                    recs.append({"gid": task[0], "ok": False,
+                                 "error": "BrokenProcessPool: "
+                                          "worker crashed"})
+                except Exception as exc:  # noqa: BLE001
+                    recs.append({"gid": task[0], "ok": False,
+                                 "error": f"{type(exc).__name__}: {exc}"})
+    return {rec["gid"]: rec for rec in recs}
+
+
+def _run_incremental(points: List[SweepPoint], *, jobs: int,
+                     cache: Optional[ResultCache],
+                     timeout: Optional[float], retries: int,
+                     chunksize: Optional[int]) -> SweepResult:
+    """The ``incremental=True`` engine: capture bases, replay satellites.
+
+    Partition order (see the tentpole walk-through in
+    ``docs/INCREMENTAL_SIM.md``):
+
+    1. cache pass — exact entries first (they are authoritative and can
+       never be shadowed by derived ones), then derived entries;
+    2. static classification via :func:`repro.trace.adapter.classify`;
+    3. one captured full simulation per structural base, trace-cache
+       fronted, across the process pool;
+    4. in-process analytical replay for every satellite — a replay the
+       trace's recorded capability or the replayer's soundness guards
+       refuse demotes the point to the fallback set with its reason;
+    5. the fallback set runs as a normal full-simulation batch.
+    """
+    from ..experiments.sweeps import get_sweep
+    from ..kernel.backend import use_backend
+    from ..trace.adapter import classify
+    from ..trace.replay import ReplayError, Replayer
+
+    experiment = points[0].experiment
+    if any(p.experiment != experiment for p in points):
+        raise ValueError("incremental sweeps require a single experiment")
+    spec = get_sweep(experiment)
+    adapter = spec.replay
+    t0 = time.perf_counter()
+
+    outcomes: List[Optional[PointOutcome]] = [None] * len(points)
+    pending: List[Tuple[int, SweepPoint]] = []
+    for i, point in enumerate(points):
+        hit, mode = None, "exact"
+        if cache is not None:
+            hit = cache.get(point)
+            if hit is None:
+                hit, mode = cache.get(point, mode="derived"), "derived"
+        if hit is not None:
+            outcomes[i] = PointOutcome(
+                index=i, point=point, status="cached",
+                result=hit.get("result"), telemetry=None, mode=mode)
+        else:
+            pending.append((i, point))
+
+    structural: List[Tuple[int, SweepPoint, str]] = []
+    analytic: List[Tuple[int, SweepPoint]] = []
+    groups: Dict[str, dict] = {}
+    for i, point in pending:
+        mode, reason, bparams, bseed = classify(
+            adapter, dict(point.params), point.seed)
+        if mode == "structural":
+            structural.append((i, point, reason))
+        elif adapter.kind == "analytic":
+            analytic.append((i, point))
+        else:
+            gid = canonical_json({"experiment": experiment,
+                                  "params": bparams, "seed": bseed})
+            group = groups.setdefault(
+                gid, {"base_params": bparams, "base_seed": bseed,
+                      "members": []})
+            group["members"].append((i, point))
+
+    # One capture per structural base, trace-cache fronted.  Ineligible
+    # traces are cached too: the recorded reasons are stable for a
+    # given base, so a warm sweep skips straight to the fallback.
+    captures: Dict[str, dict] = {}
+    need: List[tuple] = []
+    for gid, group in groups.items():
+        group["base_point"] = SweepPoint(
+            experiment, group["base_params"], seed=group["base_seed"])
+        hit = cache.get(group["base_point"], mode="trace") \
+            if cache is not None else None
+        if hit is not None:
+            captures[gid] = {"ok": True, "trace": hit["trace"],
+                             "wall_seconds": 0.0}
+        else:
+            need.append((gid, experiment, dict(group["base_params"]),
+                         group["base_seed"]))
+    captures.update(_run_captures(need, jobs=jobs, timeout=timeout))
+    captures_run = sum(1 for gid, _, _, _ in need
+                       if captures.get(gid, {}).get("ok"))
+    if cache is not None:
+        for gid, _, _, _ in need:
+            rec = captures.get(gid)
+            if rec is not None and rec["ok"]:
+                cache.put(groups[gid]["base_point"],
+                          {"trace": rec["trace"]}, mode="trace",
+                          cost=rec.get("wall_seconds", 0.0))
+
+    derived_count = 0
+    for gid, group in groups.items():
+        rec = captures.get(gid, {"ok": False, "error": "capture missing"})
+        if not rec["ok"]:
+            reason = f"capture failed: {rec.get('error', 'unknown')}"
+            structural.extend((i, p, reason) for i, p in group["members"])
+            continue
+        trace = rec["trace"]
+        if not trace.get("eligible", False):
+            reason = ("capture ineligible: "
+                      + "; ".join(trace.get("reasons") or ["unrecorded"]))
+            structural.extend((i, p, reason) for i, p in group["members"])
+            continue
+        # One precompiled evaluator per base: the trace is parsed once
+        # and identical channel-override signatures (e.g. period-only
+        # satellites) are served from its memo.
+        replayer = Replayer(trace)
+        for i, point in group["members"]:
+            p0 = time.perf_counter()
+            try:
+                res = adapter.derive(
+                    trace,
+                    replayer.replay(
+                        adapter.overrides(dict(point.params),
+                                          point.seed)),
+                    dict(point.params), point.seed)
+            except ReplayError as exc:
+                structural.append((i, point, f"replay refused: {exc}"))
+                continue
+            except Exception as exc:  # noqa: BLE001 - fall back, record
+                structural.append(
+                    (i, point,
+                     f"replay failed: {type(exc).__name__}: {exc}"))
+                continue
+            wall = time.perf_counter() - p0
+            derived_count += 1
+            outcomes[i] = PointOutcome(
+                index=i, point=point, status="ok", result=res,
+                wall_seconds=wall, attempts=1, mode="derived")
+            if cache is not None:
+                cache.put(point, {"result": res, "telemetry": None},
+                          mode="derived", cost=wall)
+
+    # Analytic experiments have no kernel: the runner *is* the derived
+    # evaluator, so its output is cached as exact (it is the exact
+    # result) while the outcome is accounted as derived (no simulation
+    # was dispatched for it).
+    errors = 0
+    for i, point in analytic:
+        p0 = time.perf_counter()
+        try:
+            with _alarm(timeout), use_backend(point.backend):
+                res = spec.runner(dict(point.params), point.seed)
+        except Exception as exc:  # noqa: BLE001 - terminal for the point
+            errors += 1
+            outcomes[i] = PointOutcome(
+                index=i, point=point, status="error", attempts=1,
+                mode="derived",
+                error=f"{type(exc).__name__}: {exc}")
+            continue
+        wall = time.perf_counter() - p0
+        derived_count += 1
+        outcomes[i] = PointOutcome(
+            index=i, point=point, status="ok", result=res,
+            wall_seconds=wall, attempts=1, mode="derived")
+        if cache is not None:
+            cache.put(point, {"result": res, "telemetry": None},
+                      cost=wall)
+
+    structural.sort(key=lambda item: item[0])
+    fallback_reasons: Dict[str, int] = {}
+    for _, _, reason in structural:
+        fallback_reasons[reason] = fallback_reasons.get(reason, 0) + 1
+    reason_of = {i: reason for i, _, reason in structural}
+    fallback = [(i, p) for i, p, _ in structural]
+    raw = _execute_batch(fallback, jobs=jobs, telemetry=False,
+                         timeout=timeout, chunksize=chunksize)
+    attempts = {i: 1 for i, _ in fallback}
+    retried = 0
+    for _ in range(max(0, retries)):
+        failed = [(i, p) for i, p in fallback if not raw[i]["ok"]]
+        if not failed:
+            break
+        retried += len(failed)
+        retry_raw = _execute_batch(failed, jobs=jobs, telemetry=False,
+                                   timeout=timeout, chunksize=1)
+        for i, rec in retry_raw.items():
+            attempts[i] += 1
+            if rec["ok"] or not raw[i]["ok"]:
+                raw[i] = rec
+
+    executed = 0
+    for i, point in fallback:
+        rec = raw[i]
+        if rec["ok"]:
+            executed += 1
+            outcomes[i] = PointOutcome(
+                index=i, point=point, status="ok", result=rec["result"],
+                wall_seconds=rec.get("wall_seconds", 0.0),
+                attempts=attempts[i], fallback_reason=reason_of[i])
+            if cache is not None:
+                cache.put(point, {"result": rec["result"],
+                                  "telemetry": None},
+                          cost=rec.get("wall_seconds", 0.0))
+        else:
+            errors += 1
+            outcomes[i] = PointOutcome(
+                index=i, point=point, status="error",
+                error=rec.get("error", "unknown failure"),
+                attempts=attempts[i], fallback_reason=reason_of[i])
+
+    result = SweepResult(
+        experiment=experiment,
+        outcomes=[o for o in outcomes if o is not None],
+        jobs=jobs,
+        wall_seconds=time.perf_counter() - t0,
+        cache_hits=sum(1 for o in outcomes
+                       if o is not None and o.status == "cached"),
+        cache_misses=len(pending),
+        executed=executed,
+        errors=errors,
+        retried=retried,
+        cache=cache.describe() if cache is not None else None,
+        incremental=True,
+        derived=derived_count,
+        captures=captures_run,
+        fallback_reasons=fallback_reasons,
+    )
+    if cache is not None:
+        cache.flush_stats()
     return result

@@ -1,0 +1,25 @@
+"""Trace-based incremental re-simulation (ROADMAP item 2).
+
+Capture one full simulation per *structural* configuration as a
+latency-annotated op trace, then re-derive measurements for thousands
+of parameter points that vary only replay-safe knobs — FIFO depths,
+injected stall schedules, retiming latency, clock period — without
+re-running the kernel.  See ``docs/INCREMENTAL_SIM.md``.
+
+* :mod:`repro.trace.capture` — scoped instrumentation producing a
+  JSON-able trace dict plus recorded ineligibility reasons,
+* :mod:`repro.trace.replay` — the exact analytical evaluator,
+* :mod:`repro.trace.adapter` — per-experiment glue classifying sweep
+  points as derivable vs structural for ``sweep --incremental``.
+"""
+
+from .capture import CaptureError, TRACE_SCHEMA, capture, captured_trace
+from .replay import (ReplayError, Replayer, ReplayResult, replay,
+                     stall_schedule)
+from .adapter import ReplayAdapter, classify
+
+__all__ = [
+    "CaptureError", "TRACE_SCHEMA", "capture", "captured_trace",
+    "ReplayError", "Replayer", "ReplayResult", "replay", "stall_schedule",
+    "ReplayAdapter", "classify",
+]

@@ -1,0 +1,566 @@
+"""Trace replay: re-derive a run's timing analytically from its trace.
+
+Given a captured trace (:mod:`repro.trace.capture`) and a set of
+replay-safe parameter overrides — per-channel FIFO ``capacity``,
+``extra_latency``, injected ``stall`` schedule ``(probability, seed)``,
+and the global clock ``period`` — :func:`replay` recomputes everything
+the full simulator would have measured at the new point **without
+running the kernel**: per-channel transfer/attempt/rejection counters,
+stall cycles, occupancy sums, and per-op completion cycles, all
+byte-identical to a fresh threaded simulation (the differential suite
+in ``tests/trace/`` enforces this against the kernel as oracle).
+
+How it works
+------------
+The captured op scripts fix *behaviour*; replay recomputes *timing* by
+propagating latencies through the trace's dependency graph with an
+event-driven scheduler over the same automaton ``FastChannel`` executes
+(``src/repro/connections/channel.py``):
+
+* at each posedge ``c``: transit messages with ``ready <= c`` arrive,
+  the occupancy snapshot freezes, the per-cycle push/pop slots clear,
+  and a stalled channel consumes one RNG draw;
+* ``push`` at cycle ``c`` succeeds iff the slot is free and
+  ``occ_start + 1 <= capacity`` (``occ_start`` counts queue **and**
+  transit, frozen before same-cycle pops) and makes the message ready
+  at ``c + 1 + extra_latency``;
+* ``pop`` at cycle ``c`` succeeds iff the slot is free, the channel is
+  not stalled this cycle, and an arrival with ``ready <= c`` is
+  unconsumed;
+* a blocking op attempts once per consecutive posedge until it
+  succeeds, each refusal counting one attempt + one rejection.
+
+Instead of iterating every cycle, the scheduler keeps a heap of thread
+events and jumps each blocked op straight to its earliest admissible
+success cycle (next arrival / next unstalled cycle / next capacity
+slot), accounting the skipped attempts arithmetically.  Occupancy sums
+come from the closed form: an arrival at ``ready`` adds
+``horizon - ready + 1`` queue-cycles, a pop at ``p`` removes
+``horizon - p``.  The stall schedule is a pure function of
+``(seed, probability, tick index)`` because ``FastChannel._tick`` draws
+once per cycle regardless of traffic, so a replayed schedule with the
+same seed is exactly the schedule a fresh run would draw.
+
+Soundness guards
+----------------
+Replay refuses (:class:`ReplayError`) rather than extrapolate when the
+new timing would expose behaviour the capture never observed:
+
+* a thread whose generator had **not** finished at the captured horizon
+  completes its last observed op *earlier* than in the capture — ops
+  just beyond the captured horizon could now fit inside it;
+* an op the capture left pending (still blocked at the horizon) would
+  now complete.
+
+The sweep engine treats a :class:`ReplayError` as one more fallback
+reason and re-simulates that point exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from random import Random
+from typing import Dict, List, Optional, Tuple
+
+from .capture import TRACE_SCHEMA
+
+__all__ = ["ReplayError", "Replayer", "ReplayResult", "replay",
+           "stall_schedule"]
+
+_OP_PUSH = 0
+_OP_POP = 1
+
+#: Raw per-seed RNG draw streams, shared across replay calls (a sweep
+#: replays hundreds of points against a handful of seeds).
+_DRAW_CACHE: Dict[int, List[float]] = {}
+_DRAW_CACHE_MAX = 64
+
+#: (seed, probability, horizon) -> (stalled bits, next_clear jumps,
+#: stall-cycle count).  A dense sweep replays the same few injected
+#: schedules hundreds of times; building the O(horizon) arrays once
+#: per schedule moves them off the per-point path entirely.
+_STALL_CACHE: Dict[Tuple[int, float, int],
+                   Tuple[List[bool], List[int], int]] = {}
+_STALL_CACHE_MAX = 256
+
+
+class ReplayError(RuntimeError):
+    """The trace cannot be replayed exactly at the requested point."""
+
+
+def stall_schedule(seed: int, probability: float, horizon: int) -> List[bool]:
+    """Stalled/clear bit per tick ``1..horizon`` (index 0 unused).
+
+    Mirrors ``FastChannel.set_stall`` + ``_tick``: ``Random(seed)``
+    draws once per posedge; the channel stalls when the draw is below
+    ``probability``.
+    """
+    draws = _DRAW_CACHE.get(seed)
+    if draws is None or len(draws) < horizon:
+        rng = Random(seed)
+        draws = [rng.random() for _ in range(horizon)]
+        if len(_DRAW_CACHE) >= _DRAW_CACHE_MAX:
+            _DRAW_CACHE.clear()
+        _DRAW_CACHE[seed] = draws
+    bits = [False] * (horizon + 1)
+    for c in range(1, horizon + 1):
+        bits[c] = draws[c - 1] < probability
+    return bits
+
+
+def _stall_artifacts(seed: int, probability: float,
+                     horizon: int) -> Tuple[List[bool], List[int], int]:
+    """Cached ``(stalled, next_clear, stall_cycles)`` for one schedule."""
+    key = (seed, probability, horizon)
+    cached = _STALL_CACHE.get(key)
+    if cached is not None:
+        return cached
+    stalled = stall_schedule(seed, probability, horizon)
+    nc = [horizon + 1] * (horizon + 2)
+    for c in range(horizon, 0, -1):
+        nc[c] = c if not stalled[c] else nc[c + 1]
+    count = sum(stalled[1:horizon + 1])
+    if len(_STALL_CACHE) >= _STALL_CACHE_MAX:
+        _STALL_CACHE.clear()
+    _STALL_CACHE[key] = (stalled, nc, count)
+    return stalled, nc, count
+
+
+@dataclass(slots=True)
+class _Channel:
+    """Replay-side channel state (counts only — no message payloads)."""
+
+    path: str
+    capacity: int
+    extra_latency: int
+    stall_probability: float
+    stall_seed: Optional[int]
+    horizon: int
+    # arrivals not yet consumed: ready cycles in FIFO order
+    arrivals: List[int] = field(default_factory=list)
+    arrival_head: int = 0
+    pushes: int = 0               # accepted pushes (any ready cycle)
+    pops: int = 0                 # completed pops
+    # Committed pop cycles, strictly increasing.  Kept as a list (not
+    # just a count) because a blocked pop can *jump* straight to its
+    # success cycle, committing ahead of the heap frontier — push-side
+    # occupancy tests must therefore count pops by cycle, not total.
+    pop_cycles: List[int] = field(default_factory=list)
+    last_push_cycle: int = -1
+    last_pop_cycle: int = -1
+    push_attempts: int = 0
+    pop_attempts: int = 0
+    push_rejections: int = 0
+    pop_rejections: int = 0
+    occupancy_sum: int = 0
+    # stalled[c] for tick c, None when no stall injection
+    stalled: Optional[List[bool]] = None
+    # first clear (unstalled) cycle >= c, horizon+1 when none
+    next_clear: Optional[List[int]] = None
+    stall_cycles: int = 0
+    parked_pusher: Optional[int] = None   # thread index blocked on full
+    parked_popper: Optional[int] = None   # thread index blocked on empty
+
+    def prepare_stall(self) -> None:
+        if self.stall_probability <= 0.0:
+            return
+        if self.stall_seed is None:
+            raise ReplayError(
+                f"channel {self.path!r} has stall injection with an "
+                "unknown seed")
+        self.stalled, self.next_clear, self.stall_cycles = _stall_artifacts(
+            self.stall_seed, self.stall_probability, self.horizon)
+
+    def occupancy_before(self, cycle: int) -> int:
+        """Frozen ``_occ_start`` a push attempt at ``cycle`` observes.
+
+        Counts queue + transit: every push accepted before ``cycle``
+        minus every pop completed strictly before ``cycle`` (a pop this
+        very cycle happens after the snapshot froze).  The single
+        pusher's own pushes all predate its current attempt, so
+        ``self.pushes`` needs no cycle filter; pops do (see
+        ``pop_cycles``).
+        """
+        return self.pushes - bisect_left(self.pop_cycles, cycle)
+
+    def accept_push(self, cycle: int) -> int:
+        ready = cycle + 1 + self.extra_latency
+        self.arrivals.append(ready)
+        self.pushes += 1
+        self.last_push_cycle = cycle
+        if ready <= self.horizon:
+            self.occupancy_sum += self.horizon - ready + 1
+        return ready
+
+    def accept_pop(self, cycle: int) -> None:
+        self.arrival_head += 1
+        self.pops += 1
+        self.pop_cycles.append(cycle)
+        self.last_pop_cycle = cycle
+        self.occupancy_sum -= self.horizon - cycle
+
+    def head_ready(self) -> Optional[int]:
+        if self.arrival_head < len(self.arrivals):
+            return self.arrivals[self.arrival_head]
+        return None
+
+
+@dataclass(slots=True)
+class _Thread:
+    path: str
+    ops: List[Tuple[int, int, int]]   # (kind, chan, gap) per op
+    base_last_done: Optional[int]     # last completed op's cycle in capture
+    base_finished: bool               # generator exhausted in capture
+    has_pending: bool                 # capture ended mid-op
+    idx: int = 0
+    attempt_start: int = -1           # first attempt cycle of current op
+    done_cycles: List[int] = field(default_factory=list)
+    stuck: bool = False               # current op cannot complete by horizon
+
+
+@dataclass
+class ReplayResult:
+    """Analytically re-derived measurements for one parameter point."""
+
+    cycles: int                       # posedges covered (capture horizon)
+    period: int
+    now: int                          # time of the last posedge
+    channels: Dict[str, dict]
+    threads: Dict[str, dict]
+
+
+def _normalize_channels(trace: dict, overrides: dict
+                        ) -> List[Tuple[str, int, int, float,
+                                        Optional[int]]]:
+    """Validated ``(path, capacity, extra_latency, p, seed)`` per channel.
+
+    Pure parameter resolution — no evaluator state is built, so the
+    result doubles as the memo signature for :class:`Replayer`.
+    """
+    chan_over = dict(overrides.get("channels") or {})
+    resolved = []
+    for rec in trace["channels"]:
+        over = chan_over.pop(rec["path"], None) or {}
+        unknown = set(over) - {"capacity", "extra_latency", "stall"}
+        if unknown:
+            raise ReplayError(
+                f"unknown override keys for channel {rec['path']!r}: "
+                f"{sorted(unknown)} (replay-safe keys: capacity, "
+                "extra_latency, stall)")
+        capacity = over.get("capacity", rec["capacity"])
+        if capacity < 1:
+            raise ReplayError(
+                f"channel {rec['path']!r}: capacity must be >= 1")
+        extra = over.get("extra_latency", rec["extra_latency"])
+        if extra < 0:
+            raise ReplayError(
+                f"channel {rec['path']!r}: extra_latency must be >= 0")
+        if "stall" in over:
+            stall = over["stall"]
+            if stall is None:
+                probability, seed = 0.0, None
+            else:
+                probability, seed = float(stall[0]), int(stall[1])
+                if not 0.0 <= probability <= 1.0:
+                    raise ReplayError(
+                        f"channel {rec['path']!r}: stall probability "
+                        f"must be in [0,1], got {probability}")
+        else:
+            probability = rec["stall_probability"]
+            seed = rec["stall_seed"]
+        resolved.append((rec["path"], capacity, extra, probability, seed))
+    if chan_over:
+        raise ReplayError(
+            f"overrides name unknown channels: {sorted(chan_over)}")
+    return resolved
+
+
+def _scripts(trace: dict) -> List[_Thread]:
+    threads: List[_Thread] = []
+    for rec in trace["threads"]:
+        ops: List[Tuple[int, int, int]] = []
+        prev_done: Optional[int] = None
+        for kind, chan, first, done in rec["ops"]:
+            gap = first if prev_done is None else first - prev_done
+            ops.append((kind, chan, gap))
+            prev_done = done
+        if rec["pending"] is not None:
+            kind, chan, first = rec["pending"]
+            gap = first if prev_done is None else first - prev_done
+            ops.append((kind, chan, gap))
+        threads.append(_Thread(
+            path=rec["path"], ops=ops,
+            base_last_done=rec["ops"][-1][3] if rec["ops"] else None,
+            base_finished=rec["finished"],
+            has_pending=rec["pending"] is not None,
+        ))
+    return threads
+
+
+class Replayer:
+    """Precompiled analytical evaluator for one captured trace.
+
+    Construction validates the trace and parses the op scripts once;
+    :meth:`replay` then serves any number of override points against
+    it.  Evaluations are memoized by the resolved per-channel
+    parameters, so satellites that differ only in clock ``period``
+    (which rescales ``now`` but cannot change cycle counts) cost a
+    dictionary lookup — the trace-graph analogue of re-evaluating a
+    design at a new clock without re-simulating.
+    """
+
+    def __init__(self, trace: dict):
+        if trace.get("schema") != TRACE_SCHEMA:
+            raise ReplayError(
+                f"unsupported trace schema {trace.get('schema')!r} "
+                f"(expected {TRACE_SCHEMA!r})")
+        if not trace["eligible"]:
+            raise ReplayError(
+                "trace is not replayable: " + "; ".join(trace["reasons"]))
+        self._trace = trace
+        self.horizon = trace["clock"]["cycles"]
+        self.base_period = trace["clock"]["period"]
+        self._templates = _scripts(trace)
+        self._memo: Dict[tuple, Tuple[Dict[str, dict], Dict[str, dict]]] = {}
+
+    def replay(self, overrides: Optional[dict] = None) -> ReplayResult:
+        """Re-derive the run's measurements under ``overrides``.
+
+        ``overrides`` is a plain dict::
+
+            {"period": 12,                      # optional clock period
+             "channels": {"tb.pipe.buf": {
+                 "capacity": 8,                 # effective FIFO depth
+                 "extra_latency": 1,            # retiming stages
+                 "stall": [0.3, 17],            # (probability, seed)
+             }}}
+
+        ``"stall": None`` clears injection.  Raises
+        :class:`ReplayError` for structural override keys or points
+        whose timing would expose behaviour outside the captured
+        horizon.
+        """
+        overrides = overrides or {}
+        unknown = set(overrides) - {"period", "channels"}
+        if unknown:
+            raise ReplayError(
+                f"unknown override keys: {sorted(unknown)} "
+                "(replay-safe keys: period, channels)")
+        period = overrides.get("period", self.base_period)
+        if not isinstance(period, int) or period <= 0:
+            raise ReplayError(
+                f"period must be a positive int, got {period!r}")
+        resolved = _normalize_channels(self._trace, overrides)
+        sig = tuple(resolved)
+        core = self._memo.get(sig)
+        if core is None:
+            core = self._evaluate(resolved)
+            self._memo[sig] = core
+        channel_core, thread_core = core
+        horizon = self.horizon
+        return ReplayResult(
+            cycles=horizon,
+            period=period,
+            now=(horizon - 1) * period if horizon else 0,
+            channels={path: dict(rec)
+                      for path, rec in channel_core.items()},
+            threads={path: {**rec, "op_cycles": list(rec["op_cycles"])}
+                     for path, rec in thread_core.items()},
+        )
+
+    def _evaluate(self, resolved) -> Tuple[Dict[str, dict], Dict[str, dict]]:
+        horizon = self.horizon
+        channels = []
+        for path, capacity, extra, probability, seed in resolved:
+            chan = _Channel(path=path, capacity=capacity,
+                            extra_latency=extra,
+                            stall_probability=probability,
+                            stall_seed=seed, horizon=horizon)
+            chan.prepare_stall()
+            channels.append(chan)
+        threads = [
+            _Thread(path=t.path, ops=t.ops,
+                    base_last_done=t.base_last_done,
+                    base_finished=t.base_finished,
+                    has_pending=t.has_pending)
+            for t in self._templates
+        ]
+        return _run_schedule(horizon, channels, threads)
+
+
+def _run_schedule(horizon: int, channels: List[_Channel],
+                  threads: List[_Thread]
+                  ) -> Tuple[Dict[str, dict], Dict[str, dict]]:
+    # -- event-driven schedule: (cycle, seq, thread index) -------------
+    agenda: List[Tuple[int, int, int]] = []
+    seq = 0
+    for t, th in enumerate(threads):
+        if th.ops:
+            kind, chan, gap = th.ops[0]
+            th.attempt_start = gap
+            if gap <= horizon:
+                heapq.heappush(agenda, (gap, seq, t))
+                seq += 1
+            else:
+                th.stuck = True
+
+    def advance(th: _Thread, t: int, done: int) -> None:
+        """Record op completion at ``done`` and schedule the next op."""
+        th.done_cycles.append(done)
+        th.idx += 1
+        if th.idx >= len(th.ops):
+            return
+        nonlocal seq
+        gap = th.ops[th.idx][2]
+        start = done + gap
+        th.attempt_start = start
+        if start <= horizon:
+            heapq.heappush(agenda, (start, seq, t))
+            seq += 1
+        else:
+            th.stuck = True
+
+    def park_wake(t: Optional[int], cycle: int) -> None:
+        if t is None:
+            return
+        nonlocal seq
+        if cycle <= horizon:
+            heapq.heappush(agenda, (cycle, seq, t))
+            seq += 1
+        else:
+            threads[t].stuck = True
+
+    while agenda:
+        cycle, _, t = heapq.heappop(agenda)
+        th = threads[t]
+        kind, c, _gap = th.ops[th.idx]
+        chan = channels[c]
+        start = th.attempt_start
+
+        if kind == _OP_PUSH:
+            chan.parked_pusher = None
+            attempt = cycle
+            # Same-cycle slot reuse: a push right after a push completed
+            # this very cycle is refused by the _pushed flag once.
+            if chan.last_push_cycle == attempt:
+                attempt += 1
+                if attempt > horizon:
+                    continue
+            if chan.occupancy_before(attempt) + 1 > chan.capacity:
+                # Full: every cycle from `start` keeps rejecting until
+                # enough pops free a slot.  A blocked pop may already
+                # have committed its (future) success cycle, so first
+                # look for the committed pop that opens the slot; park
+                # only when it has not been scheduled yet.
+                target = chan.pushes - chan.capacity + 1
+                if target <= len(chan.pop_cycles):
+                    park_wake(t, max(attempt,
+                                     chan.pop_cycles[target - 1] + 1))
+                else:
+                    chan.parked_pusher = t
+                continue
+            done = attempt
+            ready = chan.accept_push(done)
+            chan.push_attempts += done - start + 1
+            chan.push_rejections += done - start
+            # An arrival may unblock a popper parked on empty.
+            if chan.parked_popper is not None:
+                parked = chan.parked_popper
+                chan.parked_popper = None
+                park_wake(parked, max(threads[parked].attempt_start, ready))
+            advance(th, t, done)
+        else:
+            chan.parked_popper = None
+            attempt = cycle
+            if chan.last_pop_cycle == attempt:
+                attempt += 1
+                if attempt > horizon:
+                    continue
+            ready = chan.head_ready()
+            if ready is None:
+                # Empty with nothing in flight: park until a push lands.
+                chan.parked_popper = t
+                continue
+            candidate = max(attempt, ready)
+            if chan.next_clear is not None:
+                candidate = chan.next_clear[candidate] \
+                    if candidate <= horizon else horizon + 1
+            if candidate > horizon:
+                # Stalled (or still in transit) through the horizon.
+                th.stuck = True
+                continue
+            done = candidate
+            chan.accept_pop(done)
+            chan.pop_attempts += done - start + 1
+            chan.pop_rejections += done - start
+            # A freed slot may unblock a pusher parked on full.
+            if chan.parked_pusher is not None:
+                parked = chan.parked_pusher
+                chan.parked_pusher = None
+                park_wake(parked, max(threads[parked].attempt_start,
+                                      done + 1))
+            advance(th, t, done)
+
+    # -- account attempts of ops still blocked at the horizon ----------
+    for th in threads:
+        if th.idx < len(th.ops) and th.attempt_start >= 0:
+            start = min(th.attempt_start, horizon + 1)
+            rejected = horizon - start + 1
+            if rejected > 0:
+                kind, c, _gap = th.ops[th.idx]
+                chan = channels[c]
+                if kind == _OP_PUSH:
+                    chan.push_attempts += rejected
+                    chan.push_rejections += rejected
+                else:
+                    chan.pop_attempts += rejected
+                    chan.pop_rejections += rejected
+            th.stuck = True
+
+    # -- soundness guards ----------------------------------------------
+    for th in threads:
+        script_done = th.idx >= len(th.ops)
+        if th.has_pending and script_done:
+            raise ReplayError(
+                f"thread {th.path!r}: an op left pending at the captured "
+                "horizon completes under the new timing (behaviour "
+                "beyond the capture is unknown)")
+        if (not th.base_finished and not th.has_pending and script_done
+                and th.base_last_done is not None
+                and th.done_cycles[-1] < th.base_last_done):
+            raise ReplayError(
+                f"thread {th.path!r} runs ahead of the capture "
+                f"(op {len(th.done_cycles)} completes at cycle "
+                f"{th.done_cycles[-1]} vs {th.base_last_done}); ops "
+                "beyond the captured horizon could surface")
+
+    channel_out: Dict[str, dict] = {}
+    for chan in channels:
+        channel_out[chan.path] = {
+            "transfers": chan.pops,
+            "push_attempts": chan.push_attempts,
+            "pop_attempts": chan.pop_attempts,
+            "push_rejections": chan.push_rejections,
+            "pop_rejections": chan.pop_rejections,
+            "stall_cycles": chan.stall_cycles,
+            "occupancy_sum": chan.occupancy_sum,
+            "cycles": horizon,
+        }
+    thread_out: Dict[str, dict] = {}
+    for th in threads:
+        thread_out[th.path] = {
+            "op_cycles": list(th.done_cycles),
+            "ops_done": len(th.done_cycles),
+            "script_len": len(th.ops),
+            "finished_script": th.idx >= len(th.ops),
+            "stuck": th.stuck,
+            "last_done": th.done_cycles[-1] if th.done_cycles else None,
+        }
+    return channel_out, thread_out
+
+
+def replay(trace: dict, overrides: Optional[dict] = None) -> ReplayResult:
+    """One-shot :class:`Replayer` — see :meth:`Replayer.replay`."""
+    return Replayer(trace).replay(overrides)

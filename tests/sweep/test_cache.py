@@ -159,3 +159,137 @@ def test_clear_and_describe(tmp_path):
     assert desc["entries"] == 4 and desc["puts"] == 4
     assert cache.clear() == 4
     assert len(cache) == 0
+
+
+# ----------------------------------------------------------------------
+# mode-tagged keys (exact / derived / trace)
+# ----------------------------------------------------------------------
+def test_modes_have_distinct_keys(tmp_path):
+    cache = _cache(tmp_path)
+    p = _point(0)
+    keys = {cache.key_for(p, mode=m) for m in ("exact", "derived", "trace")}
+    assert len(keys) == 3
+
+
+def test_exact_key_has_no_mode_field(tmp_path):
+    """Untagged exact keys keep the schema-/1 key shape: old entries
+    stay addressable and derived entries can never shadow them."""
+    cache = _cache(tmp_path)
+    p = _point(0)
+    assert cache.key_for(p) == cache.key_for(p, mode="exact")
+    cache.put(p, {"result": "exact"})
+    cache.put(p, {"result": "derived"}, mode="derived")
+    assert cache.get(p) == {"result": "exact"}
+    assert cache.get(p, mode="derived") == {"result": "derived"}
+
+
+def test_require_predicate_turns_hit_into_miss(tmp_path):
+    cache = _cache(tmp_path)
+    p = _point(0)
+    cache.put(p, {"result": 1, "telemetry": None})
+    missed = cache.get(p, require=lambda v: v.get("telemetry") is not None)
+    assert missed is None
+    assert cache.stats.misses == 1 and cache.stats.hits == 0
+    # The entry itself is untouched — an unconditional get still hits.
+    assert cache.get(p) == {"result": 1, "telemetry": None}
+
+
+# ----------------------------------------------------------------------
+# cost-aware eviction
+# ----------------------------------------------------------------------
+def test_expensive_entry_survives_cheap_fresher_one(tmp_path):
+    cache = _cache(tmp_path, max_entries=2)
+    costly, cheap, trigger = _point(0), _point(1), _point(2)
+    cache.put(costly, {"result": 1}, cost=120.0)
+    _age(cache, costly, seconds=100)           # oldest, but expensive
+    cache.put(cheap, {"result": "x" * 256}, cost=0.01)
+    _age(cache, cheap, seconds=50)
+    cache.put(trigger, {"result": 3}, cost=60.0)
+    assert cache.get(costly) is not None       # pure LRU would drop this
+    assert cache.get(cheap) is None
+    assert cache.stats.evictions == 1
+
+
+def test_zero_cost_entries_degrade_to_lru(tmp_path):
+    cache = _cache(tmp_path, max_entries=2)
+    old, new, trigger = _point(0), _point(1), _point(2)
+    cache.put(old, {"result": 1})
+    _age(cache, old, seconds=100)
+    cache.put(new, {"result": 2})
+    _age(cache, new, seconds=50)
+    cache.put(trigger, {"result": 3})
+    assert cache.get(old) is None
+    assert cache.get(new) is not None
+
+
+# ----------------------------------------------------------------------
+# stats: per-mode hits, recompute credit, persistence, recount
+# ----------------------------------------------------------------------
+def test_per_mode_hit_counters_and_recompute_credit(tmp_path):
+    cache = _cache(tmp_path)
+    e, d, t = _point(0), _point(1), _point(2)
+    cache.put(e, {"result": 1}, cost=2.5)
+    cache.put(d, {"result": 2}, mode="derived", cost=0.5)
+    cache.put(t, {"trace": {}}, mode="trace", cost=4.0)
+    cache.get(e)
+    cache.get(d, mode="derived")
+    cache.get(t, mode="trace")
+    s = cache.stats
+    assert (s.hits_exact, s.hits_derived, s.hits_trace) == (1, 1, 1)
+    assert s.hits == 3
+    assert s.recompute_seconds_saved == 7.0
+
+
+def test_flush_stats_persists_deltas_once(tmp_path):
+    cache = _cache(tmp_path)
+    p = _point(0)
+    cache.put(p, {"result": 1}, cost=3.0)
+    cache.get(p)
+    cache.flush_stats()
+    cache.flush_stats()                        # no new activity: no-op
+    persisted = cache.persistent_stats()
+    assert persisted["hits"] == 1 and persisted["puts"] == 1
+    assert persisted["recompute_seconds_saved"] == 3.0
+    # In-memory stats survive the flush (the CLI prints them after).
+    assert cache.stats.hits == 1
+    # A second session accumulates on top.
+    other = _cache(tmp_path)
+    other.get(p)
+    other.flush_stats()
+    assert cache.persistent_stats()["hits"] == 2
+
+
+def test_stats_sidecar_is_not_a_cache_entry(tmp_path):
+    cache = _cache(tmp_path)
+    cache.put(_point(0), {"result": 1})
+    cache.flush_stats()
+    assert cache.describe()["entries"] == 1
+    assert len(cache) == 1
+
+
+def test_describe_recounts_after_corrupt_drop(tmp_path):
+    """Regression: describe() used to report stale entry/byte counts
+    after a corrupt entry was dropped by get()."""
+    cache = _cache(tmp_path)
+    for i in range(3):
+        cache.put(_point(i), {"result": i})
+    before = cache.describe()
+    assert before["entries"] == 3
+    path = pathlib.Path(cache.root) / f"{cache.key_for(_point(1))}.json"
+    path.write_text("{broken")
+    assert cache.get(_point(1)) is None
+    after = cache.describe()
+    assert after["entries"] == 2
+    assert after["bytes"] < before["bytes"]
+
+
+def test_describe_deep_reports_modes_and_cost(tmp_path):
+    cache = _cache(tmp_path)
+    cache.put(_point(0), {"result": 1}, cost=1.0)
+    cache.put(_point(1), {"result": 2}, mode="derived", cost=0.25)
+    cache.put(_point(2), {"trace": {}}, mode="trace", cost=5.0)
+    deep = cache.describe(deep=True)
+    assert deep["by_mode"] == {"exact": 1, "derived": 1, "trace": 1}
+    assert deep["stored_cost_seconds"] == {
+        "exact": 1.0, "derived": 0.25, "trace": 5.0}
+    assert "persistent" in deep

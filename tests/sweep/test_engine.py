@@ -224,3 +224,40 @@ def test_unknown_experiment_becomes_error_outcome():
 def test_fake_specs_are_registered():
     for spec in _FAKES:
         assert SWEEP_SPECS[spec.name] is spec
+
+
+# ----------------------------------------------------------------------
+# telemetry / cache consistency
+# ----------------------------------------------------------------------
+def test_telemetry_sweep_skips_telemetry_less_entries(tmp_path):
+    """A telemetry=False run must not poison later telemetry=True runs:
+    entries without telemetry are honest misses and get re-executed."""
+    from repro.experiments.stall_verification import sweep_space
+
+    cache_dir = str(tmp_path / "c")
+    points = sweep_space(probabilities=(0.3,), trials=1)
+    run_sweep(points, jobs=1, telemetry=False,
+              cache=ResultCache(cache_dir, version="t", rev="r"))
+    rich = run_sweep(points, jobs=1, telemetry=True,
+                     cache=ResultCache(cache_dir, version="t", rev="r"))
+    assert rich.cache_hits == 0 and rich.executed == len(points)
+    assert all(o.telemetry for o in rich.outcomes)
+    # The re-execution upgrades the entry: the next rich run hits.
+    again = run_sweep(points, jobs=1, telemetry=True,
+                      cache=ResultCache(cache_dir, version="t", rev="r"))
+    assert again.cache_hits == len(points)
+    assert all(o.telemetry for o in again.outcomes)
+
+
+def test_plain_sweep_strips_cached_telemetry(tmp_path):
+    from repro.experiments.stall_verification import sweep_space
+
+    cache_dir = str(tmp_path / "c")
+    points = sweep_space(probabilities=(0.3,), trials=1)
+    rich = run_sweep(points, jobs=1, telemetry=True,
+                     cache=ResultCache(cache_dir, version="t", rev="r"))
+    plain = run_sweep(points, jobs=1, telemetry=False,
+                      cache=ResultCache(cache_dir, version="t", rev="r"))
+    assert plain.cache_hits == len(points)
+    assert all(o.telemetry is None for o in plain.outcomes)
+    assert plain.results == rich.results

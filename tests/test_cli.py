@@ -208,3 +208,52 @@ def test_json_flag_dumps_experiment_payload(tmp_path, capsys):
         points = json.load(fh)
     assert isinstance(points, list) and points
     assert points[0]["n_ports"] == 2
+
+
+# ----------------------------------------------------------------------
+# incremental sweep, li-latency verb, stats --cache (PR 7)
+# ----------------------------------------------------------------------
+def test_sweep_incremental_reports_derived_points(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    args = ["sweep", "li_latency", "--incremental", "--jobs", "1",
+            "--limit", "6", "--cache-dir", cache_dir]
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert "6 derived / 0 simulated (+1 captures)" in cold
+    assert "fallbacks to full simulation" not in cold
+
+    assert main(args) == 0
+    warm = capsys.readouterr().out
+    assert "6 cached / 0 derived" in warm
+    assert "recompute saved" in warm
+
+
+def test_sweep_incremental_reports_fallbacks(tmp_path, capsys):
+    assert main(["sweep", "stall_verification", "--incremental",
+                 "--jobs", "1", "--limit", "2",
+                 "--cache-dir", str(tmp_path / "cache")]) == 0
+    out = capsys.readouterr().out
+    assert "fallbacks to full simulation:" in out
+    assert "pop_nb" in out
+
+
+def test_li_latency_command(capsys):
+    assert main(["li-latency"]) == 0
+    out = capsys.readouterr().out
+    assert "cycles/msg" in out
+
+
+def test_stats_cache_prints_cache_block(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["sweep", "li_latency", "--incremental", "--jobs", "1",
+                 "--limit", "4", "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+    assert main(["stats", "--cache", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "sweep cache" in out and "lifetime:" in out
+    assert "derived" in out and "trace" in out
+
+
+def test_stats_without_experiment_or_cache_rejected():
+    with pytest.raises(SystemExit):
+        main(["stats"])
