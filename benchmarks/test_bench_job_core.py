@@ -1,0 +1,49 @@
+"""Dispatch overhead of the job execution core (:mod:`repro.jobs`).
+
+Every entry point — the CLI verbs, ``repro run``, the sweep engine's
+workers — routes experiment execution through
+``jobs.execute(JobRequest(...))``.  That indirection (registry lookup,
+backend context, provenance bookkeeping, formatter call) must stay
+negligible against the cheapest real experiment, or the unification
+taxes every sweep point.  Benchmarked on the analytic ``backend``
+experiment (runner ~1-2 ms), the cheapest job the CLI can submit.
+"""
+
+import time
+
+from repro import registry
+from repro.jobs import JobRequest, execute
+
+
+def test_bench_job_dispatch_overhead(benchmark, save_result):
+    registry.load()
+    spec = registry.get("backend")
+    request = JobRequest(experiment="backend")
+
+    # Steady-state cost of the raw runner (no job core).
+    t0 = time.perf_counter()
+    for _ in range(50):
+        spec.runner({}, None)
+    direct = (time.perf_counter() - t0) / 50
+
+    result = benchmark.pedantic(lambda: execute(request),
+                                rounds=5, iterations=10)
+
+    t0 = time.perf_counter()
+    for _ in range(50):
+        execute(request)
+    routed = (time.perf_counter() - t0) / 50
+    overhead = routed - direct
+
+    save_result(
+        "job_core_overhead",
+        "job core dispatch overhead (analytic 'backend' experiment)\n"
+        f"direct runner call : {1e6 * direct:10.1f} us\n"
+        f"jobs.execute       : {1e6 * routed:10.1f} us\n"
+        f"dispatch overhead  : {1e6 * overhead:10.1f} us/job")
+
+    assert result.payload == spec.runner({}, None)
+    assert result.text == spec.formatter(result.payload)
+    # The core's own bookkeeping stays under a millisecond per job —
+    # noise against any experiment that actually simulates something.
+    assert overhead < 1e-3, f"job dispatch overhead {overhead:.6f}s"

@@ -17,6 +17,13 @@ flow         front-to-back flow orchestration, backend and productivity models
 observe      simulation observability: telemetry counters, reports, JSONL logs
 sweep        parallel sweep engine with content-addressed result caching
 faults       fault-injection campaigns and the deadlock/livelock watchdog
+
+Modules
+-------
+registry     the unified experiment registry (one ExperimentSpec per
+             experiment; the CLI, sweeps and fault campaigns derive
+             their capabilities from it)
+jobs         job-oriented execution core: JobRequest in, JobResult out
 """
 
 __version__ = "1.0.0"

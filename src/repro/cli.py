@@ -12,11 +12,23 @@ Usage::
     python -m repro stalls
     python -m repro backend
     python -m repro productivity
+    python -m repro run <experiment> [-p KEY=VALUE]...
+    python -m repro describe <experiment>
     python -m repro bench [--subset quick|full] [--baseline BENCH_kernel.json]
     python -m repro sweep <experiment> [--jobs N] [--no-cache] [--cache-dir D]
     python -m repro faults <harness|all> [--cases N] [--seed S] [--shrink]
 
-Every experiment verb also accepts:
+Every verb is a thin shell over the experiment registry
+(:mod:`repro.registry`) and the job-oriented execution core
+(:mod:`repro.jobs`): the parser, the verb table, the ``sweep`` and
+``faults`` choices, and the ``inspect``/``lint`` targets are all
+derived from the registered :class:`~repro.registry.ExperimentSpec`\\ s,
+so they can never drift from what the system can actually run.
+``run <experiment>`` is the generic form of the experiment verbs
+(byte-identical output, differentially tested) and ``describe
+<experiment>`` prints one spec's parameters and capabilities.
+
+Every experiment verb (and ``run``) also accepts:
 
 * ``--seed N`` — re-seed the experiment's random source (traffic
   patterns, stall injection, supply noise).  Deterministic/analytic
@@ -77,144 +89,180 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
+
+from . import registry
 
 __all__ = ["main"]
 
-#: Sweep experiments the ``sweep`` verb accepts (kept static so parser
-#: construction stays import-light; validated against the registry at
-#: execution time).
-_SWEEP_EXPERIMENTS = ("stall_verification", "fig3_crossbar",
-                      "gals_overhead", "crossbar_qor", "pe_scaling",
-                      "fault_campaign", "li_latency")
-
-#: Fault-campaign harnesses the ``faults`` verb accepts (see
-#: :data:`repro.faults.campaign.HARNESSES`; kept static for the same
-#: import-light reason as above).
-_FAULT_HARNESSES = ("stall_verification", "fig3_crossbar", "gals_overhead",
-                    "packet_stream", "deadlock_demo")
-
-_CmdResult = Tuple[str, object]
+#: Deprecated compat alias: verb -> ``(runner, summary)``, now a live
+#: view of the experiment registry (the historical hand-written dict's
+#: import surface; use ``registry.get(name)`` in new code).
+_COMMANDS = registry.commands_view()
 
 
-def _cmd_fig3(args) -> _CmdResult:
-    from .experiments import figure3, format_figure3
-
-    ports = tuple(int(p) for p in args.ports.split(","))
-    points = figure3(ports=ports, txns_per_port=args.txns,
-                     seed=args.seed if args.seed is not None else 1)
-    return format_figure3(points), points
-
-
-def _cmd_fig6(args) -> _CmdResult:
-    from .experiments import figure6, format_figure6
-
-    points = figure6()
-    return format_figure6(points), points
+# ----------------------------------------------------------------------
+# the one shared-flags builder (satellite: no more per-verb copies)
+# ----------------------------------------------------------------------
+_SEED_HELP = ("re-seed the experiment's random source (accepted and "
+              "ignored by deterministic experiments)")
+_JSON_HELP = ("dump the result dataclasses as JSON via the canonical "
+              "sweep serializer")
+_BACKEND_HELP = ("simulation backend (compiled is differentially "
+                 "verified byte-identical; falls back to threaded "
+                 "when unsupported constructs appear)")
+_TRACE_HELP = "record signal waveforms and write a VCD file"
 
 
-def _cmd_crossbar_qor(args) -> _CmdResult:
-    from .experiments import (
-        crossbar_clock_sweep,
-        crossbar_qor_sweep,
-        format_qor_table,
-    )
+def _add_shared_flags(p: argparse.ArgumentParser, *,
+                      seed: Optional[str] = _SEED_HELP,
+                      json: Optional[str] = _JSON_HELP,
+                      backend: Optional[str] = _BACKEND_HELP,
+                      trace_vcd: Optional[str] = _TRACE_HELP) -> None:
+    """Add the shared job flags (``--seed/--json/--backend/--trace-vcd``).
 
-    lanes = crossbar_qor_sweep()
-    clocks = crossbar_clock_sweep()
-    text = format_qor_table(lanes) + "\n\n" + format_qor_table(clocks)
-    return text, {"lane_sweep": lanes, "clock_sweep": clocks}
-
-
-def _cmd_hls_qor(args) -> _CmdResult:
-    from .experiments import (
-        bad_constraint_ablation,
-        format_qor_results,
-        hls_vs_hand_qor,
-    )
-
-    main_results = hls_vs_hand_qor()
-    ablation = bad_constraint_ablation()
-    text = (format_qor_results(main_results,
-                               title="HLS vs hand RTL (paper: ±10 %)")
-            + "\n\n"
-            + format_qor_results(ablation,
-                                 title="...with bad constraints (ablation)"))
-    return text, {"hls_vs_hand": main_results, "bad_constraints": ablation}
+    One builder for every verb — pass ``None`` for a flag a verb does
+    not take, or a string to override its help text.  This is what
+    keeps flag spelling, defaults, and help consistent across the
+    experiment verbs, ``run``, ``stats``, ``sweep``, and ``faults``.
+    """
+    if seed is not None:
+        p.add_argument("--seed", type=int, default=None, help=seed)
+    if json is not None:
+        p.add_argument("--json", metavar="PATH", default=None, help=json)
+    if trace_vcd is not None:
+        p.add_argument("--trace-vcd", metavar="PATH", default=None,
+                       help=trace_vcd)
+    if backend is not None:
+        p.add_argument("--backend", choices=("threaded", "compiled"),
+                       default="threaded", help=backend)
 
 
-def _cmd_gals(args) -> _CmdResult:
-    from .experiments import (
-        format_overhead_table,
-        partition_size_sweep,
-        testchip_overhead,
-    )
-
-    points = partition_size_sweep()
-    report = testchip_overhead()
-    return (format_overhead_table(points, report),
-            {"partition_sweep": points, "testchip": report})
+def _add_param_flags(p: argparse.ArgumentParser,
+                     params: Tuple[registry.CliParam, ...]) -> None:
+    """Add one flag per registered experiment parameter."""
+    for param in params:
+        p.add_argument(param.flag, dest=param.name, type=param.type,
+                       default=param.default, help=param.help)
 
 
-def _cmd_adaptive(args) -> _CmdResult:
-    from .experiments import (
-        adaptive_clocking_experiment,
-        format_adaptive_clocking,
-    )
-
-    kwargs = {} if args.seed is None else {"seed": args.seed}
-    result = adaptive_clocking_experiment(**kwargs)
-    return format_adaptive_clocking(result), result
+def _all_cli_params() -> Dict[str, registry.CliParam]:
+    """Every distinct experiment parameter, by name (for ``stats``)."""
+    out: Dict[str, registry.CliParam] = {}
+    for spec in registry.specs():
+        for param in spec.params:
+            out.setdefault(param.name, param)
+    return out
 
 
-def _cmd_stalls(args) -> _CmdResult:
-    from .experiments import format_campaign, stall_campaign
-    from .experiments.stall_verification import DEFAULT_BASE_SEED
-
-    base_seed = args.seed if args.seed is not None else DEFAULT_BASE_SEED
-    results = [stall_campaign(p, trials=10, base_seed=base_seed)
-               for p in (0.0, 0.1, 0.3, 0.5)]
-    return format_campaign(results), results
+def _spec_params(spec: registry.ExperimentSpec, args) -> Dict[str, object]:
+    """Collect one spec's parameter values from parsed args."""
+    return {p.name: getattr(args, p.name, p.default) for p in spec.params}
 
 
-def _cmd_li_latency(args) -> _CmdResult:
-    from .experiments import li_latency
-
-    results = li_latency.run_report(
-        seed=args.seed if args.seed is not None else 500)
-    return li_latency.format_report(results), results
-
-
-def _cmd_backend(args) -> _CmdResult:
-    from .flow import FlowRuntimeModel, inventory_partitions
-    from .flow import testchip_inventory as chip_inventory
-
-    model = FlowRuntimeModel()
-    parts = inventory_partitions(chip_inventory())
-    gals = model.turnaround(parts, gals=True)
-    sync = model.turnaround(parts, gals=False)
-    flat_hours = model.flat_hours(parts)
-    text = (gals.to_text()
-            + f"\nsynchronous hierarchical flow: {sync.total_hours:.1f} h"
-            + f"\nflat flow: {flat_hours:.1f} h")
-    return text, {"gals": gals, "synchronous": sync,
-                  "flat_hours": flat_hours}
+# ----------------------------------------------------------------------
+# registry-facing verbs: describe, run parameter parsing, list
+# ----------------------------------------------------------------------
+def _capability_tags(spec: registry.ExperimentSpec) -> str:
+    """Compact capability summary for ``repro list``."""
+    tags = ["design" if spec.design is not None else "analytic"]
+    if spec.sweep is not None:
+        tag = f"sweep:{spec.sweep.name}"
+        if spec.sweep.replay is not None:
+            tag += f" replay:{spec.sweep.replay.kind}"
+        tags.append(tag)
+    if spec.harness is not None:
+        tags.append(f"faults:{spec.harness.name}")
+    if spec.compiled:
+        tags.append("compiled")
+    if spec.seedable:
+        tags.append("seed")
+    return "[" + ", ".join(tags) + "]"
 
 
-def _cmd_productivity(args) -> _CmdResult:
-    from .flow import (
-        OOHLS_METHODOLOGY,
-        RTL_METHODOLOGY,
-        inventory_efforts,
-        productivity_report,
-    )
-    from .flow import testchip_inventory as chip_inventory
+def _cmd_list() -> int:
+    lines = ["available experiments:"]
+    for spec in registry.specs():
+        if not spec.runnable:
+            continue
+        lines.append(f"  {spec.name:20s} {spec.summary}")
+        lines.append(f"  {'':20s}   {_capability_tags(spec)}")
+    lines.append(f"  {'run <experiment>':20s} "
+                 "generic registry-driven runner (same output as the "
+                 "verbs above)")
+    lines.append(f"  {'describe <experiment>':20s} "
+                 "show one experiment's parameters and capabilities")
+    lines.append(f"  {'sweep <experiment>':20s} "
+                 "parallel parameter sweep with result caching")
+    lines.append(f"  {'faults <harness|all>':20s} "
+                 "seeded fault-injection campaigns, watchdog-triaged")
+    lines.append(f"  {'inspect <experiment>':20s} "
+                 "elaborate the design, print the hierarchy tree")
+    lines.append(f"  {'lint <experiment>':20s} "
+                 "static design checks (exit 1 on findings)")
+    lines.append(f"  {'stats <experiment>':20s} "
+                 "re-run with telemetry, print a stats report")
+    lines.append(f"  {'bench':20s} "
+                 "run kernel benchmarks (see tools/bench_compare.py)")
+    print("\n".join(lines))
+    return 0
 
-    efforts = inventory_efforts(chip_inventory())
-    oohls = productivity_report(efforts, OOHLS_METHODOLOGY)
-    rtl = productivity_report(efforts, RTL_METHODOLOGY)
-    return (oohls.to_text() + "\n\n" + rtl.to_text(),
-            {"oohls": oohls, "rtl": rtl})
+
+def _cmd_describe(args) -> int:
+    """Print one experiment's registry card: parameters + capabilities."""
+    spec = registry.get(args.experiment)
+    lines = [f"{spec.name} — {spec.summary}",
+             f"  result schema: {spec.schema}/v{spec.schema_version}"]
+    if spec.params:
+        lines.append("  parameters:")
+        for p in spec.params:
+            lines.append(f"    {p.flag:14s} default {p.default!r:12} "
+                         f"{p.help}")
+    else:
+        lines.append("  parameters: none")
+    lines.append("  seed: " + ("--seed re-seeds the experiment"
+                               if spec.seedable else
+                               "deterministic (--seed accepted, ignored)"))
+    lines.append("  design: " + ("simulated (inspect/lint available)"
+                                 if spec.design is not None else
+                                 "analytic — no simulated design"))
+    if spec.sweep is not None:
+        sweep_line = f"  sweep: {spec.sweep.name} — {spec.sweep.help}"
+        lines.append(sweep_line)
+        if spec.sweep.replay is not None:
+            lines.append("    incremental replay: "
+                         f"{spec.sweep.replay.kind} adapter")
+    else:
+        lines.append("  sweep: none")
+    lines.append("  fault harness: "
+                 + (spec.harness.name if spec.harness is not None
+                    else "none"))
+    lines.append("  compiled backend: "
+                 + ("eligible" if spec.compiled
+                    else "always falls back to threaded"))
+    print("\n".join(lines))
+    return 0
+
+
+def _parse_run_params(spec: registry.ExperimentSpec, pairs: List[str],
+                      parser: argparse.ArgumentParser) -> Dict[str, object]:
+    """Parse ``-p KEY=VALUE`` pairs against the spec's declared params."""
+    by_name = {p.name: p for p in spec.params}
+    params = {p.name: p.default for p in spec.params}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        key = key.replace("-", "_")
+        if not sep:
+            parser.error(f"run: expected -p KEY=VALUE, got {pair!r}")
+        if key not in by_name:
+            known = ", ".join(sorted(by_name)) or "none"
+            parser.error(f"run: {spec.name} has no parameter {key!r} "
+                         f"(known: {known})")
+        try:
+            params[key] = by_name[key].type(value)
+        except (TypeError, ValueError) as exc:
+            parser.error(f"run: bad value for {key}: {exc}")
+    return params
 
 
 def _format_cache_stats(cache_dir: Optional[str]) -> str:
@@ -256,10 +304,9 @@ def _format_cache_stats(cache_dir: Optional[str]) -> str:
 def _cmd_inspect(args) -> int:
     """Elaborate an experiment's design and print its hierarchy tree."""
     from .design import elaborate
-    from .experiments.designs import build_design
 
     try:
-        sim = build_design(args.experiment)
+        sim = registry.build_design(args.experiment)
     except ValueError as exc:
         print(f"inspect: {exc}")
         return 0
@@ -272,10 +319,9 @@ def _cmd_inspect(args) -> int:
 def _cmd_lint(args) -> int:
     """Elaborate an experiment's design and run the static lint rules."""
     from .design import format_findings, lint
-    from .experiments.designs import build_design
 
     try:
-        sim = build_design(args.experiment)
+        sim = registry.build_design(args.experiment)
     except ValueError as exc:
         print(f"lint: {exc}")
         return 0
@@ -310,10 +356,10 @@ def _cmd_bench(args) -> int:
 
 def _cmd_sweep(args) -> int:
     """Run an experiment's parameter sweep: pool + result cache."""
-    from .experiments.sweeps import build_space, get_sweep
+    from .experiments.sweeps import build_space
     from .sweep import ResultCache, default_cache_dir, run_sweep
 
-    spec = get_sweep(args.experiment)
+    spec = registry.get_sweep(args.experiment)
     points = build_space(args.experiment, seed=args.seed)
     if args.limit is not None:
         points = points[:args.limit]
@@ -417,41 +463,11 @@ def _cmd_faults(args) -> int:
     return 1 if (failures or result.errors) else 0
 
 
-_COMMANDS = {
-    "fig3": (_cmd_fig3, "Figure 3: crossbar modelling accuracy"),
-    "fig6": (_cmd_fig6, "Figure 6: SoC speedup vs cycle error (slow!)"),
-    "crossbar-qor": (_cmd_crossbar_qor, "2.4: src- vs dst-loop crossbar"),
-    "hls-qor": (_cmd_hls_qor, "2.2: HLS vs hand RTL"),
-    "gals": (_cmd_gals, "3.1: GALS area overhead"),
-    "adaptive-clocking": (_cmd_adaptive, "3.1: adaptive clock margin"),
-    "stalls": (_cmd_stalls, "4: stall-injection bug hunting"),
-    "li-latency": (_cmd_li_latency, "4: LI pipeline latency grid "
-                                    "(replay-safe; see sweep --incremental)"),
-    "backend": (_cmd_backend, "4: RTL-to-layout turnaround"),
-    "productivity": (_cmd_productivity, "4: gates per engineer-day"),
-}
-
-
-def _add_fig3_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--ports", default="2,4,8,16",
-                   help="comma-separated port counts")
-    p.add_argument("--txns", type=int, default=60,
-                   help="transactions per port")
-
-
-def _backend_provenance(run: Tuple[str, Optional[str]]) -> str:
-    """One provenance line: which backend produced the last run."""
-    backend, reason = run
-    if reason:
-        return f"simulation backend: {backend} (fallback: {reason})"
-    return f"simulation backend: {backend}"
-
-
 def _write_vcd_from(session, path: str) -> str:
     """Export the capture session's best trace; returns a status line."""
     from .kernel.tracing import write_vcd
 
-    trace = session.best_trace()
+    trace = session.best_trace() if session is not None else None
     if trace is None:
         return (f"--trace-vcd: no signal activity recorded "
                 f"(nothing written to {path})")
@@ -464,17 +480,8 @@ def _write_vcd_from(session, path: str) -> str:
             f"{len(trace.changes)} value changes (open with gtkwave)")
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point for ``python -m repro``.
-
-    Usage::
-
-        python -m repro <experiment> [experiment flags] [--trace-vcd PATH]
-        python -m repro stats <experiment> [...] [--json PATH]
-        python -m repro sweep <experiment> [--jobs N] [--no-cache]
-
-    Returns the process exit code (0 on success).
-    """
+def _build_parser() -> argparse.ArgumentParser:
+    """Build the full CLI parser from the experiment registry."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate results from the DAC'18 modular VLSI flow "
@@ -482,24 +489,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list available experiments")
-    for name, (_, help_text) in _COMMANDS.items():
-        p = sub.add_parser(name, help=help_text)
-        if name == "fig3":
-            _add_fig3_args(p)
-        p.add_argument("--seed", type=int, default=None,
-                       help="re-seed the experiment's random source "
-                            "(accepted and ignored by deterministic "
-                            "experiments)")
-        p.add_argument("--json", metavar="PATH", default=None,
-                       help="dump the result dataclasses as JSON via the "
-                            "canonical sweep serializer")
-        p.add_argument("--trace-vcd", metavar="PATH", default=None,
-                       help="record signal waveforms and write a VCD file")
-        p.add_argument("--backend", choices=("threaded", "compiled"),
-                       default="threaded",
-                       help="simulation backend (compiled is differentially "
-                            "verified byte-identical; falls back to threaded "
-                            "when unsupported constructs appear)")
+
+    runnable = registry.names(runnable=True)
+    for name in runnable:
+        spec = registry.get(name)
+        p = sub.add_parser(name, help=spec.summary)
+        _add_param_flags(p, spec.params)
+        _add_shared_flags(p)
+
+    run_p = sub.add_parser(
+        "run",
+        help="run any registered experiment through the job core "
+             "(byte-identical to its dedicated verb)")
+    run_p.add_argument("experiment", choices=runnable,
+                       help="which registered experiment to run")
+    run_p.add_argument("-p", "--param", action="append", default=[],
+                       metavar="KEY=VALUE", dest="params",
+                       help="override one experiment parameter "
+                            "(repeatable; see 'describe' for the list)")
+    _add_shared_flags(run_p)
+
+    desc_p = sub.add_parser(
+        "describe",
+        help="show one experiment's registry card: parameters, sweep, "
+             "fault harness, backend eligibility, result schema")
+    desc_p.add_argument("experiment", choices=runnable,
+                        help="which experiment to describe")
+
     bench = sub.add_parser(
         "bench",
         help="run kernel benchmarks; optionally gate vs a baseline JSON")
@@ -517,16 +533,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench.add_argument("-o", "--output", metavar="PATH",
                        default="BENCH_kernel.json",
                        help="where to write the snapshot")
+
     sweep_p = sub.add_parser(
         "sweep",
         help="run an experiment's parameter sweep across a process pool "
              "with content-addressed result caching")
-    sweep_p.add_argument("experiment", choices=_SWEEP_EXPERIMENTS,
+    sweep_p.add_argument("experiment",
+                         choices=sorted(registry.sweep_specs_view()),
                          help="which sweep space to run")
     sweep_p.add_argument("--jobs", type=int, default=1,
                          help="worker processes (1 = serial, default)")
-    sweep_p.add_argument("--seed", type=int, default=None,
-                         help="re-seed the whole sweep space")
     sweep_p.add_argument("--limit", type=int, default=None,
                          help="only run the first N points of the space")
     sweep_p.add_argument("--timeout", type=float, default=None,
@@ -545,25 +561,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                               "analytically (implies --no-telemetry; "
                               "points replay refuses fall back to full "
                               "simulation with the reason recorded)")
-    sweep_p.add_argument("--backend", choices=("threaded", "compiled"),
-                         default="threaded",
-                         help="simulation backend for every point (enters "
-                              "the cache key for non-default values)")
-    sweep_p.add_argument("--json", metavar="PATH", default=None,
-                         help="write points, results and engine/cache "
-                              "statistics as JSON")
+    _add_shared_flags(
+        sweep_p,
+        seed="re-seed the whole sweep space",
+        json="write points, results and engine/cache statistics as JSON",
+        backend="simulation backend for every point (enters the cache "
+                "key for non-default values)",
+        trace_vcd=None)
+
     faults_p = sub.add_parser(
         "faults",
         help="run seeded fault-injection campaigns with watchdog triage "
              "(exit 1 on any undiagnosed hang, crash, or escape)")
     faults_p.add_argument("experiment",
-                          choices=_FAULT_HARNESSES + ("all",),
+                          choices=tuple(registry.harnesses_view())
+                          + ("all",),
                           help="which harness to fault (or 'all' for the "
                                "default matrix)")
     faults_p.add_argument("--cases", type=int, default=4,
                           help="seeded cases per harness (default 4)")
-    faults_p.add_argument("--seed", type=int, default=None,
-                          help="base seed for the campaign (default 0)")
     faults_p.add_argument("--jobs", type=int, default=1,
                           help="worker processes (1 = serial, default)")
     faults_p.add_argument("--timeout", type=float, default=None,
@@ -571,30 +587,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     faults_p.add_argument("--shrink", action="store_true",
                           help="reduce each failing case to a 1-minimal "
                                "fault schedule")
-    faults_p.add_argument("--json", metavar="PATH", default=None,
-                          help="write byte-reproducible campaign records "
-                               "as JSON")
+    _add_shared_flags(
+        faults_p,
+        seed="base seed for the campaign (default 0)",
+        json="write byte-reproducible campaign records as JSON",
+        backend=None, trace_vcd=None)
+
     inspect_p = sub.add_parser(
         "inspect",
         help="elaborate an experiment's design, print the hierarchy tree")
-    inspect_p.add_argument("experiment", choices=sorted(_COMMANDS),
+    inspect_p.add_argument("experiment", choices=sorted(runnable),
                            help="which experiment's design to elaborate")
     inspect_p.add_argument("--max-depth", type=int, default=None,
                            help="truncate the tree below this depth")
     inspect_p.add_argument("--no-channels", action="store_true",
                            help="omit channel rows from the tree")
+
     lint_p = sub.add_parser(
         "lint",
         help="run static design lint on an experiment (exit 1 on findings)")
-    lint_p.add_argument("experiment", choices=sorted(_COMMANDS),
+    lint_p.add_argument("experiment", choices=sorted(runnable),
                         help="which experiment's design to lint")
     lint_p.add_argument("--rules", default=None,
                         help="comma-separated rule subset (default: all)")
+
     stats = sub.add_parser(
         "stats",
         help="run an experiment with telemetry enabled, print a report; "
              "--cache reports sweep-cache effectiveness")
-    stats.add_argument("experiment", choices=sorted(_COMMANDS),
+    stats.add_argument("experiment", choices=sorted(runnable),
                        nargs="?", default=None,
                        help="which experiment to instrument (optional "
                             "with --cache)")
@@ -605,39 +626,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     stats.add_argument("--cache-dir", metavar="PATH", default=None,
                        help="cache directory (default: "
                             "$REPRO_SWEEP_CACHE or ~/.cache/repro/sweeps)")
-    _add_fig3_args(stats)
-    stats.add_argument("--seed", type=int, default=None,
-                       help="re-seed the experiment's random source")
-    stats.add_argument("--trace-vcd", metavar="PATH", default=None,
-                       help="also write signal waveforms as a VCD file")
-    stats.add_argument("--json", metavar="PATH", default=None,
-                       help="also write the telemetry report as JSONL")
-    stats.add_argument("--backend", choices=("threaded", "compiled"),
-                       default="threaded",
-                       help="requested simulation backend (telemetry forces "
-                            "a threaded fallback; the report's provenance "
-                            "line records what actually ran)")
+    _add_param_flags(stats, tuple(_all_cli_params().values()))
+    _add_shared_flags(
+        stats,
+        seed="re-seed the experiment's random source",
+        json="also write the telemetry report as JSONL",
+        backend="requested simulation backend (telemetry forces a "
+                "threaded fallback; the report's provenance line "
+                "records what actually ran)",
+        trace_vcd="also write signal waveforms as a VCD file")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro``.
+
+    Usage::
+
+        python -m repro <experiment> [experiment flags] [--trace-vcd PATH]
+        python -m repro run <experiment> [-p KEY=VALUE]... [--json PATH]
+        python -m repro stats <experiment> [...] [--json PATH]
+        python -m repro sweep <experiment> [--jobs N] [--no-cache]
+
+    Returns the process exit code (0 on success).
+    """
+    parser = _build_parser()
     args = parser.parse_args(argv)
 
     if args.command in (None, "list"):
-        lines = ["available experiments:"]
-        for name, (_, help_text) in _COMMANDS.items():
-            lines.append(f"  {name:20s} {help_text}")
-        lines.append(f"  {'sweep <experiment>':20s} "
-                     "parallel parameter sweep with result caching")
-        lines.append(f"  {'faults <harness|all>':20s} "
-                     "seeded fault-injection campaigns, watchdog-triaged")
-        lines.append(f"  {'inspect <experiment>':20s} "
-                     "elaborate the design, print the hierarchy tree")
-        lines.append(f"  {'lint <experiment>':20s} "
-                     "static design checks (exit 1 on findings)")
-        lines.append(f"  {'stats <experiment>':20s} "
-                     "re-run with telemetry, print a stats report")
-        lines.append(f"  {'bench':20s} "
-                     "run kernel benchmarks (see tools/bench_compare.py)")
-        print("\n".join(lines))
-        return 0
-
+        return _cmd_list()
+    if args.command == "describe":
+        return _cmd_describe(args)
     if args.command == "bench":
         return _cmd_bench(args)
     if args.command == "sweep":
@@ -656,38 +675,46 @@ def main(argv: Optional[List[str]] = None) -> int:
                          "or both")
         print(_format_cache_stats(args.cache_dir))
         return 0
-    target = args.experiment if want_stats else args.command
-    fn, _ = _COMMANDS[target]
+
+    # Everything below is one experiment execution routed through the
+    # job core: the dedicated verbs, the generic `run`, and `stats` all
+    # build the same JobRequest and differ only in presentation.
+    if args.command == "run":
+        target = args.experiment
+        spec = registry.get(target)
+        params = _parse_run_params(spec, args.params, parser)
+    else:
+        target = args.experiment if want_stats else args.command
+        spec = registry.get(target)
+        params = _spec_params(spec, args)
+
+    from .jobs import JobRequest, execute
+
     trace_path = args.trace_vcd
+    result = execute(
+        JobRequest(experiment=target, params=params, seed=args.seed,
+                   backend=args.backend, telemetry=want_stats,
+                   trace_signals=bool(trace_path)),
+        telemetry_label=target)
 
-    from .kernel.backend import last_run, use_backend
-
+    extras = [result.text]
     if not (want_stats or trace_path):
-        with use_backend(args.backend):
-            out, payload = fn(args)
-        extras = [out]
         if args.backend != "threaded":
-            extras.append(_backend_provenance(last_run()))
+            extras.append(result.provenance())
         if args.json:
-            from .sweep import dump_json
-
-            dump_json(payload, args.json)
+            result.write_json(args.json)
             extras.append(f"wrote {args.json}")
         print("\n\n".join(extras))
         return 0
 
-    from . import observe
-
-    with use_backend(args.backend), \
-            observe.capture(trace_signals=bool(trace_path)) as session:
-        out, payload = fn(args)
-    extras = [out]
     if trace_path:
-        extras.append(_write_vcd_from(session, trace_path))
+        extras.append(_write_vcd_from(result.session, trace_path))
     if want_stats:
-        report = session.report(label=target)
+        from . import observe
+
+        report = result.session.report(label=target)
         extras.append(observe.format_report(report))
-        extras.append(_backend_provenance(last_run()))
+        extras.append(result.provenance())
         if args.cache:
             extras.append(_format_cache_stats(args.cache_dir))
         if args.json:
@@ -695,9 +722,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 n = observe.write_jsonl(observe.to_records(report), fh)
             extras.append(f"wrote {args.json}: {n} JSONL records")
     elif args.json:
-        from .sweep import dump_json
-
-        dump_json(payload, args.json)
+        result.write_json(args.json)
         extras.append(f"wrote {args.json}")
     print("\n\n".join(extras))
     return 0

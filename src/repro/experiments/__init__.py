@@ -36,6 +36,7 @@ from .fig3_crossbar import (
     format_figure3,
     run_crossbar_accuracy,
 )
+from . import flow_analyses
 from .fig6_soc import (
     Fig6Point,
     fig6_workloads_small,

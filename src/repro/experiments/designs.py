@@ -1,15 +1,23 @@
 """Design builders: construct each experiment's design without running it.
 
+.. deprecated::
+    This module is now a thin view over :mod:`repro.registry` — each
+    experiment module declares its design builder on its
+    :class:`~repro.registry.ExperimentSpec` and this registry is derived
+    from those specs.  ``DESIGN_BUILDERS`` and :func:`build_design` keep
+    their exact historical surface for existing imports; new code should
+    use ``registry.get(name).design`` / ``registry.build_design``.
+    The alias is slated for removal once nothing in-tree imports it
+    (tracked in ``docs/REGISTRY.md``).
+
 ``python -m repro inspect <experiment>`` and ``python -m repro lint
 <experiment>`` need a *constructed* simulator — elaboration and lint are
-pre-run passes over the design hierarchy, never a simulation.  This
-registry maps every CLI experiment verb to a builder that assembles a
-representative instance of that experiment's design (cheap: construction
-only, no ``sim.run``) and returns the :class:`~repro.kernel.Simulator`.
-
-Experiments that are purely analytic (QoR models, flow-runtime models)
-have no simulated design; their entry is ``None`` and the CLI reports
-that instead of failing.
+pre-run passes over the design hierarchy, never a simulation.  The
+builders assemble a representative instance of each experiment's design
+(cheap: construction only, no ``sim.run``) and return the
+:class:`~repro.kernel.Simulator`.  Experiments that are purely analytic
+(QoR models, flow-runtime models) have no simulated design; their entry
+is ``None`` and the CLI reports that instead of failing.
 
 Usage::
 
@@ -23,89 +31,10 @@ Usage::
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from ..registry import build_design, design_builders_view
 
 __all__ = ["DESIGN_BUILDERS", "build_design"]
 
-
-def _build_fig3():
-    """Figure 3's sim-accurate crossbar testbench (4 ports)."""
-    from .fig3_crossbar import build_crossbar_testbench
-
-    return build_crossbar_testbench("sim-accurate", 4).sim
-
-
-def _build_fig6():
-    """A small Figure 6 SoC in fast mode (2x2 PE array)."""
-    from ..soc.chip import PrototypeSoC
-
-    return PrototypeSoC(mode="fast", pe_columns=2, pe_rows=2, lanes=4,
-                        spad_words=256, gmem_words=1024).sim
-
-
-def _build_gals():
-    """A GALS SoC: per-node clock generators + pausible-FIFO links."""
-    from ..soc.chip import PrototypeSoC
-
-    return PrototypeSoC(mode="fast", gals=True, pe_columns=2, pe_rows=2,
-                        lanes=4, spad_words=256, gmem_words=1024).sim
-
-
-def _build_adaptive():
-    """The adaptive-clocking duel: one noisy local clock, one static."""
-    from ..gals.clock_generator import LocalClockGenerator, SupplyNoise
-    from ..kernel import Simulator
-
-    sim = Simulator()
-    LocalClockGenerator(sim, "adaptive", nominal_period=909,
-                        noise=SupplyNoise(amplitude=0.08, seed=3))
-    sim.add_clock("sync", period=1000)
-    return sim
-
-
-def _build_stalls():
-    """One stall-injection trial around the LeakyForwarder DUT."""
-    from .stall_verification import build_stall_testbench
-
-    sim, _received = build_stall_testbench(0.3, 100)
-    return sim
-
-
-def _build_li_latency():
-    """The replay-safe LI pipeline (2 forwarding stages, depth 4)."""
-    from .li_latency import build_design
-
-    return build_design()
-
-
 #: Experiment verb -> design builder (``None`` = analytic, no design).
-DESIGN_BUILDERS: Dict[str, Optional[Callable[[], object]]] = {
-    "fig3": _build_fig3,
-    "fig6": _build_fig6,
-    "crossbar-qor": None,      # analytic QoR model
-    "hls-qor": None,           # analytic QoR model
-    "gals": _build_gals,
-    "adaptive-clocking": _build_adaptive,
-    "stalls": _build_stalls,
-    "li-latency": _build_li_latency,
-    "backend": None,           # flow-runtime model
-    "productivity": None,      # effort model
-}
-
-
-def build_design(experiment: str):
-    """Construct the named experiment's design; returns its Simulator.
-
-    Raises ``KeyError`` for unknown experiments and ``ValueError`` for
-    analytic experiments that have no simulated design.
-    """
-    try:
-        builder = DESIGN_BUILDERS[experiment]
-    except KeyError:
-        raise KeyError(
-            f"unknown experiment {experiment!r}; one of "
-            f"{sorted(DESIGN_BUILDERS)}") from None
-    if builder is None:
-        raise ValueError(f"experiment {experiment!r} is analytic — "
-                         "it builds no simulated design")
-    return builder()
+#: A live read-through view of the experiment registry.
+DESIGN_BUILDERS = design_builders_view()

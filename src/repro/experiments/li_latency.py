@@ -24,6 +24,7 @@ from typing import Generator, List, Optional, Tuple
 from ..connections import Buffer, In, Out
 from ..design.hierarchy import component_scope
 from ..kernel import Simulator
+from .. import registry
 from ..sweep.point import SweepPoint
 from ..trace.adapter import ReplayAdapter
 
@@ -310,3 +311,31 @@ def run_report(*, stages: int = 1, n_msgs: int = 40,
 
 def format_report(results: List[dict]) -> str:
     return summarize_sweep(results)
+
+
+# ----------------------------------------------------------------------
+# registry spec (see repro.registry / docs/REGISTRY.md)
+# ----------------------------------------------------------------------
+def _cli_runner(params: dict, seed) -> List[dict]:
+    return run_report(seed=seed if seed is not None else 500)
+
+
+registry.register(registry.ExperimentSpec(
+    name="li-latency",
+    summary="4: LI pipeline latency grid "
+            "(replay-safe; see sweep --incremental)",
+    runner=_cli_runner,
+    formatter=format_report,
+    design=build_design,
+    sweep=registry.SweepSpec(
+        name="li_latency",
+        help="LI pipeline latency grid (FIFO depth x stall p x period); "
+             "replayable from 2 captured traces via sweep --incremental",
+        space=sweep_space,
+        runner=run_sweep_point,
+        summarize=summarize_sweep,
+        replay=REPLAY_ADAPTER,
+    ),
+    compiled=True,
+    order=80,
+))

@@ -20,6 +20,7 @@ from typing import Generator, List
 from ..connections import Buffer, In, Out
 from ..design.hierarchy import component_scope
 from ..kernel import Simulator
+from .. import registry
 from ..sweep.point import SweepPoint
 
 __all__ = ["LeakyForwarder", "build_stall_testbench", "stall_campaign",
@@ -268,3 +269,41 @@ def format_campaign(results: List[CampaignResult]) -> str:
         lines.append(f"{r.stall_probability:>8.2f} {r.trials:>7} "
                      f"{r.detections:>11} {first:>10}")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# registry spec (see repro.registry / docs/REGISTRY.md)
+# ----------------------------------------------------------------------
+def _cli_runner(params: dict, seed) -> List[CampaignResult]:
+    base_seed = seed if seed is not None else DEFAULT_BASE_SEED
+    return [stall_campaign(p, trials=10, base_seed=base_seed)
+            for p in DEFAULT_PROBABILITIES]
+
+
+def _cli_design():
+    """One stall-injection trial around the LeakyForwarder DUT."""
+    sim, _received = build_stall_testbench(0.3, 100)
+    return sim
+
+
+registry.register(registry.ExperimentSpec(
+    name="stalls",
+    summary="4: stall-injection bug hunting",
+    runner=_cli_runner,
+    formatter=format_campaign,
+    design=_cli_design,
+    sweep=registry.SweepSpec(
+        name="stall_verification",
+        help="randomized stall-injection trials "
+             "(4 probabilities x 10 seeds)",
+        space=sweep_space,
+        runner=run_sweep_point,
+        summarize=summarize_sweep,
+        # Statically derivable, dynamically refused: the capture records
+        # the harness's non-blocking ops and every point falls back with
+        # that reason — the recorded-capability path, exercised for real.
+        replay=make_replay_adapter(),
+    ),
+    compiled=True,
+    order=70,
+))

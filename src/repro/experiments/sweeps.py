@@ -1,8 +1,18 @@
 """Sweep registry: each experiment's parameter space as SweepPoints.
 
-The sibling of :mod:`repro.experiments.designs` — where that registry
-maps every CLI experiment to a *construction-only* design builder, this
-one maps every multi-point experiment to three callables:
+.. deprecated::
+    This module is now a thin view over :mod:`repro.registry` — each
+    experiment module declares its :class:`SweepSpec` on its
+    :class:`~repro.registry.ExperimentSpec` and ``SWEEP_SPECS`` is
+    derived from those specs.  The historical surface (``SWEEP_SPECS``,
+    :func:`register_sweep`, :func:`get_sweep`, :func:`build_space`)
+    keeps working unchanged for existing imports and for tests that
+    register synthetic sweeps; new code should use
+    ``registry.get_sweep`` / ``registry.register_sweep``.  The alias is
+    slated for removal once nothing in-tree imports it (tracked in
+    ``docs/REGISTRY.md``).
+
+Each registered sweep maps a multi-point experiment to three callables:
 
 * ``space(**options)`` — enumerate the parameter grid as a list of
   :class:`~repro.sweep.point.SweepPoint` (cheap, no simulation).  Every
@@ -25,54 +35,19 @@ Usage::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional
 
+from ..registry import SweepSpec, get_sweep, register_sweep
+from ..registry import sweep_specs_view
 from ..sweep.point import SweepPoint
-from ..trace.adapter import ReplayAdapter
-from . import crossbar_qor, fig3_crossbar, fig6_soc, gals_overhead
-from . import li_latency
-from . import stall_verification as stalls
 
 __all__ = ["SweepSpec", "SWEEP_SPECS", "register_sweep", "get_sweep",
            "build_space"]
 
-
-@dataclass(frozen=True)
-class SweepSpec:
-    """One registered sweep: space builder + point runner + formatter.
-
-    ``replay``, when set, opts the experiment into incremental sweeps
-    (``run_sweep(..., incremental=True)``): it carries the semantic map
-    from sweep points to captured traces and back.  Experiments without
-    one still work incrementally — every point just falls back to full
-    simulation with the reason recorded.
-    """
-
-    name: str
-    help: str
-    space: Callable[..., List[SweepPoint]]
-    runner: Callable[[dict, int], dict]
-    summarize: Optional[Callable[[List[dict]], str]] = None
-    replay: Optional[ReplayAdapter] = None
-
-
-#: Sweep name -> spec.  Extended via :func:`register_sweep` (tests
-#: register synthetic experiments; fork-started workers inherit them).
-SWEEP_SPECS: Dict[str, SweepSpec] = {}
-
-
-def register_sweep(spec: SweepSpec) -> SweepSpec:
-    SWEEP_SPECS[spec.name] = spec
-    return spec
-
-
-def get_sweep(name: str) -> SweepSpec:
-    try:
-        return SWEEP_SPECS[name]
-    except KeyError:
-        raise KeyError(f"unknown sweep experiment {name!r}; one of "
-                       f"{sorted(SWEEP_SPECS)}") from None
+#: Sweep name -> spec: a live read-through view of the experiment
+#: registry.  Extended via :func:`register_sweep` (tests register
+#: synthetic experiments; fork-started workers inherit them).
+SWEEP_SPECS = sweep_specs_view()
 
 
 def build_space(name: str, *, seed: Optional[int] = None,
@@ -81,92 +56,3 @@ def build_space(name: str, *, seed: Optional[int] = None,
     if seed is not None:
         options["seed"] = seed
     return get_sweep(name).space(**options)
-
-
-register_sweep(SweepSpec(
-    name="stall_verification",
-    help="randomized stall-injection trials (4 probabilities x 10 seeds)",
-    space=stalls.sweep_space,
-    runner=stalls.run_sweep_point,
-    summarize=stalls.summarize_sweep,
-    # Statically derivable, dynamically refused: the capture records
-    # the harness's non-blocking ops and every point falls back with
-    # that reason — the recorded-capability path, exercised for real.
-    replay=stalls.make_replay_adapter(),
-))
-
-register_sweep(SweepSpec(
-    name="li_latency",
-    help="LI pipeline latency grid (FIFO depth x stall p x period); "
-         "replayable from 2 captured traces via sweep --incremental",
-    space=li_latency.sweep_space,
-    runner=li_latency.run_sweep_point,
-    summarize=li_latency.summarize_sweep,
-    replay=li_latency.REPLAY_ADAPTER,
-))
-
-register_sweep(SweepSpec(
-    name="fig3_crossbar",
-    help="Figure 3 modelling-accuracy grid (3 models x 4 port counts)",
-    space=fig3_crossbar.sweep_space,
-    runner=fig3_crossbar.run_sweep_point,
-    summarize=fig3_crossbar.summarize_sweep,
-))
-
-register_sweep(SweepSpec(
-    name="gals_overhead",
-    help="GALS overhead fraction vs partition logic size",
-    space=gals_overhead.sweep_space,
-    runner=gals_overhead.run_sweep_point,
-    summarize=gals_overhead.summarize_sweep,
-    # Closed-form model, no kernel: every point is derivable by
-    # evaluating the runner in-process, skipping the pool entirely.
-    replay=ReplayAdapter(kind="analytic"),
-))
-
-register_sweep(SweepSpec(
-    name="crossbar_qor",
-    help="src- vs dst-loop crossbar QoR (lane sweep + clock sweep)",
-    space=crossbar_qor.sweep_space,
-    runner=crossbar_qor.run_sweep_point,
-    summarize=crossbar_qor.summarize_sweep,
-))
-
-register_sweep(SweepSpec(
-    name="pe_scaling",
-    help="PE-array strong scaling on the prototype SoC (fast mode)",
-    space=fig6_soc.pe_scaling_space,
-    runner=fig6_soc.run_pe_scaling_point,
-    summarize=fig6_soc.summarize_pe_scaling,
-))
-
-
-# The fault-campaign spec resolves repro.faults.campaign lazily:
-# repro.faults imports experiment harnesses, so importing it here at
-# module scope would close an import cycle through this registry.
-def _fault_campaign_space(**options) -> List[SweepPoint]:
-    from ..faults import campaign
-
-    return campaign.sweep_space(**options)
-
-
-def _fault_campaign_runner(params: dict, seed: int) -> dict:
-    from ..faults import campaign
-
-    return campaign.run_sweep_point(params, seed)
-
-
-def _fault_campaign_summarize(results: List[dict]) -> str:
-    from ..faults import campaign
-
-    return campaign.summarize_sweep(results)
-
-
-register_sweep(SweepSpec(
-    name="fault_campaign",
-    help="seeded fault-injection cases per harness (drop/dup/corrupt/"
-         "stall/clock faults), watchdog-triaged",
-    space=_fault_campaign_space,
-    runner=_fault_campaign_runner,
-    summarize=_fault_campaign_summarize,
-))

@@ -96,34 +96,20 @@ def _execute_point(index: int, point: SweepPoint, *,
                    telemetry: bool) -> dict:
     """Run one point in the current process; returns its raw payload.
 
-    The runner is resolved from the sweep registry by name — the point
-    itself stays plain data.  With ``telemetry`` the point runs inside
-    its own capture window and the flattened report records ride along
-    (and into the cache), labelled by point index so serial and parallel
-    runs produce identical records.
+    The point is wrapped as a :class:`~repro.jobs.JobRequest` and
+    submitted to the job core, which resolves the runner from the
+    experiment registry by name — the point itself stays plain data.
+    With ``telemetry`` the job runs inside its own capture window and
+    the flattened report records ride along (and into the cache),
+    labelled by point index so serial and parallel runs produce
+    identical records.
     """
-    from ..experiments.sweeps import get_sweep
-    from ..kernel.backend import use_backend
+    from ..jobs import JobRequest, execute
 
-    spec = get_sweep(point.experiment)
-    t0 = time.perf_counter()
-    if telemetry:
-        from .. import observe
-
-        # Telemetry forces the threaded kernel anyway (the compiled
-        # engine detaches when a hub is attached); running the point
-        # under its requested backend keeps the fallback accounting
-        # honest either way.
-        with use_backend(point.backend), observe.capture() as session:
-            result = spec.runner(dict(point.params), point.seed)
-        records = observe.to_records(
-            session.report(label=f"{point.experiment}[{index}]"))
-    else:
-        with use_backend(point.backend):
-            result = spec.runner(dict(point.params), point.seed)
-        records = None
-    return {"result": result, "telemetry": records,
-            "wall_seconds": time.perf_counter() - t0}
+    job = execute(JobRequest.from_point(point, telemetry=telemetry),
+                  telemetry_label=f"{point.experiment}[{index}]")
+    return {"result": job.payload, "telemetry": job.telemetry,
+            "wall_seconds": job.wall_seconds}
 
 
 def _run_chunk(items: Sequence[Tuple[int, SweepPoint]], telemetry: bool,
@@ -431,13 +417,13 @@ def _capture_chunk(tasks: Sequence[tuple],
     the replay adapter is re-resolved from the registry by experiment
     name so only plain data crosses the process boundary.
     """
-    from ..experiments.sweeps import get_sweep
+    from ..trace.adapter import adapter_for
 
     out = []
     for gid, experiment, base_params, base_seed in tasks:
         t0 = time.perf_counter()
         try:
-            adapter = get_sweep(experiment).replay
+            adapter = adapter_for(experiment)
             with _alarm(timeout):
                 trace = adapter.capture(dict(base_params), base_seed)
             out.append({"gid": gid, "ok": True, "trace": trace,
@@ -493,8 +479,9 @@ def _run_incremental(points: List[SweepPoint], *, jobs: int,
        refuse demotes the point to the fallback set with its reason;
     5. the fallback set runs as a normal full-simulation batch.
     """
-    from ..experiments.sweeps import get_sweep
-    from ..kernel.backend import use_backend
+    from ..jobs import JobRequest
+    from ..jobs import execute as execute_job
+    from ..registry import get_sweep
     from ..trace.adapter import classify
     from ..trace.replay import ReplayError, Replayer
 
@@ -616,8 +603,8 @@ def _run_incremental(points: List[SweepPoint], *, jobs: int,
     for i, point in analytic:
         p0 = time.perf_counter()
         try:
-            with _alarm(timeout), use_backend(point.backend):
-                res = spec.runner(dict(point.params), point.seed)
+            with _alarm(timeout):
+                res = execute_job(JobRequest.from_point(point)).payload
         except Exception as exc:  # noqa: BLE001 - terminal for the point
             errors += 1
             outcomes[i] = PointOutcome(

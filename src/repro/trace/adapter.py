@@ -8,8 +8,9 @@ or the behaviour, so the point needs a fresh simulation) vs derivable
 projects onto its structural **base** configuration, and how a
 :class:`~repro.trace.replay.ReplayResult` folds back into the
 experiment's usual result record.  A :class:`ReplayAdapter` packages
-exactly that, and hangs off the sweep registry
-(:class:`repro.experiments.sweeps.SweepSpec.replay`).
+exactly that, and hangs off the experiment registry
+(:class:`repro.registry.SweepSpec.replay`); :func:`adapter_for`
+resolves one by sweep name.
 
 Two adapter kinds exist:
 
@@ -31,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, FrozenSet, Optional, Tuple
 
-__all__ = ["ReplayAdapter", "classify"]
+__all__ = ["ReplayAdapter", "adapter_for", "classify"]
 
 
 @dataclass(frozen=True)
@@ -54,6 +55,19 @@ class ReplayAdapter:
     capture: Optional[Callable[[dict, int], dict]] = None
     overrides: Optional[Callable[[dict, int], dict]] = None
     derive: Optional[Callable[[dict, Any, dict, int], dict]] = None
+
+
+def adapter_for(experiment: str) -> Optional[ReplayAdapter]:
+    """The replay adapter registered for the named sweep, or ``None``.
+
+    Resolved through :mod:`repro.registry` by sweep name — the lookup
+    the engine's capture workers use, so only the experiment name (plain
+    data) ever crosses a process boundary.  Raises ``KeyError`` for
+    unregistered sweeps, exactly like ``registry.get_sweep``.
+    """
+    from ..registry import get_sweep
+
+    return get_sweep(experiment).replay
 
 
 def classify(adapter: Optional[ReplayAdapter], params: dict,

@@ -1,0 +1,124 @@
+"""Differential tests: ``repro run <name>`` vs each legacy verb.
+
+The tentpole's byte-identity guarantee: the generic ``run`` verb and
+the dedicated experiment verbs resolve to the same registered runner
+with the same defaults, so their ``--json`` dumps agree byte-for-byte
+modulo the serializer's documented wall-clock fields
+(:data:`repro.sweep.serialize.NONDETERMINISTIC_FIELDS` — the only keys
+two otherwise-identical runs may legitimately differ in), and their
+stdout agrees exactly for every experiment whose table contains no
+wall-clock-derived number.
+"""
+
+import json
+
+import pytest
+
+from repro import registry
+from repro.cli import main
+from repro.sweep.serialize import NONDETERMINISTIC_FIELDS
+
+#: Per-experiment shrunken arguments: (legacy verb flags, run -p form).
+#: Both spellings must describe the same parameter values.
+FAST_ARGS = {
+    "fig3": (["--ports", "2", "--txns", "5"],
+             ["-p", "ports=2", "-p", "txns=5"]),
+}
+
+#: Experiments whose formatted table embeds wall-clock-derived numbers
+#: (fig6 speedups, crossbar-qor compile ratios) — JSON is still
+#: compared, stdout is not.
+WALL_CLOCK_TEXT = {"fig6", "crossbar-qor"}
+
+
+def _strip(obj):
+    """Recursively drop the serializer's nondeterministic keys."""
+    if isinstance(obj, dict):
+        return {k: _strip(v) for k, v in obj.items()
+                if k not in NONDETERMINISTIC_FIELDS}
+    if isinstance(obj, list):
+        return [_strip(v) for v in obj]
+    return obj
+
+
+def _canonical(path):
+    return json.dumps(_strip(json.loads(path.read_text())),
+                      sort_keys=True)
+
+
+@pytest.fixture
+def tiny_fig6(monkeypatch):
+    """Shrink fig6 to one tiny workload (the default takes minutes)."""
+    from repro.workloads.soc_workloads import vector_scale_workload
+
+    monkeypatch.setattr(
+        "repro.experiments.fig6_soc.fig6_workloads_small",
+        lambda: [vector_scale_workload(n_pes=2, n_per_pe=4)])
+
+
+@pytest.mark.parametrize("name", registry.names(runnable=True))
+def test_run_verb_matches_legacy_verb(name, tmp_path, capsys, request):
+    if name == "fig6":
+        request.getfixturevalue("tiny_fig6")
+    legacy_flags, run_params = FAST_ARGS.get(name, ([], []))
+    seed = ["--seed", "3"] if registry.get(name).seedable else []
+    a, b = tmp_path / "legacy.json", tmp_path / "run.json"
+
+    assert main([name, *legacy_flags, *seed, "--json", str(a)]) == 0
+    legacy_out = capsys.readouterr().out
+    assert main(["run", name, *run_params, *seed,
+                 "--json", str(b)]) == 0
+    run_out = capsys.readouterr().out
+
+    assert _canonical(a) == _canonical(b)
+    if name not in WALL_CLOCK_TEXT:
+        assert (legacy_out.replace(str(a), "OUT")
+                == run_out.replace(str(b), "OUT"))
+
+
+def test_run_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["run", "frobnicate"])
+
+
+def test_run_rejects_unknown_parameter(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "fig3", "-p", "bogus=1"])
+    err = capsys.readouterr().err
+    assert "no parameter 'bogus'" in err
+    assert "ports" in err  # the error names the known parameters
+
+
+def test_run_rejects_malformed_parameter():
+    with pytest.raises(SystemExit):
+        main(["run", "fig3", "-p", "ports"])
+
+
+def test_run_param_values_go_through_declared_types(tmp_path, capsys):
+    # txns is declared type=int: "5" must parse, "x" must not.
+    assert main(["run", "fig3", "-p", "ports=2", "-p", "txns=5",
+                 "--seed", "1"]) == 0
+    capsys.readouterr()
+    with pytest.raises(SystemExit):
+        main(["run", "fig3", "-p", "txns=x"])
+
+
+def test_describe_covers_every_runnable_experiment(capsys):
+    for name in registry.names(runnable=True):
+        assert main(["describe", name]) == 0
+        out = capsys.readouterr().out
+        spec = registry.get(name)
+        assert spec.summary in out
+        assert f"{spec.schema}/v{spec.schema_version}" in out
+        for param in spec.params:
+            assert param.flag in out
+
+
+def test_list_shows_capability_tags(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "available experiments" in out
+    assert "sweep:fig3_crossbar" in out
+    assert "faults:stall_verification" in out
+    assert "replay:trace" in out
+    assert "run <experiment>" in out and "describe <experiment>" in out
