@@ -1,0 +1,82 @@
+"""Per-process compile cache: structural digest → lowered schedule.
+
+A warm sweep session (:mod:`repro.sweep.warm`) stamps its simulator
+with the group's structural digest (``sim._compile_cache_key``).  When
+such a simulator attaches the compiled backend, :func:`repro.compile.
+try_attach` consults this cache: a hit skips both the capability check
+and the lowering pass and re-wraps the cached
+:class:`~repro.design.lower.NodeSchedule` in a fresh engine.
+
+The schedule holds direct references to the design's channel and
+thread objects, so an entry is **only valid for the very simulator it
+was lowered from** — lookups verify identity through a weak reference.
+That is exactly the warm-sweep shape: one long-lived simulator per
+structural digest per worker process, whose engine must cheaply
+re-attach after a snapshot restore or a mid-run detach.  A point whose
+session was evicted reconstructs the design anyway, and reconstruction
+implies re-elaboration, so cross-simulator reuse would never be sound.
+
+Capability *failures* are cached too (digest → reason), so a
+warm-but-ineligible design records its fallback without re-walking the
+checks on every point.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+from typing import Optional
+
+__all__ = ["CompileCache", "process_cache", "compile_cache_stats",
+           "reset_compile_cache"]
+
+
+class CompileCache:
+    """Bounded LRU of lowering results, keyed by structural digest."""
+
+    def __init__(self, max_entries: int = 64):
+        self.max_entries = max_entries
+        # digest -> (weakref-to-sim, schedule-or-None, reason-or-None)
+        self._entries: "OrderedDict[str, tuple]" = OrderedDict()
+        self.lookups = 0
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: str, sim) -> Optional[tuple]:
+        """Return ``(schedule, reason)`` for ``sim``, or None on miss."""
+        self.lookups += 1
+        entry = self._entries.get(key)
+        if entry is not None and entry[0]() is sim:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[1], entry[2]
+        self.misses += 1
+        return None
+
+    def store(self, key: str, sim, schedule, reason: Optional[str]) -> None:
+        self._entries[key] = (weakref.ref(sim), schedule, reason)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def stats(self) -> dict:
+        return {"entries": len(self._entries), "lookups": self.lookups,
+                "hits": self.hits, "misses": self.misses}
+
+
+#: The process-global instance try_attach consults.
+_CACHE = CompileCache()
+
+
+def process_cache() -> CompileCache:
+    return _CACHE
+
+
+def compile_cache_stats() -> dict:
+    return _CACHE.stats()
+
+
+def reset_compile_cache() -> None:
+    """Drop every entry and zero the counters (test isolation)."""
+    global _CACHE
+    _CACHE = CompileCache()

@@ -31,6 +31,7 @@ from .simulator import (
     TimeBudgetExceeded,
     time_budget,
 )
+from .snapshot import Snapshot, SnapshotError
 from .tracing import Trace, WallClock, write_vcd
 
 __all__ = [
@@ -50,6 +51,8 @@ __all__ = [
     "DeltaOverflow",
     "TimeBudgetExceeded",
     "time_budget",
+    "Snapshot",
+    "SnapshotError",
     "BACKENDS",
     "use_backend",
     "default_backend",

@@ -45,6 +45,7 @@ from .serialize import (
     dump_json,
     to_jsonable,
 )
+from .warm import BatchAdapter, WarmSession
 
 __all__ = [
     "SweepPoint",
@@ -52,6 +53,8 @@ __all__ = [
     "SweepResult",
     "PointOutcome",
     "PointTimeout",
+    "BatchAdapter",
+    "WarmSession",
     "ResultCache",
     "CacheStats",
     "default_cache_dir",

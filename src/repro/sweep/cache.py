@@ -43,8 +43,14 @@ import json
 import os
 import pathlib
 import subprocess
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
+
+try:  # POSIX only; Windows falls back to lock-free best effort
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from .point import SweepPoint
 from .serialize import canonical_digest
@@ -59,7 +65,8 @@ MODES = ("exact", "derived", "trace")
 #: Cumulative counters persisted to ``<root>/_stats.json``.
 _PERSISTED = ("hits", "misses", "puts", "evictions", "corrupt_dropped",
               "hits_exact", "hits_derived", "hits_trace",
-              "recompute_seconds_saved")
+              "recompute_seconds_saved",
+              "warm_points", "warm_restores", "warm_lowering_hits")
 
 _REV_CACHE: dict = {}
 
@@ -112,6 +119,13 @@ class CacheStats:
     #: Sum of the stored recompute cost of every hit — the wall-clock
     #: seconds this cache instance saved its callers.
     recompute_seconds_saved: float = 0.0
+    #: Warm batched-sweep accounting (see :mod:`repro.sweep.warm`),
+    #: credited by the engine after every ``warm=True`` run so
+    #: ``repro stats --cache`` reports batch effectiveness alongside
+    #: cache effectiveness.
+    warm_points: int = 0
+    warm_restores: int = 0
+    warm_lowering_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -235,6 +249,38 @@ class ResultCache:
         self.evict()
         return key
 
+    # -- cross-process exclusion ---------------------------------------
+    @contextmanager
+    def _locked(self):
+        """Exclusive advisory lock on ``<root>/_lock`` (POSIX flock).
+
+        Serializes the cache's two read-modify-write critical sections
+        — the ``_stats.json`` merge and the eviction scan — across
+        concurrent sweep processes sharing one cache directory.  Entry
+        reads and writes stay lock-free (they are already atomic via
+        temp-file + ``os.replace``).  Where ``fcntl`` is unavailable
+        the sections run unlocked, degrading to the historical
+        best-effort behaviour: possible lost counter increments, never
+        a corrupt file.
+        """
+        if fcntl is None:
+            yield
+            return
+        path = pathlib.Path(self.root) / "_lock"
+        try:
+            fh = open(path, "a+")
+        except OSError:  # unwritable root: degrade to lock-free
+            yield
+            return
+        try:
+            fcntl.flock(fh, fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(fh, fcntl.LOCK_UN)
+            finally:
+                fh.close()
+
     # -- maintenance ---------------------------------------------------
     def _entries(self) -> List[Tuple[float, int, pathlib.Path]]:
         """(mtime, size, path) for every entry, oldest first."""
@@ -257,9 +303,20 @@ class ResultCache:
         cheapest results to regenerate relative to the space they
         occupy), with recency as the tiebreaker.  The stat-only scan
         runs first: under the limits — the common case, since eviction
-        runs on every put — no entry file is ever opened.
+        runs on every put — no entry file is ever opened, and no lock
+        is taken.  An over-limit cache evicts under the cross-process
+        lock so two concurrent writers never race the same scan (each
+        would otherwise delete from a stale listing and over-evict).
         """
         entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        if len(entries) <= self.max_entries and total <= self.max_bytes:
+            return 0
+        with self._locked():
+            return self._evict_locked()
+
+    def _evict_locked(self) -> int:
+        entries = self._entries()  # re-list under the lock
         total = sum(size for _, size, _ in entries)
         if len(entries) <= self.max_entries and total <= self.max_bytes:
             return 0
@@ -301,23 +358,27 @@ class ResultCache:
         """Merge this instance's counters into ``_stats.json``.
 
         Called by the sweep engine after every run so ``repro stats``
-        can report effectiveness across processes.  Best-effort: two
-        concurrent flushes may lose one increment, never corrupt the
-        file (atomic replace).  Only the delta since this instance's
-        previous flush is added, so repeated flushes never double-count
-        — and ``self.stats`` itself is left untouched for callers still
-        reporting on this run.
+        can report effectiveness across processes.  The read-modify-
+        write runs under the cross-process lock (:meth:`_locked`), so
+        concurrent sweeps sharing a cache directory merge exactly —
+        no increment is ever lost where ``flock`` is available, and
+        the file is never corrupt regardless (atomic replace).  Only
+        the delta since this instance's previous flush is added, so
+        repeated flushes never double-count — and ``self.stats``
+        itself is left untouched for callers still reporting on this
+        run.
         """
-        merged = self.persistent_stats()
-        for name in _PERSISTED:
-            current = getattr(self.stats, name)
-            delta = current - self._flushed.get(name, 0)
-            merged[name] = merged.get(name, 0) + delta
-            self._flushed[name] = current
-        path = self._stats_path()
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(merged, sort_keys=True) + "\n")
-        os.replace(tmp, path)
+        with self._locked():
+            merged = self.persistent_stats()
+            for name in _PERSISTED:
+                current = getattr(self.stats, name)
+                delta = current - self._flushed.get(name, 0)
+                merged[name] = merged.get(name, 0) + delta
+                self._flushed[name] = current
+            path = self._stats_path()
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(merged, sort_keys=True) + "\n")
+            os.replace(tmp, path)
         return merged
 
     def persistent_stats(self) -> dict:
@@ -353,6 +414,9 @@ class ResultCache:
             "hits_derived": self.stats.hits_derived,
             "hits_trace": self.stats.hits_trace,
             "recompute_seconds_saved": self.stats.recompute_seconds_saved,
+            "warm_points": self.stats.warm_points,
+            "warm_restores": self.stats.warm_restores,
+            "warm_lowering_hits": self.stats.warm_lowering_hits,
         }
         if deep:
             by_mode = {mode: 0 for mode in MODES}

@@ -147,8 +147,14 @@ class PointOutcome:
     #: How the result was produced: "exact" (full simulation, or a
     #: cached one) vs "derived" (trace replay / analytic evaluation).
     mode: str = "exact"
-    #: For incremental sweeps only: why this point could not be derived
-    #: and fell back to a full simulation (None when it didn't).
+    #: Construction provenance (see :data:`repro.jobs.EXECUTIONS`):
+    #: "fresh" (design built for this point), "warm" (this point built
+    #: a reusable warm session), or "restored" (evaluated on a warm
+    #: session after a kernel snapshot restore).
+    execution: str = "fresh"
+    #: For incremental/warm sweeps only: why this point could not be
+    #: derived (or warm-batched) and fell back to a full simulation
+    #: (None when it didn't).
     fallback_reason: Optional[str] = None
 
 
@@ -173,6 +179,16 @@ class SweepResult:
     captures: int = 0
     #: reason -> count for points that fell back to full simulation.
     fallback_reasons: Dict[str, int] = field(default_factory=dict)
+    warm: bool = False
+    #: Structural groups dispatched to warm workers this run.
+    warm_groups: int = 0
+    #: Points evaluated on a warm session (execution "warm"/"restored").
+    warm_points: int = 0
+    #: Kernel snapshot restores performed by warm workers.
+    restores: int = 0
+    #: Compiled-engine re-attaches served from the per-process
+    #: CompileCache (lowering passes skipped) inside warm workers.
+    lowering_cache_hits: int = 0
 
     @property
     def points(self) -> List[SweepPoint]:
@@ -218,6 +234,11 @@ class SweepResult:
             traffic = (f"{self.cache_hits} cached / {self.derived} derived"
                        f" / {self.executed} simulated"
                        f" (+{self.captures} captures)")
+        if self.warm:
+            traffic = (f"{self.cache_hits} cached / {self.warm_points} warm"
+                       f" ({self.warm_groups} groups, {self.restores} "
+                       f"restores) / "
+                       f"{self.executed - self.warm_points} fresh")
         parts = [f"sweep {self.experiment}: {len(self.outcomes)} points",
                  traffic + (f" / {self.errors} errors" if self.errors
                             else ""),
@@ -242,10 +263,16 @@ class SweepResult:
             "derived": self.derived,
             "captures": self.captures,
             "fallback_reasons": self.fallback_reasons,
+            "warm": self.warm,
+            "warm_groups": self.warm_groups,
+            "warm_points": self.warm_points,
+            "restores": self.restores,
+            "lowering_cache_hits": self.lowering_cache_hits,
             "points": [o.point.identity() for o in self.outcomes],
             "results": self.results,
             "statuses": [o.status for o in self.outcomes],
             "modes": [o.mode for o in self.outcomes],
+            "executions": [o.execution for o in self.outcomes],
             "telemetry": [r for o in self.outcomes
                           for r in (o.telemetry or ())],
         }
@@ -302,7 +329,8 @@ def run_sweep(points: Sequence[SweepPoint], *, jobs: int = 1,
               timeout: Optional[float] = None, retries: int = 1,
               telemetry: bool = True,
               chunksize: Optional[int] = None,
-              incremental: bool = False) -> SweepResult:
+              incremental: bool = False,
+              warm: bool = False) -> SweepResult:
     """Execute a parameter sweep; returns ordered outcomes + accounting.
 
     ``jobs`` is the worker-process count (``<=1`` = in this process),
@@ -322,10 +350,27 @@ def run_sweep(points: Sequence[SweepPoint], *, jobs: int = 1,
     mixing instrumented and derived records would make the merged
     report lie), so their canonical form matches a plain
     ``telemetry=False`` sweep.
+
+    With ``warm`` the engine instead groups pending points by
+    structural digest and dispatches each group as a batch to
+    persistent warm workers, which construct the design once per group
+    and evaluate every point via the kernel's snapshot/restore
+    primitive (:mod:`repro.sweep.warm`).  Results are byte-identical
+    under :meth:`SweepResult.canonical`; like ``incremental``, warm
+    sweeps run telemetry-off (a snapshot-eligible design cannot carry
+    a telemetry hub).  ``warm`` and ``incremental`` are mutually
+    exclusive.
     """
     points = list(points)
     if not points:
         raise ValueError("run_sweep needs at least one SweepPoint")
+    if warm and incremental:
+        raise ValueError("warm and incremental sweeps are mutually "
+                         "exclusive — a warm session re-simulates, a "
+                         "replay never constructs a kernel")
+    if warm:
+        return _run_warm(points, jobs=jobs, cache=cache, timeout=timeout,
+                         retries=retries, chunksize=chunksize)
     if incremental:
         return _run_incremental(points, jobs=jobs, cache=cache,
                                 timeout=timeout, retries=retries,
@@ -681,5 +726,221 @@ def _run_incremental(points: List[SweepPoint], *, jobs: int,
         fallback_reasons=fallback_reasons,
     )
     if cache is not None:
+        cache.flush_stats()
+    return result
+
+
+def _warm_tasks(groups: Dict[str, dict], experiment: str, jobs: int,
+                timeout: Optional[float],
+                chunksize: Optional[int]) -> List[dict]:
+    """Split warm groups into pool tasks (chunks never mix groups).
+
+    The default chunk size spreads each group over at most ``jobs``
+    tasks: warm chunks should be *large* — every extra chunk of a group
+    is a potential extra session build on another worker — so the
+    fresh engine's ~4-chunks-per-worker heuristic would be
+    counterproductive here.
+    """
+    tasks: List[dict] = []
+    for digest, group in groups.items():
+        members = group["members"]
+        size = chunksize if chunksize is not None else \
+            max(1, -(-len(members) // max(1, jobs)))
+        for lo in range(0, len(members), size):
+            tasks.append({
+                "digest": digest,
+                "experiment": experiment,
+                "base_params": group["base_params"],
+                "base_seed": group["base_seed"],
+                "backend": group["backend"],
+                "members": members[lo:lo + size],
+                "timeout": timeout,
+            })
+    return tasks
+
+
+def _run_warm(points: List[SweepPoint], *, jobs: int,
+              cache: Optional[ResultCache],
+              timeout: Optional[float], retries: int,
+              chunksize: Optional[int]) -> SweepResult:
+    """The ``warm=True`` engine: construct once per group, run many.
+
+    Execution order (see ``docs/PERFORMANCE.md``):
+
+    1. cache pass — identical keys to a plain ``telemetry=False``
+       sweep, so warm, fresh, and cached runs all interchange;
+    2. grouping by structural digest via the experiment's registered
+       :class:`~repro.sweep.warm.BatchAdapter` (no adapter: every
+       point demotes to the fresh path with the reason recorded);
+    3. batch dispatch — one persistent pool for every group task, warm
+       workers keep their sessions across tasks;
+    4. demotions (session build/restore failures) and warm failures
+       re-run through the normal fresh path, the latter consuming one
+       retry; remaining ``retries`` apply as usual.
+    """
+    from .warm import batch_adapter_for, group_key, run_warm_chunk
+    from .warm import warm_worker_init
+
+    experiment = points[0].experiment
+    if any(p.experiment != experiment for p in points):
+        raise ValueError("warm sweeps require a single experiment")
+    adapter = batch_adapter_for(experiment)
+    t0 = time.perf_counter()
+
+    outcomes: List[Optional[PointOutcome]] = [None] * len(points)
+    pending: List[Tuple[int, SweepPoint]] = []
+    for i, point in enumerate(points):
+        hit = cache.get(point) if cache is not None else None
+        if hit is not None:
+            outcomes[i] = PointOutcome(
+                index=i, point=point, status="cached",
+                result=hit.get("result"), telemetry=None)
+        else:
+            pending.append((i, point))
+
+    # Partition: warm groups vs the fresh demotion set.
+    reason_of: Dict[int, str] = {}
+    fresh: List[Tuple[int, SweepPoint]] = []
+    groups: Dict[str, dict] = {}
+    if adapter is None:
+        for i, point in pending:
+            reason_of[i] = "no batch adapter registered"
+            fresh.append((i, point))
+    else:
+        for i, point in pending:
+            digest, bparams, bseed = group_key(point, adapter)
+            group = groups.setdefault(
+                digest, {"base_params": bparams, "base_seed": bseed,
+                         "backend": point.backend, "members": []})
+            group["members"].append((i, point))
+
+    # Batch dispatch: one persistent pool serves every group task, so
+    # workers keep their warm sessions across tasks (and sweeps, for
+    # the in-process jobs<=1 path).
+    tasks = _warm_tasks(groups, experiment, jobs, timeout, chunksize)
+    counters = {"warm_points": 0, "restores": 0,
+                "lowering_cache_hits": 0, "builds": 0}
+    chunk_results: List[dict] = []
+    if tasks:
+        if jobs <= 1 or len(tasks) == 1:
+            chunk_results = [run_warm_chunk(task) for task in tasks]
+        else:
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(tasks)),
+                    initializer=warm_worker_init) as pool:
+                futures = [(pool.submit(run_warm_chunk, task), task)
+                           for task in tasks]
+                for future, task in futures:
+                    try:
+                        chunk_results.append(future.result())
+                    except BrokenProcessPool:
+                        chunk_results.append({"records": [
+                            {"index": i, "ok": False,
+                             "error": "BrokenProcessPool: worker crashed"}
+                            for i, _ in task["members"]], "counters": {}})
+                    except Exception as exc:  # noqa: BLE001
+                        chunk_results.append({"records": [
+                            {"index": i, "ok": False,
+                             "error": f"{type(exc).__name__}: {exc}"}
+                            for i, _ in task["members"]], "counters": {}})
+    raw: Dict[int, dict] = {}
+    for res in chunk_results:
+        for rec in res["records"]:
+            raw[rec["index"]] = rec
+        for name, value in res.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+
+    # Sort the warm records: successes become outcomes, session-level
+    # demotions join the fresh set, per-point failures re-run fresh
+    # (consuming one retry).
+    executed = 0
+    warm_failed: List[Tuple[int, SweepPoint]] = []
+    for group in groups.values():
+        for i, point in group["members"]:
+            rec = raw.get(i, {"ok": False, "error": "warm record missing"})
+            if not rec["ok"] and rec.get("fallback"):
+                reason_of[i] = rec["fallback"]
+                fresh.append((i, point))
+            elif rec["ok"]:
+                executed += 1
+                outcomes[i] = PointOutcome(
+                    index=i, point=point, status="ok",
+                    result=rec["result"],
+                    wall_seconds=rec.get("wall_seconds", 0.0),
+                    attempts=1, execution=rec.get("execution", "warm"))
+                if cache is not None:
+                    cache.put(point, {"result": rec["result"],
+                                      "telemetry": None},
+                              cost=rec.get("wall_seconds", 0.0))
+            else:
+                reason_of[i] = ("warm execution failed: "
+                                + rec.get("error", "unknown failure"))
+                warm_failed.append((i, point))
+
+    fresh_all = sorted(fresh + warm_failed)
+    warm_failed_ids = {i for i, _ in warm_failed}
+    raw2 = _execute_batch(fresh_all, jobs=jobs, telemetry=False,
+                          timeout=timeout, chunksize=chunksize)
+    attempts = {i: (2 if i in warm_failed_ids else 1)
+                for i, _ in fresh_all}
+    retried = len(warm_failed)
+    for _ in range(max(0, retries)):
+        failed = [(i, p) for i, p in fresh_all if not raw2[i]["ok"]]
+        if not failed:
+            break
+        retried += len(failed)
+        retry_raw = _execute_batch(failed, jobs=jobs, telemetry=False,
+                                   timeout=timeout, chunksize=1)
+        for i, rec in retry_raw.items():
+            attempts[i] += 1
+            if rec["ok"] or not raw2[i]["ok"]:
+                raw2[i] = rec
+
+    errors = 0
+    fallback_reasons: Dict[str, int] = {}
+    for i, point in fresh_all:
+        reason = reason_of[i]
+        fallback_reasons[reason] = fallback_reasons.get(reason, 0) + 1
+        rec = raw2[i]
+        if rec["ok"]:
+            executed += 1
+            outcomes[i] = PointOutcome(
+                index=i, point=point, status="ok", result=rec["result"],
+                wall_seconds=rec.get("wall_seconds", 0.0),
+                attempts=attempts[i], fallback_reason=reason)
+            if cache is not None:
+                cache.put(point, {"result": rec["result"],
+                                  "telemetry": None},
+                          cost=rec.get("wall_seconds", 0.0))
+        else:
+            errors += 1
+            outcomes[i] = PointOutcome(
+                index=i, point=point, status="error",
+                error=rec.get("error", "unknown failure"),
+                attempts=attempts[i], fallback_reason=reason)
+
+    result = SweepResult(
+        experiment=experiment,
+        outcomes=[o for o in outcomes if o is not None],
+        jobs=jobs,
+        wall_seconds=time.perf_counter() - t0,
+        cache_hits=sum(1 for o in outcomes
+                       if o is not None and o.status == "cached"),
+        cache_misses=len(pending),
+        executed=executed,
+        errors=errors,
+        retried=retried,
+        cache=cache.describe() if cache is not None else None,
+        fallback_reasons=fallback_reasons,
+        warm=True,
+        warm_groups=len(groups),
+        warm_points=counters["warm_points"],
+        restores=counters["restores"],
+        lowering_cache_hits=counters["lowering_cache_hits"],
+    )
+    if cache is not None:
+        cache.stats.warm_points += counters["warm_points"]
+        cache.stats.warm_restores += counters["restores"]
+        cache.stats.warm_lowering_hits += counters["lowering_cache_hits"]
         cache.flush_stats()
     return result
