@@ -16,7 +16,10 @@ Usage::
     python -m repro describe <experiment>
     python -m repro bench [--subset quick|full] [--baseline BENCH_kernel.json]
     python -m repro sweep <experiment> [--jobs N] [--no-cache] [--cache-dir D]
-    python -m repro faults <harness|all> [--cases N] [--seed S] [--shrink]
+    python -m repro faults <harness|all> [--cases N] [--seed S]
+                                         [--shrink [greedy|hypothesis]]
+    python -m repro verify [--profile dev|ci|thorough] [--checks LIST]
+                           [--inject none|deadlock|corrupt]
 
 Every verb is a thin shell over the experiment registry
 (:mod:`repro.registry`) and the job-oriented execution core
@@ -452,10 +455,21 @@ def _cmd_faults(args) -> int:
         if outcome.status == "error":
             extras.append(f"ERROR {outcome.point.label}: {outcome.error}")
     if args.shrink:
+        shrinker = campaign.shrink
+        if args.shrink == "hypothesis":
+            from .verify import hypothesis_available
+
+            if hypothesis_available():
+                from .verify.shrinking import shrink_plan
+                shrinker = shrink_plan
+            else:
+                extras.append("--shrink hypothesis: hypothesis not "
+                              "installed (pip install 'repro[test]'); "
+                              "falling back to the greedy shrinker")
         for rec in failures:
             plan = campaign.default_plan(rec["experiment"], rec["seed"])
-            small = campaign.shrink(rec["experiment"], plan, rec["seed"],
-                                    rec["outcome"])
+            small = shrinker(rec["experiment"], plan, rec["seed"],
+                             rec["outcome"])
             extras.append(
                 f"shrunk {rec['experiment']} seed={rec['seed']} "
                 f"({rec['outcome']}) to {len(small.directives)} "
@@ -609,9 +623,13 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="worker processes (1 = serial, default)")
     faults_p.add_argument("--timeout", type=float, default=None,
                           help="per-case wall-clock budget in seconds")
-    faults_p.add_argument("--shrink", action="store_true",
-                          help="reduce each failing case to a 1-minimal "
-                               "fault schedule")
+    faults_p.add_argument("--shrink", nargs="?", const="hypothesis",
+                          choices=("greedy", "hypothesis"), default=None,
+                          help="reduce each failing case to a minimal "
+                               "fault schedule preserving its outcome "
+                               "class; bare flag uses the Hypothesis "
+                               "subset shrinker, 'greedy' the 1-minimal "
+                               "removal pass")
     _add_shared_flags(
         faults_p,
         seed="base seed for the campaign (default 0)",
@@ -714,13 +732,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         params = _spec_params(spec, args)
 
     from .jobs import JobRequest, execute
+    from .verify import VerifyUnavailable
 
     trace_path = args.trace_vcd
-    result = execute(
-        JobRequest(experiment=target, params=params, seed=args.seed,
-                   backend=args.backend, telemetry=want_stats,
-                   trace_signals=bool(trace_path)),
-        telemetry_label=target)
+    try:
+        result = execute(
+            JobRequest(experiment=target, params=params, seed=args.seed,
+                       backend=args.backend, telemetry=want_stats,
+                       trace_signals=bool(trace_path)),
+            telemetry_label=target)
+    except VerifyUnavailable as exc:
+        print(exc)
+        return 2
 
     extras = [result.text]
     if not (want_stats or trace_path):
@@ -730,7 +753,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             result.write_json(args.json)
             extras.append(f"wrote {args.json}")
         print("\n\n".join(extras))
-        return 0
+        return _experiment_exit_code(target, result.payload)
 
     if trace_path:
         extras.append(_write_vcd_from(result.session, trace_path))
@@ -750,6 +773,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         result.write_json(args.json)
         extras.append(f"wrote {args.json}")
     print("\n\n".join(extras))
+    return _experiment_exit_code(target, result.payload)
+
+
+def _experiment_exit_code(target: str, payload) -> int:
+    # `verify` is a gate, not a figure: a campaign whose oracles were
+    # violated exits non-zero, like `faults` and `lint` do.
+    if target == "verify" and isinstance(payload, dict) \
+            and not payload.get("ok", True):
+        return 1
     return 0
 
 

@@ -25,6 +25,7 @@ from .campaign import (
     build_deadlock_fixture,
     default_plan,
     execute,
+    outcome_class,
     shrink,
 )
 from .plan import (
@@ -48,5 +49,5 @@ __all__ = [
     "FaultPlan", "FaultDirective", "AppliedFaults", "ChannelFaults",
     "default_corrupter",
     "Harness", "Rig", "HARNESSES", "build_deadlock_fixture",
-    "default_plan", "execute", "shrink",
+    "default_plan", "execute", "shrink", "outcome_class",
 ]

@@ -49,8 +49,9 @@ from .plan import FaultPlan
 from .watchdog import HangError, Watchdog
 
 __all__ = ["Rig", "Harness", "HARNESSES", "default_plan", "execute",
-           "shrink", "build_deadlock_fixture", "sweep_space",
-           "run_sweep_point", "summarize_sweep", "OUTCOMES"]
+           "shrink", "outcome_class", "build_deadlock_fixture",
+           "sweep_space", "run_sweep_point", "summarize_sweep",
+           "OUTCOMES"]
 
 #: Classification vocabulary, in severity order.
 OUTCOMES = ("clean", "detected", "hang", "crash")
@@ -439,25 +440,81 @@ def execute(harness_name: str, plan: FaultPlan, seed: int) -> dict:
     return record
 
 
+def outcome_class(record: dict) -> str:
+    """The *full* classification of an executed case, not just the coarse
+    outcome: hangs keep their watchdog kind (``hang:deadlock`` vs
+    ``hang:livelock`` vs ``hang:budget``) and crashes keep their error
+    type (``crash:TypeError``, ``crash:escape`` for silent corruption).
+    Shrinking validates candidates against this, so a reduction can
+    never silently trade one failure mode for another.
+    """
+    outcome = record["outcome"]
+    if outcome == "hang":
+        kinds = [r.get("kind") for r in record.get("diagnosis", ())
+                 if r.get("type") == "hang"]
+        return f"hang:{kinds[0]}" if kinds else "hang"
+    if outcome == "crash":
+        error = record.get("error", "")
+        if error.startswith("output mismatch"):
+            return "crash:escape"
+        return f"crash:{error.split(':', 1)[0] or 'unknown'}"
+    return outcome
+
+
 def shrink(harness_name: str, plan: FaultPlan, seed: int,
-           target_outcome: str, *, max_runs: int = 32) -> FaultPlan:
+           target_outcome: Optional[str] = None, *, max_runs: int = 32,
+           match: str = "class") -> FaultPlan:
     """Greedy 1-minimal reduction of a failing fault schedule.
 
     Repeatedly re-runs the case with one directive removed, keeping any
-    reduction that still reproduces ``target_outcome``; directives carry
-    frozen sub-seeds, so survivors behave identically in smaller plans.
-    Capped at ``max_runs`` executions.
+    reduction that still reproduces the original failure; directives
+    carry frozen sub-seeds, so survivors behave identically in smaller
+    plans.  Capped at ``max_runs`` executions (the reference run for
+    the original plan included).
+
+    ``match`` controls what "still reproduces" means:
+
+    * ``"class"`` (default) — the candidate's :func:`outcome_class`
+      must equal the original plan's (a livelock stays a livelock, a
+      TypeError crash stays a TypeError crash);
+    * ``"outcome"`` — only the coarse outcome string must match
+      (a deadlock may shrink into a livelock);
+    * ``"any"`` — any not-``ok`` outcome is accepted.  This is the
+      naive fixpoint and it is *wrong* — it can shrink a hang into an
+      unrelated crash (see ``tests/verify/test_shrink.py``) — kept
+      only to document the hazard.
+
+    ``target_outcome`` optionally asserts what the original plan's
+    coarse outcome is expected to be (a mismatch raises ``ValueError``);
+    ``None`` accepts whatever the reference run produces.
     """
+    if match not in ("class", "outcome", "any"):
+        raise ValueError(f"unknown shrink match mode {match!r}")
+    harness = HARNESSES[harness_name]
+    reference = execute(harness_name, plan, seed)
+    runs = 1
+    if target_outcome is not None \
+            and reference["outcome"] != target_outcome:
+        raise ValueError(
+            f"plan does not reproduce {target_outcome!r} on "
+            f"{harness_name!r} (got {reference['outcome']!r})")
+    target_class = outcome_class(reference)
+
+    def reproduces(record: dict) -> bool:
+        if match == "any":
+            return record["outcome"] not in harness.expected
+        if match == "outcome":
+            return record["outcome"] == reference["outcome"]
+        return outcome_class(record) == target_class
+
     current = plan
-    runs = 0
     improved = True
     while improved and runs < max_runs and len(current.directives) > 1:
         improved = False
         for index in range(len(current.directives)):
             candidate = current.without(index)
             runs += 1
-            if execute(harness_name, candidate, seed)["outcome"] \
-                    == target_outcome:
+            if reproduces(execute(harness_name, candidate, seed)):
                 current = candidate
                 improved = True
                 break

@@ -200,7 +200,8 @@ _LOADED = False
 _LOADING = False
 
 #: Modules whose import registers the bundled experiment catalog.
-_CATALOG_MODULES = ("repro.experiments", "repro.faults.campaign")
+_CATALOG_MODULES = ("repro.experiments", "repro.faults.campaign",
+                    "repro.verify")
 
 
 def load() -> None:

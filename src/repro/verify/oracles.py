@@ -1,0 +1,213 @@
+"""The three oracle families generated designs are held to.
+
+Each check takes declarative specs from :mod:`repro.verify.strategies`,
+materializes them (fresh simulator per run — generated designs are
+cheap), and raises ``AssertionError`` with a precise story on any
+violation, so Hypothesis can shrink the failing case:
+
+* :func:`check_differential` — threaded vs compiled byte identity on
+  sink outputs, cycle counts, and per-channel telemetry (the PR 6
+  differential idiom applied to designs nobody wrote);
+* :func:`check_li` — sink outputs equal the golden dataflow model and
+  stay invariant under any lossless stall/jitter plan, with zero
+  watchdog ``HangError`` (latency-insensitivity + liveness);
+* :func:`check_classification` — under lossy plans the campaign-style
+  triage must land in {clean, detected, hang}: lint and the watchdog
+  classify, never crash, and silent corruption escapes are failures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..design.lint import format_findings, lint
+from ..faults import FaultPlan
+from ..faults.watchdog import HangError, Watchdog
+from ..sweep.serialize import to_jsonable
+from .strategies import PlanSpec, VerifyCase
+from .topology import BuiltTopology, TopologySpec, build_topology
+
+__all__ = [
+    "materialize_plan",
+    "run_watched",
+    "check_lint",
+    "check_differential",
+    "check_li",
+    "check_classification",
+    "CLASSIFY_OUTCOMES",
+]
+
+#: What total-classification accepts: everything the triage can say
+#: about a lossy run short of a crash.
+CLASSIFY_OUTCOMES = ("clean", "detected", "hang")
+
+#: Livelock horizon for generated designs: comfortably above the
+#: longest strategy-drawn stall burst (300 cycles), far below budgets.
+_WINDOW = 1500
+
+
+def materialize_plan(plan: PlanSpec, built: BuiltTopology) -> FaultPlan:
+    """Turn a declarative :class:`PlanSpec` into a live fault plan.
+
+    Edge indices resolve against ``built.paths`` (flat edge order) and
+    domain indices against the built clocks, so the same spec means the
+    same thing on every materialization of its topology.
+    """
+    fp = FaultPlan(seed=plan.seed)
+    for stall in plan.stalls:
+        fp.stall_burst(built.paths[stall.edge % len(built.paths)],
+                       start=stall.start, length=stall.length,
+                       probability=stall.probability)
+    for jitter in plan.jitters:
+        clock = built.clocks[jitter.domain % len(built.clocks)]
+        if jitter.kind == "drift":
+            fp.clock_drift(clock.name, rate=jitter.amplitude,
+                           every=max(jitter.every, 16))
+        else:
+            fp.clock_jitter(clock.name, amplitude=jitter.amplitude,
+                            every=jitter.every)
+    for fault in plan.lossy:
+        path = built.paths[fault.edge % len(built.paths)]
+        if fault.kind == "drop":
+            fp.drop(path, probability=fault.probability)
+        elif fault.kind == "duplicate":
+            fp.duplicate(path, probability=fault.probability)
+        else:
+            fp.corrupt(path, probability=fault.probability)
+    return fp
+
+
+def run_watched(built: BuiltTopology) -> None:
+    """Run a built topology to completion under a watchdog."""
+    Watchdog(built.sim, built.clocks[0], window=_WINDOW,
+             max_cycles=built.cycle_budget)
+    built.run()
+
+
+def check_lint(built: BuiltTopology) -> None:
+    """Generated designs are lint-clean by construction — prove it."""
+    findings = lint(built.sim)
+    assert not findings, (
+        "generated topology must lint clean:\n"
+        + format_findings(findings))
+
+
+# ----------------------------------------------------------------------
+# differential: threaded vs compiled byte identity
+# ----------------------------------------------------------------------
+def _run_payload(spec: TopologySpec, backend: str) -> dict:
+    built = build_topology(spec, backend=backend)
+    if backend == "threaded":
+        check_lint(built)
+    built.run()
+    payload = {
+        "backend": built.sim.backend,
+        "sinks": [list(g) for g in built.got],
+        "done": built.done(),
+        "now": built.sim.now,
+        "cycles": [clk.cycles for clk in built.clocks],
+        "channels": {
+            path: _channel_stats(chan)
+            for path, chan in zip(built.paths, built.channels.values())
+        },
+    }
+    return payload
+
+
+def _channel_stats(chan) -> list:
+    stats = getattr(chan, "stats", None)
+    if stats is None:  # GalsLink facade: compare endpoint buffers
+        return (_channel_stats(chan._tx_chan)
+                + _channel_stats(chan._rx_chan))
+    return [stats.transfers, stats.push_attempts, stats.pop_attempts,
+            stats.push_rejections, stats.pop_rejections,
+            stats.stall_cycles, stats.occupancy_sum, stats.cycles]
+
+
+def check_differential(spec: TopologySpec) -> dict:
+    """Threaded and compiled runs must agree byte-for-byte."""
+    threaded = _run_payload(spec, backend="threaded")
+    compiled = _run_payload(spec, backend="compiled")
+    engaged = compiled.pop("backend")
+    threaded.pop("backend")
+    assert to_jsonable(threaded) == to_jsonable(compiled), (
+        f"threaded/compiled divergence on generated design:\n"
+        f"  threaded: {threaded}\n  compiled: {compiled}")
+    assert threaded["done"], (
+        "generated design failed to drain on both backends "
+        f"(sinks {threaded['sinks']})")
+    return {"engaged": engaged == "compiled"}
+
+
+# ----------------------------------------------------------------------
+# LI robustness: golden equality + stall invariance, zero hangs
+# ----------------------------------------------------------------------
+def check_li(spec: TopologySpec, plan: PlanSpec,
+             inject: Optional[str] = None) -> None:
+    """Outputs match golden and ignore lossless backpressure/jitter."""
+    assert not plan.lossy, "LI oracle only accepts lossless plans"
+    baseline = build_topology(spec, inject=inject)
+    check_lint(baseline)
+    try:
+        run_watched(baseline)
+    except HangError as exc:
+        raise AssertionError(
+            "generated live design hung with no fault plan:\n"
+            + exc.diagnosis.format()) from exc
+    assert baseline.done(), "baseline run left sinks undrained"
+    got = tuple(tuple(g) for g in baseline.got)
+    assert got == baseline.expected, (
+        f"sink outputs diverge from the golden model:\n"
+        f"  expected: {baseline.expected}\n  got:      {got}")
+
+    stalled = build_topology(spec, inject=inject)
+    materialize_plan(plan, stalled).apply(stalled.sim)
+    try:
+        run_watched(stalled)
+    except HangError as exc:
+        raise AssertionError(
+            "lossless stall schedule hung a live design:\n"
+            + exc.diagnosis.format()) from exc
+    assert stalled.done(), "stalled run left sinks undrained"
+    stalled_got = tuple(tuple(g) for g in stalled.got)
+    assert stalled_got == got, (
+        f"latency-insensitivity violated: outputs changed under a "
+        f"lossless stall schedule:\n"
+        f"  unstalled: {got}\n  stalled:   {stalled_got}")
+
+
+# ----------------------------------------------------------------------
+# total classification: lossy plans triage, never crash
+# ----------------------------------------------------------------------
+def check_classification(case: VerifyCase,
+                         inject: Optional[str] = None) -> str:
+    """Campaign-style triage of a lossy run; returns the outcome."""
+    built = build_topology(case.topology, inject=inject)
+    check_lint(built)
+    applied = materialize_plan(case.plan, built).apply(built.sim)
+    try:
+        run_watched(built)
+    except HangError as exc:
+        # A hang is an *accepted* classification, but the diagnosis
+        # must be complete and serializable — that is the "classify,
+        # don't crash" half of the contract.
+        records = exc.diagnosis.to_records()
+        assert records and all(r.get("kind") in
+                               ("deadlock", "livelock", "budget")
+                               for r in records
+                               if r.get("type") == "hang"), (
+            f"hang diagnosis malformed: {records}")
+        return "hang"
+    except Exception as exc:  # noqa: BLE001 - the oracle *is* the net
+        raise AssertionError(
+            f"generated design crashed instead of classifying: "
+            f"{type(exc).__name__}: {exc}") from exc
+    got = tuple(tuple(g) for g in built.got)
+    if got == built.expected:
+        return "clean"
+    lossy = applied.lossy_events()
+    assert lossy > 0, (
+        f"silent corruption escape: outputs diverged with zero "
+        f"injected lossy events\n  expected: {built.expected}\n"
+        f"  got:      {got}")
+    return "detected"

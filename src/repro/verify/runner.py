@@ -1,0 +1,212 @@
+"""The ``repro verify`` campaign driver and report formatter.
+
+One campaign = one Hypothesis property per requested family
+(differential / li / classification, plus the stateful machines),
+each driven for the active profile's example budget over freshly
+generated topologies.  A failing family stops at its *shrunk* minimal
+counterexample — Hypothesis re-executes the minimal example last, so
+the report captures exactly the case that persists to the example
+database and replays on the next run.
+
+The report is plain JSON-able data; wall time lives only under the
+``wall_seconds`` key so canonical-JSON comparisons
+(:data:`repro.sweep.serialize.NONDETERMINISTIC_FIELDS`) stay stable.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from . import profiles
+
+__all__ = ["FAMILIES", "run_verification", "format_report"]
+
+FAMILIES = ("differential", "li", "classification", "stateful")
+
+
+def _parse_checks(raw: str) -> tuple:
+    names = [c.strip() for c in str(raw or "all").split(",") if c.strip()]
+    if names in ([], ["all"]):
+        return FAMILIES
+    for name in names:
+        if name not in FAMILIES:
+            raise ValueError(f"unknown verify check {name!r}; "
+                             f"one of {', '.join(FAMILIES)} (or 'all')")
+    return tuple(dict.fromkeys(names))
+
+
+def run_verification(params: dict, seed: Optional[int] = None) -> dict:
+    """Run the requested oracle families; returns the campaign report."""
+    profile = params.get("profile") or "dev"
+    prof = profiles.profile_settings(profile)  # validates the name
+    max_examples = int(params.get("max_examples") or 0) \
+        or prof.max_examples
+    inject = params.get("inject") or "none"
+    if inject not in ("none", "deadlock", "corrupt"):
+        raise ValueError(f"unknown inject mode {inject!r}; "
+                         "one of none, deadlock, corrupt")
+    checks = _parse_checks(params.get("checks", "all"))
+    started = time.perf_counter()
+    families = []
+    for name in checks:
+        families.append(_run_family(name, prof, max_examples, seed,
+                                    inject))
+    report = {
+        "profile": profile,
+        "max_examples": max_examples,
+        "seed": seed,
+        "inject": inject,
+        "checks": list(checks),
+        "families": families,
+        "topologies": sum(f["examples"] for f in families
+                          if f["family"] != "stateful"),
+        "lint_clean": sum(f.get("lint_clean", 0) for f in families),
+        "ok": all(f["ok"] for f in families),
+        "wall_seconds": time.perf_counter() - started,
+    }
+    return report
+
+
+def _run_family(name: str, prof, max_examples: int,
+                seed: Optional[int], inject: str) -> dict:
+    fam = {"family": name, "examples": 0, "lint_clean": 0, "ok": True}
+    runners = {
+        "differential": _family_differential,
+        "li": _family_li,
+        "classification": _family_classification,
+        "stateful": _family_stateful,
+    }
+    try:
+        runners[name](prof, max_examples, seed, inject, fam)
+    except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+        fam["ok"] = False
+        fam["error"] = f"{type(exc).__name__}: {exc}"
+        # Hypothesis re-runs the shrunk minimal example last, so the
+        # most recent case the property saw *is* the counterexample.
+        if "last" in fam:
+            fam["counterexample"] = fam.pop("last")
+    fam.pop("last", None)
+    return fam
+
+
+def _settings(prof, max_examples: int):
+    from hypothesis import settings
+
+    return settings(parent=prof, max_examples=max_examples)
+
+
+def _family_differential(prof, max_examples, seed, inject, fam):
+    from hypothesis import given
+    from hypothesis import seed as hyp_seed
+
+    from . import oracles
+    from . import strategies as strat
+
+    # The compiled backend needs a single periodic clock, so this
+    # family draws single-domain designs; GALS crossings are covered by
+    # the li and classification families (and fall back to threaded).
+    @_settings(prof, max_examples)
+    @given(spec=strat.topologies(max_domains=1))
+    def prop(spec):
+        fam["examples"] += 1
+        fam["last"] = {"topology": spec.describe()}
+        engaged = oracles.check_differential(spec)["engaged"]
+        fam["lint_clean"] += 1
+        fam["compiled_engaged"] = fam.get("compiled_engaged", 0) \
+            + bool(engaged)
+
+    if seed is not None:
+        prop = hyp_seed(seed)(prop)
+    prop()
+
+
+def _family_li(prof, max_examples, seed, inject, fam):
+    from hypothesis import given
+    from hypothesis import seed as hyp_seed
+
+    from . import oracles
+    from . import strategies as strat
+
+    inject_mode = None if inject == "none" else inject
+
+    @_settings(prof, max_examples)
+    @given(case=strat.verify_cases(plans="stall"))
+    def prop(case):
+        fam["examples"] += 1
+        fam["last"] = case.describe()
+        oracles.check_li(case.topology, case.plan, inject=inject_mode)
+        fam["lint_clean"] += 1
+
+    if seed is not None:
+        prop = hyp_seed(seed)(prop)
+    prop()
+
+
+def _family_classification(prof, max_examples, seed, inject, fam):
+    from hypothesis import given
+    from hypothesis import seed as hyp_seed
+
+    from . import oracles
+    from . import strategies as strat
+
+    outcomes = fam.setdefault(
+        "outcomes", {k: 0 for k in oracles.CLASSIFY_OUTCOMES})
+
+    @_settings(prof, max_examples)
+    @given(case=strat.verify_cases(plans="lossy"))
+    def prop(case):
+        fam["examples"] += 1
+        fam["last"] = case.describe()
+        outcomes[oracles.check_classification(case)] += 1
+        fam["lint_clean"] += 1
+
+    if seed is not None:
+        prop = hyp_seed(seed)(prop)
+    prop()
+
+
+def _family_stateful(prof, max_examples, seed, inject, fam):
+    from hypothesis.stateful import run_state_machine_as_test
+
+    from .machines import CacheMachine, ChannelMachine, RouterMachine
+
+    # Each machine run is a whole operation sequence, so the per-family
+    # budget divides across far fewer, far deeper examples.
+    budget = max(5, max_examples // 5)
+    for machine in (ChannelMachine, RouterMachine, CacheMachine):
+        fam["last"] = {"machine": machine.__name__}
+        run_state_machine_as_test(
+            machine, settings=_settings(prof, budget))
+        fam["examples"] += 1
+
+
+def format_report(report: dict) -> str:
+    """Human-readable campaign table (no wall time: byte-stable)."""
+    lines = [
+        f"verification campaign: profile={report['profile']} "
+        f"examples/family={report['max_examples']} "
+        f"seed={report['seed']} inject={report['inject']}",
+        f"  {'family':<16} {'examples':>8} {'lint-clean':>10}  status",
+    ]
+    for fam in report["families"]:
+        if fam["ok"]:
+            status = "ok"
+            if fam["family"] == "differential":
+                engaged = fam.get("compiled_engaged", 0)
+                status += f" (compiled engaged {engaged}/{fam['examples']})"
+            elif fam["family"] == "classification":
+                parts = [f"{k} {v}" for k, v in fam["outcomes"].items()]
+                status += f" ({', '.join(parts)})"
+        else:
+            status = f"FAIL: {fam.get('error', 'unknown')}"
+        lint_clean = fam["lint_clean"] if fam["family"] != "stateful" \
+            else "-"
+        lines.append(f"  {fam['family']:<16} {fam['examples']:>8} "
+                     f"{lint_clean!s:>10}  {status}")
+        if not fam["ok"] and "counterexample" in fam:
+            lines.append(f"    counterexample: {fam['counterexample']}")
+    verdict = "all oracles held" if report["ok"] else "ORACLE VIOLATED"
+    lines.append(f"totals: {report['topologies']} generated designs, "
+                 f"{report['lint_clean']} lint-clean; {verdict}")
+    return "\n".join(lines)

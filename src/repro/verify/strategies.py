@@ -1,0 +1,217 @@
+"""Hypothesis strategies over generated designs, stimulus, and faults.
+
+Every strategy draws *declarative* frozen dataclasses — a
+:class:`~repro.verify.topology.TopologySpec` plus plan specs indexing
+its edges — rather than live simulator objects, so counterexamples
+print readably, persist to the example database, and shrink jointly
+over topology + plan + stimulus.  Materialization into simulations and
+:class:`~repro.faults.FaultPlan` objects happens in
+:mod:`repro.verify.oracles`.
+
+Legality is by construction: :func:`topologies` only emits specs that
+pass :func:`~repro.verify.topology.validate` and lint clean (layered
+in-forest wiring, unique names, GALS bridges on every domain crossing),
+and stall/lossy specs only target edges that exist.  Probabilities and
+timing knobs come from small sampled menus, which keeps shrinking
+well-ordered (toward the first menu entry) and runs reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from hypothesis import strategies as st
+
+from .topology import ChannelSpec, TopologySpec, validate
+
+__all__ = [
+    "StallSpec",
+    "JitterSpec",
+    "LossySpec",
+    "PlanSpec",
+    "VerifyCase",
+    "channel_specs",
+    "packet_streams",
+    "topologies",
+    "stall_plans",
+    "lossy_plans",
+    "verify_cases",
+]
+
+#: Secondary-domain period menu (primary is always 10); co-prime-ish
+#: ratios exercise the pausible-clock alignment paths.
+_ALT_PERIODS = (6, 14, 26)
+
+_PROBABILITIES = (1.0, 0.7, 0.5, 0.3)
+
+
+@dataclass(frozen=True)
+class StallSpec:
+    """One backpressure burst on edge ``edge`` (flat index)."""
+
+    edge: int = 0
+    start: int = 0
+    length: int = 40
+    probability: float = 1.0
+
+
+@dataclass(frozen=True)
+class JitterSpec:
+    """Clock-timing noise on one domain (jitter or cumulative drift)."""
+
+    domain: int = 0
+    kind: str = "jitter"  # "jitter" | "drift"
+    amplitude: int = 2
+    every: int = 4
+
+
+@dataclass(frozen=True)
+class LossySpec:
+    """One lossy directive (drop/duplicate/corrupt) on edge ``edge``."""
+
+    kind: str = "drop"
+    edge: int = 0
+    probability: float = 1.0
+
+
+@dataclass(frozen=True)
+class PlanSpec:
+    """Declarative fault plan over a topology's flat edge indices."""
+
+    seed: int = 0
+    stalls: Tuple[StallSpec, ...] = ()
+    jitters: Tuple[JitterSpec, ...] = ()
+    lossy: Tuple[LossySpec, ...] = ()
+
+    def describe(self) -> dict:
+        return {
+            "seed": self.seed,
+            "stalls": [[s.edge, s.start, s.length, s.probability]
+                       for s in self.stalls],
+            "jitters": [[j.domain, j.kind, j.amplitude, j.every]
+                        for j in self.jitters],
+            "lossy": [[f.kind, f.edge, f.probability]
+                      for f in self.lossy],
+        }
+
+
+@dataclass(frozen=True)
+class VerifyCase:
+    """One campaign example: a topology plus a plan targeting it."""
+
+    topology: TopologySpec
+    plan: PlanSpec = PlanSpec()
+
+    def describe(self) -> dict:
+        return {"topology": self.topology.describe(),
+                "plan": self.plan.describe()}
+
+
+def channel_specs() -> st.SearchStrategy:
+    """Table 1 channel configurations."""
+    return st.builds(
+        ChannelSpec,
+        kind=st.sampled_from(("buffer", "bypass", "pipeline", "comb")),
+        capacity=st.integers(1, 4),
+        extra_latency=st.integers(0, 2),
+    )
+
+
+def packet_streams(max_size: int = 8) -> st.SearchStrategy:
+    """One source's packet list (empty streams are legal stimulus)."""
+    return st.lists(st.integers(0, 255), max_size=max_size).map(tuple)
+
+
+@st.composite
+def topologies(draw, *, max_domains: int = 2, max_layers: int = 4,
+               max_width: int = 3) -> TopologySpec:
+    """Legal layered in-forest design specs (see ``topology``)."""
+    n_domains = draw(st.integers(1, max_domains))
+    periods = (10,) + tuple(
+        draw(st.sampled_from(_ALT_PERIODS)) for _ in range(n_domains - 1))
+    n_layers = draw(st.integers(2, max_layers))
+    domains = tuple(
+        draw(st.integers(0, n_domains - 1)) for _ in range(n_layers))
+    widths = tuple(
+        draw(st.integers(1, max_width)) for _ in range(n_layers))
+    consumers = tuple(
+        tuple(draw(st.integers(0, widths[i + 1] - 1))
+              for _ in range(widths[i]))
+        for i in range(n_layers - 1))
+    channels = tuple(
+        tuple(draw(channel_specs()) for _ in range(widths[i]))
+        for i in range(n_layers - 1))
+    streams = tuple(
+        draw(packet_streams()) for _ in range(widths[0]))
+    addends = tuple(
+        tuple(draw(st.integers(0, 64)) for _ in range(widths[i]))
+        for i in range(1, n_layers - 1))
+    spec = TopologySpec(periods=periods, domains=domains, widths=widths,
+                        consumers=consumers, channels=channels,
+                        streams=streams, addends=addends)
+    validate(spec)
+    return spec
+
+
+def _n_edges(spec: TopologySpec) -> int:
+    return sum(spec.widths[:-1])
+
+
+@st.composite
+def stall_plans(draw, spec: TopologySpec, *,
+                max_bursts: int = 3) -> PlanSpec:
+    """Adversarial-but-lossless plans: stall bursts plus clock noise."""
+    edges = _n_edges(spec)
+    stalls = tuple(
+        StallSpec(edge=draw(st.integers(0, edges - 1)),
+                  start=draw(st.integers(0, 200)),
+                  length=draw(st.integers(20, 300)),
+                  probability=draw(st.sampled_from(_PROBABILITIES)))
+        for _ in range(draw(st.integers(1, max_bursts))))
+    jitters = ()
+    if len(spec.periods) > 1 and draw(st.booleans()):
+        jitters = (JitterSpec(
+            domain=draw(st.integers(0, len(spec.periods) - 1)),
+            kind=draw(st.sampled_from(("jitter", "drift"))),
+            amplitude=draw(st.integers(1, 3)),
+            every=draw(st.sampled_from((1, 4, 16)))),)
+    return PlanSpec(seed=draw(st.integers(0, 2 ** 16)),
+                    stalls=stalls, jitters=jitters)
+
+
+@st.composite
+def lossy_plans(draw, spec: TopologySpec, *,
+                max_lossy: int = 2) -> PlanSpec:
+    """Plans with lossy directives (the classification oracle's diet)."""
+    edges = _n_edges(spec)
+    lossy = tuple(
+        LossySpec(kind=draw(st.sampled_from(("drop", "duplicate",
+                                             "corrupt"))),
+                  edge=draw(st.integers(0, edges - 1)),
+                  probability=draw(st.sampled_from(_PROBABILITIES)))
+        for _ in range(draw(st.integers(1, max_lossy))))
+    stalls = tuple(
+        StallSpec(edge=draw(st.integers(0, edges - 1)),
+                  start=draw(st.integers(0, 100)),
+                  length=draw(st.integers(20, 200)),
+                  probability=draw(st.sampled_from(_PROBABILITIES)))
+        for _ in range(draw(st.integers(0, 1))))
+    return PlanSpec(seed=draw(st.integers(0, 2 ** 16)),
+                    stalls=stalls, lossy=lossy)
+
+
+@st.composite
+def verify_cases(draw, *, plans: str = "stall",
+                 max_domains: int = 2) -> VerifyCase:
+    """Topology + plan pairs; ``plans`` is 'none', 'stall' or 'lossy'."""
+    spec = draw(topologies(max_domains=max_domains))
+    if plans == "none":
+        plan = PlanSpec()
+    elif plans == "stall":
+        plan = draw(stall_plans(spec))
+    elif plans == "lossy":
+        plan = draw(lossy_plans(spec))
+    else:
+        raise ValueError(f"unknown plan family {plans!r}")
+    return VerifyCase(topology=spec, plan=plan)

@@ -6,8 +6,10 @@ is delivered or its order — checked with hypothesis across the
 parameter space.
 """
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from repro.verify.profiles import property_settings
 
 from repro.connections import Buffer, Bypass, Combinational, In, Out, Pipeline
 from repro.connections.rtl_adapter import RtlChannel
@@ -58,7 +60,7 @@ def _run_channel(factory_name, messages, stall_prob, stall_seed,
     producer_gaps=st.lists(st.integers(0, 3), min_size=1, max_size=4),
     consumer_gaps=st.lists(st.integers(0, 3), min_size=1, max_size=4),
 )
-@settings(max_examples=60, deadline=None)
+@property_settings()
 def test_li_delivery_invariant_under_arbitrary_timing(
         factory, messages, stall_prob, stall_seed, producer_gaps,
         consumer_gaps):
@@ -72,7 +74,7 @@ def test_li_delivery_invariant_under_arbitrary_timing(
     messages=st.lists(st.integers(), min_size=1, max_size=30),
     capacity=st.integers(1, 6),
 )
-@settings(max_examples=40, deadline=None)
+@property_settings()
 def test_buffer_capacity_never_exceeded(messages, capacity):
     """Occupancy invariant: a Buffer never stores more than capacity."""
     sim = Simulator()
@@ -104,7 +106,7 @@ def test_buffer_capacity_never_exceeded(messages, capacity):
     n_msgs=st.integers(1, 20),
     extra_latency=st.integers(0, 6),
 )
-@settings(max_examples=30, deadline=None)
+@property_settings()
 def test_retiming_registers_add_exact_latency(n_msgs, extra_latency):
     """Retiming stages delay first delivery by exactly their count."""
     def first_arrival(latency):

@@ -9,8 +9,10 @@ points, and both backends, plus the supported mutation contract
 """
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from repro.verify.profiles import property_settings
 
 from repro.connections import Buffer, In, Out
 from repro.faults import FaultPlan
@@ -67,7 +69,7 @@ HORIZON = N_MSGS * 200
 # ----------------------------------------------------------------------
 # the core property: restore + rerun == original run
 # ----------------------------------------------------------------------
-@settings(max_examples=25, deadline=None)
+@property_settings()
 @given(stall=st.sampled_from((0.0, 0.2, 0.5)),
        seed=st.integers(0, 10_000),
        cut=st.integers(1, HORIZON - 1))
@@ -127,7 +129,7 @@ def test_repeated_restore_cycles_stay_identical():
 # ----------------------------------------------------------------------
 # compiled backend
 # ----------------------------------------------------------------------
-@settings(max_examples=10, deadline=None)
+@property_settings()
 @given(stall=st.sampled_from((0.0, 0.35)),
        seed=st.integers(0, 1_000),
        cut=st.integers(1, HORIZON - 1))

@@ -1,8 +1,10 @@
 """Tests for MatchLib untimed functions and classes (Table 2)."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from repro.verify.profiles import property_settings
 
 from repro.matchlib import (
     Fifo,
@@ -64,7 +66,7 @@ def test_crossbar_validation():
 
 
 @given(st.permutations(list(range(8))))
-@settings(max_examples=50)
+@property_settings()
 def test_permute_property(perm):
     inputs = [f"v{i}" for i in range(8)]
     out = permute(inputs, perm)

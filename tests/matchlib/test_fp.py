@@ -5,8 +5,10 @@ import struct
 from fractions import Fraction
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from repro.verify.profiles import property_settings
 
 from repro.matchlib import BF16, FP16, FP32, FloatSpec, fp_add, fp_mul, fp_mul_add
 
@@ -64,7 +66,7 @@ def test_fp32_encode_matches_ieee754(value):
 
 
 @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
-@settings(max_examples=300)
+@property_settings(scale=3)
 def test_fp32_encode_decode_roundtrip_hypothesis(value):
     bits = FP32.encode(value)
     assert bits == fp32_bits(value)
@@ -207,7 +209,7 @@ def test_fma_single_rounding_differs_from_two_roundings():
     st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
     st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
 )
-@settings(max_examples=200)
+@property_settings(scale=2)
 def test_fp32_mul_matches_python_float(a, b):
     """FP32 with RNE is exactly Python's double rounded to single."""
     bits = fp_mul(FP32, FP32.encode(a), FP32.encode(b))
@@ -221,7 +223,7 @@ def test_fp32_mul_matches_python_float(a, b):
     st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
     st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
 )
-@settings(max_examples=200)
+@property_settings(scale=2)
 def test_fp32_add_matches_python_float(a, b):
     bits = fp_add(FP32, FP32.encode(a), FP32.encode(b))
     af = FP32.decode(FP32.encode(a))

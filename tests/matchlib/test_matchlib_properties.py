@@ -2,8 +2,10 @@
 
 import random
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from repro.verify.profiles import property_settings
 
 from repro.connections.packet import int_deserializer, int_serializer
 from repro.matchlib import (
@@ -24,7 +26,7 @@ from repro.matchlib import (
     n_items=st.integers(1, 40),
     seed=st.integers(0, 10_000),
 )
-@settings(max_examples=60, deadline=None)
+@property_settings()
 def test_rob_drains_in_allocation_order(capacity, n_items, seed):
     rng = random.Random(seed)
     rob = ReorderBuffer(capacity)
@@ -59,7 +61,7 @@ def test_rob_drains_in_allocation_order(capacity, n_items, seed):
     ops=st.lists(st.tuples(st.booleans(), st.integers(0, 31),
                            st.integers(0, 2**16)), min_size=1, max_size=60),
 )
-@settings(max_examples=40, deadline=None)
+@property_settings()
 def test_scratchpad_equivalent_to_flat_memory(n_banks, ops):
     sp = ArbitratedScratchpad(n_requesters=1, n_banks=n_banks,
                               bank_entries=-(-32 // n_banks))
@@ -81,7 +83,7 @@ def test_scratchpad_equivalent_to_flat_memory(n_banks, ops):
 
 
 @given(n=st.integers(2, 8), rounds=st.integers(4, 40))
-@settings(max_examples=30, deadline=None)
+@property_settings()
 def test_round_robin_long_run_fairness(n, rounds):
     """Under saturation, grant counts differ by at most one per requester."""
     arb = RoundRobinArbiter(n)
@@ -98,7 +100,7 @@ def test_round_robin_long_run_fairness(n, rounds):
     flit_width=st.integers(1, 64),
     value=st.integers(min_value=0),
 )
-@settings(max_examples=150)
+@property_settings(scale=1.5)
 def test_serializer_roundtrip_property(width, flit_width, value):
     if flit_width > width:
         flit_width = width
@@ -116,14 +118,14 @@ def test_serializer_roundtrip_property(width, flit_width, value):
 # ----------------------------------------------------------------------
 @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=16),
        st.integers(-50, 50))
-@settings(max_examples=60)
+@property_settings()
 def test_vector_scale_distributes(data, k):
     v = Vector(data)
     assert v.scale(k).reduce_sum() == v.reduce_sum() * k
 
 
 @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=16))
-@settings(max_examples=60)
+@property_settings()
 def test_vector_dot_self_nonnegative(data):
     v = Vector(data)
     assert v.dot(v) >= 0
@@ -132,7 +134,7 @@ def test_vector_dot_self_nonnegative(data):
 
 @given(st.lists(st.integers(-100, 100), min_size=1, max_size=12),
        st.lists(st.integers(-100, 100), min_size=1, max_size=12))
-@settings(max_examples=60)
+@property_settings()
 def test_vector_dot_commutative(a, b):
     n = min(len(a), len(b))
     va, vb = Vector(a[:n]), Vector(b[:n])
@@ -146,7 +148,7 @@ def test_vector_dot_commutative(a, b):
     base=st.integers(0, 20),
     data=st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=12),
 )
-@settings(max_examples=60)
+@property_settings()
 def test_mem_array_burst_write_read_roundtrip(base, data):
     mem = MemArray(32, width=32)
     if base + len(data) > 32:

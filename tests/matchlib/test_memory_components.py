@@ -1,8 +1,10 @@
 """Tests for arbitrated scratchpad, cache, and their clocked modules."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from repro.verify.profiles import property_settings
 
 from repro.connections import Buffer, In, Out
 from repro.kernel import Simulator
@@ -164,7 +166,7 @@ def test_cache_validation():
 
 @given(st.lists(st.tuples(st.booleans(), st.integers(0, 255),
                           st.integers(0, 2**31)), min_size=1, max_size=200))
-@settings(max_examples=30, deadline=None)
+@property_settings()
 def test_cache_coherence_property(ops):
     """Cache+backstore always agree with a flat reference memory."""
     mem = MemArray(256, width=32)

@@ -3,8 +3,10 @@
 import random
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from repro.verify.profiles import property_settings
 
 from repro.kernel import Simulator
 from repro.noc import (
@@ -68,7 +70,7 @@ def test_xy_route_directions():
 
 
 @given(st.integers(0, 15), st.integers(0, 15))
-@settings(max_examples=100)
+@property_settings()
 def test_xy_route_always_makes_progress(src, dest):
     """Following XY routing hop by hop always reaches the destination."""
     width = 4

@@ -23,6 +23,8 @@ from repro.sweep.serialize import NONDETERMINISTIC_FIELDS
 FAST_ARGS = {
     "fig3": (["--ports", "2", "--txns", "5"],
              ["-p", "ports=2", "-p", "txns=5"]),
+    "verify": (["--max-examples", "4", "--checks", "differential,li"],
+               ["-p", "max_examples=4", "-p", "checks=differential,li"]),
 }
 
 #: Experiments whose formatted table embeds wall-clock-derived numbers

@@ -10,12 +10,13 @@ import pytest
 
 from repro import registry
 
-#: The nine paper experiments plus adaptive-clocking, in `repro list`
-#: order — extend this when a new experiment module registers a spec.
+#: The nine paper experiments plus adaptive-clocking and the generative
+#: verification campaign, in `repro list` order — extend this when a new
+#: experiment module registers a spec.
 RUNNABLE = [
     "fig3", "fig6", "crossbar-qor", "hls-qor", "gals",
     "adaptive-clocking", "stalls", "li-latency", "backend",
-    "productivity",
+    "productivity", "verify",
 ]
 HIDDEN = ["packet_stream", "deadlock_demo", "fault_campaign"]
 
@@ -96,7 +97,7 @@ def test_declared_compiled_eligibility():
 def test_declared_seedability():
     seedable = {n for n in RUNNABLE if registry.get(n).seedable}
     assert seedable == {"fig3", "adaptive-clocking", "stalls",
-                        "li-latency"}
+                        "li-latency", "verify"}
 
 
 # ----------------------------------------------------------------------

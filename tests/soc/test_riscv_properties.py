@@ -1,7 +1,9 @@
 """Property-based tests: the RV32I ALU against a Python oracle."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from repro.verify.profiles import property_settings
 
 from repro.matchlib import MemArray
 from repro.soc import RiscvCore, assemble
@@ -46,13 +48,13 @@ def run_alu(op, a, b):
 
 
 @given(op=st.sampled_from(sorted(ORACLES)), a=U32, b=U32)
-@settings(max_examples=200, deadline=None)
+@property_settings(scale=2)
 def test_alu_matches_oracle(op, a, b):
     assert run_alu(op, a, b) == ORACLES[op](a, b)
 
 
 @given(a=U32, imm=st.integers(-2048, 2047))
-@settings(max_examples=100, deadline=None)
+@property_settings()
 def test_addi_matches_oracle(a, imm):
     source = f"""
         li t0, {a}
@@ -66,7 +68,7 @@ def test_addi_matches_oracle(a, imm):
 
 
 @given(value=U32, addr=st.integers(0, 15))
-@settings(max_examples=100, deadline=None)
+@property_settings()
 def test_store_load_roundtrip_property(value, addr):
     source = f"""
         li t0, {value}
@@ -82,7 +84,7 @@ def test_store_load_roundtrip_property(value, addr):
 
 
 @given(a=st.integers(-2**31, 2**31 - 1), b=st.integers(-2**31, 2**31 - 1))
-@settings(max_examples=100, deadline=None)
+@property_settings()
 def test_branch_semantics_property(a, b):
     """blt/bge partition exactly on signed comparison."""
     source = f"""

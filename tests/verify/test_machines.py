@@ -1,0 +1,20 @@
+"""Stateful invariant machines, run as plain pytest cases.
+
+Each ``RuleBasedStateMachine`` mirrors a kernel component against a
+pure-Python model and checks its invariants after every rule; here they
+run under the active settings profile so CI gets deeper sequences.
+"""
+
+from repro.verify.machines import (CacheMachine, ChannelMachine,
+                                   RouterMachine)
+from repro.verify.profiles import property_settings
+
+TestChannelMachine = ChannelMachine.TestCase
+TestRouterMachine = RouterMachine.TestCase
+TestCacheMachine = CacheMachine.TestCase
+
+# Machine examples are whole operation sequences: scale the budget down
+# but keep the profile's relative tiering (dev 5, ci 25, thorough 100).
+for _case in (TestChannelMachine, TestRouterMachine, TestCacheMachine):
+    _case.settings = property_settings(scale=0.25, floor=5,
+                                       stateful_step_count=30)

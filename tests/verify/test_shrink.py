@@ -1,0 +1,202 @@
+"""Principled shrinking: outcome *class* is preserved, not just failure.
+
+The regression this pins down: a naive shrinker accepts any candidate
+that still "fails somehow", which can silently trade a hang for an
+unrelated crash (or a livelock for a deadlock) — the minimal reproducer
+then debugs a different bug than the one the campaign found.  Both the
+greedy pass (``match="class"``, the default) and the Hypothesis subset
+shrinker validate candidates against
+:func:`repro.faults.campaign.outcome_class` instead.
+"""
+
+import pytest
+
+from repro import registry
+from repro.connections import Buffer, In, Out
+from repro.faults import FaultPlan, outcome_class
+from repro.faults.campaign import Harness, Rig, execute, shrink
+from repro.kernel import Simulator
+from repro.verify.shrinking import shrink_plan
+
+N_MSGS = 8
+RIG_NAME = "shrink_regression_rig"
+
+
+def _build_pipeline_rig(seed: int) -> Rig:
+    """producer -> mid -> forward -> side -> sink, expects clean."""
+    sim = Simulator()
+    clk = sim.add_clock("clk", period=10)
+    received = []
+    with sim.design.scope("chip", kind="Chip", clock=clk):
+        mid = Buffer(sim, clk, capacity=2, name="mid")
+        side = Buffer(sim, clk, capacity=2, name="side")
+
+        def producer(out: Out):
+            for i in range(N_MSGS):
+                yield from out.push(i)
+
+        def forward(inp: In, out: Out):
+            for _ in range(N_MSGS):
+                msg = yield from inp.pop()
+                yield from out.push(msg)
+
+        def sink(inp: In):
+            for _ in range(N_MSGS):
+                received.append((yield from inp.pop()))
+
+        with sim.design.scope("p", kind="Unit"):
+            sim.add_thread(producer(Out(mid, name="out")), clk, name="ctl")
+        with sim.design.scope("f", kind="Unit"):
+            sim.add_thread(forward(In(mid, name="in"),
+                                   Out(side, name="out")), clk, name="ctl")
+        with sim.design.scope("s", kind="Unit"):
+            sim.add_thread(sink(In(side, name="in")), clk, name="ctl")
+    return Rig(sim=sim, clock=clk, until=1_000_000,
+               verify=lambda: received == list(range(N_MSGS)),
+               window=120, max_cycles=4000)
+
+
+@pytest.fixture
+def pipeline_harness():
+    registry.register(registry.ExperimentSpec(
+        name=RIG_NAME, summary="shrink regression fixture",
+        harness=Harness(RIG_NAME, _build_pipeline_rig,
+                        expected=("clean",), in_default_matrix=False),
+        hidden=True))
+    try:
+        yield RIG_NAME
+    finally:
+        registry._SPECS.pop(RIG_NAME, None)
+        registry._HARNESS_INDEX.pop(RIG_NAME, None)
+
+
+def _boom(msg, rng):
+    raise RuntimeError("corrupter exploded")
+
+
+def _hang_then_crash_plan() -> FaultPlan:
+    """Full plan deadlocks before the raising corrupter can ever fire;
+    the corrupt directive alone crashes the run instead."""
+    return (FaultPlan(seed=0)
+            .drop("mid", probability=1.0)
+            .corrupt("side", probability=1.0, corrupter=_boom))
+
+
+def _livelock_then_deadlock_plan() -> FaultPlan:
+    """Full plan trips the livelock window (stall active); the drop
+    alone deadlocks (all threads blocked, no stall in sight)."""
+    return (FaultPlan(seed=0)
+            .stall_burst("mid", start=0, length=2000, probability=1.0)
+            .drop("mid", probability=1.0))
+
+
+# ----------------------------------------------------------------------
+# outcome_class: the full classification shrinking validates against
+# ----------------------------------------------------------------------
+def test_outcome_class_distinguishes_hang_kinds_and_crashes():
+    assert outcome_class({"outcome": "clean"}) == "clean"
+    assert outcome_class({"outcome": "hang", "diagnosis": [
+        {"type": "hang", "kind": "livelock"}]}) == "hang:livelock"
+    assert outcome_class({"outcome": "hang"}) == "hang"
+    assert outcome_class({"outcome": "crash",
+                          "error": "TypeError: boom"}) == "crash:TypeError"
+    assert outcome_class(
+        {"outcome": "crash",
+         "error": "output mismatch with zero injected lossy events "
+                  "(silent corruption escape)"}) == "crash:escape"
+
+
+def test_fixture_outcomes_are_as_designed(pipeline_harness):
+    plan = _hang_then_crash_plan()
+    full = execute(pipeline_harness, plan, seed=0)
+    assert outcome_class(full) == "hang:deadlock"
+    crash = execute(pipeline_harness, plan.without(0), seed=0)
+    assert outcome_class(crash) == "crash:RuntimeError"
+
+    plan = _livelock_then_deadlock_plan()
+    full = execute(pipeline_harness, plan, seed=0)
+    assert outcome_class(full) == "hang:livelock"
+    assert outcome_class(
+        execute(pipeline_harness, plan.without(0), seed=0)) \
+        == "hang:deadlock"
+
+
+# ----------------------------------------------------------------------
+# the regression: naive shrinking flips a hang into a crash
+# ----------------------------------------------------------------------
+def test_naive_shrink_flips_hang_into_crash(pipeline_harness):
+    plan = _hang_then_crash_plan()
+    small = shrink(pipeline_harness, plan, seed=0, match="any")
+    record = execute(pipeline_harness, small, seed=0)
+    # The "reproducer" now crashes — a different bug than the hang the
+    # campaign reported.  This is the behavior match="class" fixes.
+    assert record["outcome"] == "crash"
+
+
+def test_class_shrink_preserves_the_hang(pipeline_harness):
+    plan = _hang_then_crash_plan()
+    small = shrink(pipeline_harness, plan, seed=0, target_outcome="hang")
+    assert len(small.directives) == 1
+    assert small.directives[0].kind == "drop"
+    assert outcome_class(execute(pipeline_harness, small, seed=0)) \
+        == "hang:deadlock"
+
+
+def test_outcome_match_still_flips_livelock_into_deadlock(
+        pipeline_harness):
+    plan = _livelock_then_deadlock_plan()
+    coarse = shrink(pipeline_harness, plan, seed=0, match="outcome")
+    assert [d.kind for d in coarse.directives] == ["drop"]
+    assert outcome_class(execute(pipeline_harness, coarse, seed=0)) \
+        == "hang:deadlock"  # diagnosis class silently changed
+
+    exact = shrink(pipeline_harness, plan, seed=0, match="class")
+    assert [d.kind for d in exact.directives] == ["stall_burst"]
+    assert outcome_class(execute(pipeline_harness, exact, seed=0)) \
+        == "hang:livelock"
+
+
+def test_shrink_rejects_unknown_match_mode(pipeline_harness):
+    with pytest.raises(ValueError, match="match mode"):
+        shrink(pipeline_harness, FaultPlan(seed=0), seed=0,
+               match="vibes")
+
+
+def test_shrink_validates_target_outcome(pipeline_harness):
+    plan = _hang_then_crash_plan()
+    with pytest.raises(ValueError, match="does not reproduce"):
+        shrink(pipeline_harness, plan, seed=0, target_outcome="crash")
+
+
+# ----------------------------------------------------------------------
+# the Hypothesis subset shrinker agrees with the principled greedy pass
+# ----------------------------------------------------------------------
+def test_hypothesis_shrink_preserves_outcome_class(pipeline_harness):
+    plan = _hang_then_crash_plan()
+    small = shrink_plan(pipeline_harness, plan, seed=0,
+                        target_outcome="hang")
+    assert [d.kind for d in small.directives] == ["drop"]
+    assert outcome_class(execute(pipeline_harness, small, seed=0)) \
+        == "hang:deadlock"
+
+
+def test_hypothesis_shrink_finds_single_culprit():
+    # Same scenario as the greedy test in tests/faults/test_campaign.py:
+    # three directives, one culprit; the subset search lands on it.
+    plan = (FaultPlan(seed=5)
+            .stall_burst("down", start=10, length=40, probability=0.8)
+            .drop("down", probability=1.0)
+            .stall_burst("up", start=0, length=20, probability=0.5))
+    small = shrink_plan("stall_verification", plan, seed=5,
+                        target_outcome="detected")
+    assert [d.kind for d in small.directives] == ["drop"]
+    assert execute("stall_verification", small,
+                   seed=5)["outcome"] == "detected"
+
+
+def test_hypothesis_shrink_is_deterministic(pipeline_harness):
+    plan = _livelock_then_deadlock_plan()
+    first = shrink_plan(pipeline_harness, plan, seed=0)
+    second = shrink_plan(pipeline_harness, plan, seed=0)
+    assert first.describe() == second.describe()
+    assert [d.kind for d in first.directives] == ["stall_burst"]

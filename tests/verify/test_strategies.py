@@ -1,0 +1,120 @@
+"""Generated-design strategies: legality, golden model, determinism."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.verify.profiles import property_settings
+from repro.verify.strategies import (lossy_plans, stall_plans, topologies,
+                                     verify_cases)
+from repro.verify.topology import (TopologySpec, edge_sequences,
+                                   golden_outputs, merge_schedule,
+                                   node_inputs, validate)
+
+
+# ----------------------------------------------------------------------
+# merge_schedule: the static pop order every generated merge follows
+# ----------------------------------------------------------------------
+def test_merge_schedule_is_round_robin_skipping_exhausted():
+    assert merge_schedule((3, 1, 2)) == (0, 1, 2, 0, 2, 0)
+    assert merge_schedule((0, 2)) == (1, 1)
+    assert merge_schedule((1,)) == (0,)
+    assert merge_schedule((0, 0)) == ()
+
+
+@given(counts=st.lists(st.integers(0, 6), min_size=1, max_size=4)
+       .map(tuple))
+@property_settings()
+def test_merge_schedule_consumes_every_count_exactly(counts):
+    schedule = merge_schedule(counts)
+    assert len(schedule) == sum(counts)
+    for i, count in enumerate(counts):
+        assert schedule.count(i) == count
+    # Round-robin fairness: between two visits of input i, every other
+    # input that still had messages is visited at most once.
+    for i in range(len(counts)):
+        positions = [p for p, idx in enumerate(schedule) if idx == i]
+        for a, b in zip(positions, positions[1:]):
+            gap = schedule[a + 1:b]
+            assert len(gap) == len(set(gap))
+
+
+# ----------------------------------------------------------------------
+# topologies(): legal by construction
+# ----------------------------------------------------------------------
+@given(spec=topologies())
+@property_settings()
+def test_generated_specs_validate_and_describe(spec):
+    validate(spec)  # idempotent re-check outside the strategy
+    desc = spec.describe()
+    assert desc == TopologySpec(
+        periods=tuple(desc["periods"]),
+        domains=tuple(desc["domains"]),
+        widths=tuple(desc["widths"]),
+        consumers=tuple(tuple(c) for c in desc["consumers"]),
+        channels=spec.channels,
+        streams=tuple(tuple(s) for s in desc["streams"]),
+        addends=tuple(tuple(a) for a in desc["addends"]),
+    ).describe()
+    # The in-forest property: every producer feeds exactly one consumer.
+    for i, row in enumerate(spec.consumers):
+        assert len(row) == spec.widths[i]
+
+
+@given(spec=topologies())
+@property_settings()
+def test_golden_model_conserves_messages(spec):
+    outputs = golden_outputs(spec)
+    assert len(outputs) == spec.widths[-1]
+    assert sum(len(o) for o in outputs) == spec.total_messages
+    # Every unit layer's edges carry exactly what flowed in.
+    seq = edge_sequences(spec)
+    for layer in range(spec.n_layers - 1):
+        total = sum(len(seq[(layer, j)])
+                    for j in range(spec.widths[layer]))
+        assert total == spec.total_messages
+
+
+@given(spec=topologies())
+@property_settings()
+def test_node_inputs_partition_each_producer_layer(spec):
+    for layer in range(1, spec.n_layers):
+        seen = []
+        for node in range(spec.widths[layer]):
+            seen.extend(node_inputs(spec, layer, node))
+        assert sorted(seen) == list(range(spec.widths[layer - 1]))
+
+
+# ----------------------------------------------------------------------
+# plan strategies: edges exist, loss classes are kept separate
+# ----------------------------------------------------------------------
+@given(case=verify_cases(plans="stall"))
+@property_settings()
+def test_stall_plans_are_lossless_and_target_real_edges(case):
+    edges = sum(case.topology.widths[:-1])
+    assert not case.plan.lossy
+    assert case.plan.stalls
+    for stall in case.plan.stalls:
+        assert 0 <= stall.edge < edges
+        assert stall.length <= 300  # below the oracle livelock window
+
+
+@given(case=verify_cases(plans="lossy"))
+@property_settings()
+def test_lossy_plans_always_carry_a_lossy_directive(case):
+    edges = sum(case.topology.widths[:-1])
+    assert case.plan.lossy
+    for fault in case.plan.lossy:
+        assert fault.kind in ("drop", "duplicate", "corrupt")
+        assert 0 <= fault.edge < edges
+
+
+@given(data=st.data())
+@property_settings()
+def test_plan_describe_is_json_round_trippable(data):
+    import json
+
+    spec = data.draw(topologies())
+    plan = data.draw(data.draw(st.sampled_from(
+        [stall_plans(spec), lossy_plans(spec)])))
+    blob = json.dumps(plan.describe(), sort_keys=True)
+    assert json.loads(blob) == plan.describe()

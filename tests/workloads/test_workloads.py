@@ -1,8 +1,10 @@
 """Tests for golden references and SoC workloads (small configurations)."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from repro.verify.profiles import property_settings
 
 from repro.workloads import (
     conv2d_ref,
@@ -77,7 +79,7 @@ def test_kmeans_ref_known_answer():
 
 @given(st.lists(st.integers(0, 2**31), min_size=1, max_size=32),
        st.integers(-100, 100))
-@settings(max_examples=50)
+@property_settings()
 def test_scale_ref_distributes_over_sum(vec, factor):
     assert sum_ref(scale_ref(vec, factor)) == mask32(sum_ref(vec) * factor)
 
